@@ -1,0 +1,34 @@
+"""Ablation: the three core-to-bus timing models.
+
+Quantifies what each modeling choice costs/buys on the same instances:
+fixed interfaces can only be slower than serialization, which can only be
+slower than per-bus wrapper redesign — the bench asserts the dominance
+chain while timing the end-to-end exact sweeps.
+"""
+
+import math
+
+import pytest
+
+from repro.core import design_best_architecture
+from repro.soc import build_s1, build_s2
+
+
+@pytest.mark.parametrize("soc_builder", [build_s1, build_s2], ids=["S1", "S2"])
+def test_bench_ablation_timing_models(benchmark, soc_builder):
+    soc = soc_builder()
+
+    def run():
+        results = {}
+        for timing in ("fixed", "serial", "flexible"):
+            sweep = design_best_architecture(
+                soc, 48, 3, timing=timing, clamp_useless_width=True
+            )
+            results[timing] = sweep.best_makespan
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Dominance chain: each relaxation of the width model can only help.
+    if math.isfinite(results["fixed"]):
+        assert results["serial"] <= results["fixed"] + 1e-9
+    assert results["flexible"] <= results["serial"] + 1e-9

@@ -1,0 +1,41 @@
+"""Ablation: TAM wirelength estimators.
+
+Compares the three routing estimators on the optimal designs of both SOCs,
+asserting the geometric ordering (bounding box <= MST <= daisy chain per
+bus) that makes the cheaper estimators safe lower bounds for the chain
+topology test buses actually use.
+"""
+
+import pytest
+
+from repro.core import DesignProblem, design
+from repro.layout import bus_wirelength, grid_place
+from repro.soc import build_s1, build_s2
+from repro.tam import TamArchitecture
+
+
+@pytest.mark.parametrize(
+    "soc_builder,widths", [(build_s1, [16, 16, 16]), (build_s2, [32, 16, 16])],
+    ids=["S1", "S2"],
+)
+def test_bench_ablation_wirelength(benchmark, soc_builder, widths):
+    soc = soc_builder()
+    floorplan = grid_place(soc)
+    problem = DesignProblem(
+        soc=soc, arch=TamArchitecture(widths), timing="serial", floorplan=floorplan
+    )
+    assignment = design(problem).assignment
+
+    def run():
+        totals = {"bbox": 0.0, "mst": 0.0, "chain": 0.0}
+        for bus in range(problem.arch.num_buses):
+            members = assignment.cores_on_bus(bus)
+            if not members:
+                continue
+            for method in totals:
+                totals[method] += bus_wirelength(floorplan, members, method=method)
+        return totals
+
+    totals = benchmark(run)
+    assert totals["bbox"] <= totals["mst"] + 1e-9
+    assert totals["mst"] <= totals["chain"] + 1e-9

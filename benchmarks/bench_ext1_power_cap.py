@@ -1,0 +1,9 @@
+"""Benchmark E1 — hard peak-power cap vs the paper's pairwise model."""
+
+from repro.experiments import e1_power_cap
+
+
+def test_bench_ext1_power_cap(once):
+    result = once(e1_power_cap.run)
+    assert result.experiment_id == "E1"
+    assert any("within cap" in c for c in result.checks)

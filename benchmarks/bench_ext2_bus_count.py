@@ -1,0 +1,9 @@
+"""Benchmark E2 — bus-count knee at fixed total TAM width."""
+
+from repro.experiments import e2_bus_count
+
+
+def test_bench_ext2_bus_count(once):
+    result = once(e2_bus_count.run)
+    assert result.experiment_id == "E2"
+    assert any("knee at NB=" in c for c in result.checks)

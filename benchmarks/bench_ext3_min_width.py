@@ -1,0 +1,10 @@
+"""Benchmark E3 — minimum TAM width per testing-time budget."""
+
+from repro.experiments import e3_min_width
+
+
+def test_bench_ext3_min_width(once):
+    result = once(e3_min_width.run)
+    assert result.experiment_id == "E3"
+    widths = result.tables[0].column("min W")
+    assert widths == sorted(widths)  # loosest budget first -> widths grow

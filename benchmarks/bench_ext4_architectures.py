@@ -1,0 +1,9 @@
+"""Benchmark E4 — access architecture style comparison."""
+
+from repro.experiments import e4_architectures
+
+
+def test_bench_ext4_architectures(once):
+    result = once(e4_architectures.run)
+    assert result.experiment_id == "E4"
+    assert any("bypass overhead" in c for c in result.checks)

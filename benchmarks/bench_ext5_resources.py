@@ -1,0 +1,10 @@
+"""Benchmark E5 — test resource accounting."""
+
+from repro.experiments import e5_resources
+
+
+def test_bench_ext5_resources(once):
+    result = once(e5_resources.run)
+    assert result.experiment_id == "E5"
+    utilizations = result.tables[0].column("utilization (%)")
+    assert all(0 < u <= 100.0 + 1e-9 for u in utilizations)

@@ -1,0 +1,12 @@
+"""Benchmark F1 — testing time vs total TAM width staircase."""
+
+from repro.experiments import f1_width
+
+
+def test_bench_fig1_width_staircase(once):
+    result = once(f1_width.run)
+    assert result.experiment_id == "F1"
+    for bus_count in (2, 3):
+        series = result.tables[0].column(f"NB={bus_count} T*")
+        values = [v for v in series if v is not None]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))

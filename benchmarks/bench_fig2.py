@@ -1,0 +1,9 @@
+"""Benchmark F2 — testing time vs power budget staircase."""
+
+from repro.experiments import f2_power_curve
+
+
+def test_bench_fig2_power_staircase(benchmark):
+    result = benchmark(f2_power_curve.run)
+    assert result.experiment_id == "F2"
+    assert any("staircase non-increasing" in c for c in result.checks)

@@ -1,0 +1,9 @@
+"""Benchmark F3 — wirelength / testing-time Pareto frontier."""
+
+from repro.experiments import f3_tradeoff
+
+
+def test_bench_fig3_tradeoff(once):
+    result = once(f3_tradeoff.run)
+    assert result.experiment_id == "F3"
+    assert any("frontier monotone" in c for c in result.checks)

@@ -1,0 +1,11 @@
+"""Benchmark F4 — ILP scalability sweep (solver effort vs core count)."""
+
+from repro.experiments import f4_scaling
+
+
+def test_bench_fig4_scaling(once):
+    result = once(f4_scaling.run)
+    assert result.experiment_id == "F4"
+    assert any("bnb optimum equals HiGHS" in c for c in result.checks)
+    nodes = result.tables[0].column("bnb nodes")
+    assert max(nodes) > min(nodes)

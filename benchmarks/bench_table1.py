@@ -1,0 +1,9 @@
+"""Benchmark T1 — SOC composition table (wrapper curve computation cost)."""
+
+from repro.experiments import t1_composition
+
+
+def test_bench_table1_composition(benchmark):
+    result = benchmark(t1_composition.run)
+    assert result.experiment_id == "T1"
+    assert len(result.tables) == 2

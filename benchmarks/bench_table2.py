@@ -1,0 +1,20 @@
+"""Benchmark T2 — optimal unconstrained TAM design (the paper's main table).
+
+The full default sweep (S1 + S2, five budgets each, every width partition
+solved exactly, plus baselines and cross-checks) is the headline cost; it
+runs once under the clock.
+"""
+
+from repro.experiments import t2_unconstrained
+
+
+def test_bench_table2_unconstrained(once):
+    result = once(t2_unconstrained.run)
+    assert result.experiment_id == "T2"
+    for table in result.tables:
+        ilp = table.column("ILP T*")
+        for heuristic in ("LPT", "random", "SA"):
+            values = table.column(heuristic)
+            assert all(
+                h >= i - 1e-9 for i, h in zip(ilp, values) if h is not None
+            )

@@ -1,0 +1,11 @@
+"""Benchmark T3 — power-constrained design sweep."""
+
+from repro.experiments import t3_power
+
+
+def test_bench_table3_power(once):
+    result = once(t3_power.run)
+    assert result.experiment_id == "T3"
+    for table in result.tables:
+        times = [t for t in table.column("T* (cycles)") if t is not None]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))

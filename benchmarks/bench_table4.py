@@ -1,0 +1,12 @@
+"""Benchmark T4 — place-and-route-constrained design sweep."""
+
+from repro.experiments import t4_layout
+
+
+def test_bench_table4_layout(once):
+    result = once(t4_layout.run)
+    assert result.experiment_id == "T4"
+    for table in result.tables:
+        times = [t for t in table.column("T* (cycles)") if t is not None]
+        # deltas descend down the table, so times weakly increase
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))

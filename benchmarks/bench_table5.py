@@ -1,0 +1,9 @@
+"""Benchmark T5 — combined power + layout budget grid."""
+
+from repro.experiments import t5_combined
+
+
+def test_bench_table5_combined(once):
+    result = once(t5_combined.run)
+    assert result.experiment_id == "T5"
+    assert any("combined >=" in c for c in result.checks)

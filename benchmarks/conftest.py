@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every benchmark wraps one experiment harness (T1..T5, F1..F4). The
+experiments are exact-solver sweeps, so most run with a single round via
+``benchmark.pedantic`` — the interesting number is the one-shot wall time
+(the paper reports lp_solve CPU seconds the same way), not a statistical
+distribution over thousands of calls.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

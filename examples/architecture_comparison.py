@@ -1,0 +1,60 @@
+"""Compare test access architecture styles on the d695 benchmark.
+
+Run with::
+
+    python examples/architecture_comparison.py
+
+Pits the paper's test-bus architecture against the other classic access
+styles (multiplexed, daisy-chain, distribution) at equal pin budgets on the
+d695 benchmark SOC, then breaks down the winning design's resource usage —
+testing time, ATE vector memory, TAM utilization, and wrapper hardware cost.
+"""
+
+from repro import DesignProblem, TamArchitecture, design
+from repro.soc import build_d695
+from repro.tam import (
+    ate_vector_memory,
+    compare_architectures,
+    distribution_allocation,
+    soc_test_data_volume,
+    tam_utilization,
+)
+from repro.wrapper.overhead import soc_wrapper_overhead
+
+def main() -> None:
+    soc = build_d695()
+    print(soc.describe())
+    print(f"\ntotal test data volume: {soc_test_data_volume(soc):,} bits\n")
+
+    print(f"{'W':>4} | {'multiplexed':>11} | {'daisychain':>10} | "
+          f"{'distribution':>12} | {'test bus':>8} | winner")
+    for width in (16, 24, 32, 48, 64):
+        comparison = compare_architectures(soc, width, num_buses=3)
+        dist = f"{comparison.distribution}" if comparison.distribution is not None else "-"
+        print(f"{width:>4} | {comparison.multiplexed:>11} | {comparison.daisychain:>10} | "
+              f"{dist:>12} | {comparison.test_bus:>8.0f} | {comparison.best_style()}")
+
+    # Drill into the 32-wire test-bus design.
+    print("\n--- 32-wire test-bus design in detail " + "-" * 30)
+    problem = DesignProblem(soc=soc, arch=TamArchitecture([16, 8, 8]), timing="flexible")
+    result = design(problem)
+    print(result.describe())
+
+    utilization = tam_utilization(soc, result.assignment, problem.timing)
+    print(f"\n{utilization}")
+    print(f"ATE vector memory: {ate_vector_memory(result.assignment, problem.timing):,.0f} bits")
+
+    allocation = distribution_allocation(soc, 32)
+    print("\ndistribution allocation at the same budget:")
+    for core, width in zip(soc.cores, allocation.widths):
+        print(f"  {core.name:>8}: {width:>2} private wires")
+    print(f"  -> makespan {allocation.makespan} cycles "
+          f"(vs {result.makespan:.0f} for the 3-bus design)")
+
+    overhead = soc_wrapper_overhead(soc)
+    print(f"\nwrapper hardware: {overhead.total_ge:,} gate equivalents "
+          f"({overhead.area_fraction:.1%} of the SOC's logic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Layout-aware TAM design: trading testing time for routable TAM wiring.
+
+Run with::
+
+    python examples/layout_aware_design.py
+
+Scenario: the unconstrained optimum happily chains cores from opposite die
+corners onto one bus, producing TAM routes that congest the design. The
+place-and-route constraint family forbids distant cores from sharing a bus.
+This script places S1 (deterministic grid placement and a simulated-
+annealing placement), tightens the distance budget step by step, and prints
+the wirelength/testing-time tradeoff plus its Pareto frontier.
+"""
+
+from repro import DesignProblem, TamArchitecture, build_s1, design, grid_place, anneal_place
+from repro.core import distance_budget_sweep
+from repro.core.pareto import pareto_front
+from repro.layout import tam_wirelength
+
+def main() -> None:
+    soc = build_s1()
+    arch = TamArchitecture([16, 16, 16])
+
+    for label, floorplan in (
+        ("grid", grid_place(soc)),
+        ("simulated annealing", anneal_place(soc, seed=11, iterations=400)),
+    ):
+        print(f"--- {label} floorplan " + "-" * 40)
+        print(floorplan.describe())
+        print()
+
+        sweep = distance_budget_sweep(soc, arch, floorplan, timing="serial")
+        print(f"{'delta (mm)':>10} | {'T* (cycles)':>11} | {'WL (wire-mm)':>12} | detail")
+        for point in sweep:
+            time_text = f"{point.makespan:.0f}" if point.feasible else "-"
+            wl_text = f"{point.wirelength:.1f}" if point.wirelength is not None else "-"
+            print(f"{point.budget:10.2f} | {time_text:>11} | {wl_text:>12} | {point.detail}")
+
+        front = pareto_front(sweep)
+        print("\nPareto frontier (testing time vs routing cost):")
+        for point in sorted(front, key=lambda p: p.makespan):
+            print(f"  {point.makespan:.0f} cycles at {point.wirelength:.1f} wire-mm")
+        print()
+
+    # Show one concrete constrained design with its routes.
+    floorplan = grid_place(soc)
+    problem = DesignProblem(
+        soc=soc, arch=arch, timing="serial",
+        floorplan=floorplan, max_pair_distance=5.0,
+    )
+    result = design(problem)
+    print("design at delta = 5.0 mm:")
+    print(result.describe())
+    print("per-bus route lengths (chain estimator, raw mm):")
+    for bus in range(arch.num_buses):
+        members = result.assignment.cores_on_bus(bus)
+        names = ", ".join(soc.cores[i].name for i in members) or "(empty)"
+        from repro.layout import bus_wirelength
+
+        length = bus_wirelength(floorplan, members) if members else 0.0
+        print(f"  bus {bus}: {length:6.2f} mm  [{names}]")
+    print(f"total width-weighted: {tam_wirelength(floorplan, result.assignment):.1f} wire-mm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Pin budget planning: how many TAM wires does a test-time target need?
+
+Run with::
+
+    python examples/pin_budget_planning.py
+
+The planning conversation the dual formulation answers: marketing fixed the
+test cost ceiling (tester seconds -> cycle budget), how many chip pins must
+the TAM get? The script walks budgets from loose to tight, reports the
+minimum width and the architecture that achieves it, and shows the knee
+where extra pins stop helping (so over-asking is provably wasted).
+"""
+
+from repro import build_s1, design_best_architecture, explore_bus_counts, minimize_width
+from repro.util.errors import InfeasibleError
+
+def main() -> None:
+    soc = build_s1()
+    num_buses = 3
+    print(f"planning for {soc.name} over {num_buses} test buses (serial timing)\n")
+
+    # What's even achievable? The saturation point of the width curve.
+    saturated = design_best_architecture(
+        soc, 64, num_buses, timing="serial", clamp_useless_width=True, backend="scipy"
+    )
+    floor = saturated.best_makespan
+    print(f"fastest achievable testing time at any width: {floor:.0f} cycles\n")
+
+    print(f"{'time budget':>12} | {'min W':>5} | {'architecture':>14} | {'T* (cycles)':>11}")
+    for factor in (3.0, 2.0, 1.5, 1.2, 1.0):
+        budget = floor * factor
+        try:
+            plan = minimize_width(
+                soc, num_buses, budget, timing="serial", max_width=64, backend="scipy"
+            )
+        except InfeasibleError:
+            print(f"{budget:>12.0f} | {'-':>5} | {'unreachable':>14} |")
+            continue
+        print(f"{budget:>12.0f} | {plan.min_width:>5} | "
+              f"{str(plan.design.arch):>14} | {plan.design.makespan:>11.0f}")
+
+    print("\nand if the bus count itself is negotiable (W = 32):")
+    for point in explore_bus_counts(soc, 32, 5, timing="serial", backend="scipy"):
+        widths = "+".join(str(w) for w in point.arch_widths) if point.arch_widths else "-"
+        time = f"{point.makespan:.0f}" if point.makespan is not None else "infeasible"
+        print(f"  NB={point.num_buses}: {time:>10} cycles  (widths {widths})")
+
+
+if __name__ == "__main__":
+    main()

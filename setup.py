@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP 517 editable installs (which build an editable wheel) fail.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (or
+plain ``pip install -e .`` on older pips) take the classic ``setup.py
+develop`` path. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""repro — SOC test access architecture design under place-and-route and power constraints.
+
+A from-scratch reproduction of K. Chakrabarty, *"Design of system-on-a-chip
+test access architectures under place-and-route and power constraints"*,
+Proc. ACM/IEEE Design Automation Conference (DAC), 2000, pp. 432-437.
+
+Quickstart::
+
+    from repro import build_s1, TamArchitecture, DesignProblem, design
+
+    soc = build_s1()
+    problem = DesignProblem(soc=soc, arch=TamArchitecture([16, 16, 32]),
+                            timing="serial", power_budget=150.0)
+    result = design(problem)
+    print(result.describe())
+
+Layering (see DESIGN.md):
+
+- :mod:`repro.ilp` — from-scratch MILP substrate (simplex + branch & bound);
+- :mod:`repro.soc` — core/SOC data model, ISCAS catalog, benchmark systems;
+- :mod:`repro.wrapper` — width-dependent test-time curves;
+- :mod:`repro.tam` — bus architectures, timing models, assignments;
+- :mod:`repro.power` — power compatibility analysis and profiles;
+- :mod:`repro.layout` — floorplans, placers, wirelength, distance constraints;
+- :mod:`repro.core` — the paper's constrained ILP design flow;
+- :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+from repro.core import (
+    DesignProblem,
+    TamDesign,
+    build_assignment_ilp,
+    build_schedule,
+    design,
+    design_best_architecture,
+    lpt_assignment,
+    local_search,
+    random_assignment,
+    run_all_baselines,
+    simulated_annealing,
+    width_sweep,
+    power_budget_sweep,
+    distance_budget_sweep,
+    pareto_front,
+    minimize_width,
+    explore_bus_counts,
+    schedule_with_power_cap,
+    design_report,
+)
+from repro.layout import Floorplan, anneal_place, grid_place, tam_wirelength
+from repro.soc import (
+    Core,
+    Soc,
+    build_s1,
+    build_s2,
+    build_s3,
+    build_soc,
+    build_d695,
+    generate_synthetic_soc,
+    load_soc,
+    save_soc,
+)
+from repro.tam import Assignment, TamArchitecture, exhaustive_optimal, make_timing_model
+from repro.util.errors import InfeasibleError, ReproError, SolverError, ValidationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignProblem",
+    "TamDesign",
+    "build_assignment_ilp",
+    "build_schedule",
+    "design",
+    "design_best_architecture",
+    "lpt_assignment",
+    "local_search",
+    "random_assignment",
+    "run_all_baselines",
+    "simulated_annealing",
+    "width_sweep",
+    "power_budget_sweep",
+    "distance_budget_sweep",
+    "pareto_front",
+    "minimize_width",
+    "explore_bus_counts",
+    "schedule_with_power_cap",
+    "design_report",
+    "Floorplan",
+    "anneal_place",
+    "grid_place",
+    "tam_wirelength",
+    "Core",
+    "Soc",
+    "build_s1",
+    "build_s2",
+    "build_s3",
+    "build_soc",
+    "build_d695",
+    "generate_synthetic_soc",
+    "load_soc",
+    "save_soc",
+    "Assignment",
+    "TamArchitecture",
+    "exhaustive_optimal",
+    "make_timing_model",
+    "InfeasibleError",
+    "ReproError",
+    "SolverError",
+    "ValidationError",
+    "__version__",
+]

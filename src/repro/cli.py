@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``describe`` — print an SOC's inventory (builtin name or ``.soc`` file);
+- ``design`` — solve one constrained instance and print the full report;
+- ``sweep`` — find the best width distribution for a (W, NB) pin budget;
+- ``minwidth`` — smallest TAM width meeting a testing-time budget;
+- ``buscount`` — testing time per bus count at a fixed total width;
+- ``experiments`` — run the evaluation harnesses (same as
+  ``python -m repro.experiments``).
+
+The SOC argument accepts the builtin names ``S1``/``S2``/``S3``,
+``SYN<n>[:seed]`` for a synthetic system, or a path to a ``.soc`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    DesignProblem,
+    design,
+    design_best_architecture,
+    explore_bus_counts,
+    minimize_width,
+)
+from repro.core.report import design_report
+from repro.layout import grid_place
+from repro.soc import build_d695, build_s1, build_s2, build_s3, generate_synthetic_soc, load_soc
+from repro.soc.system import Soc
+from repro.tam import TamArchitecture
+from repro.util.errors import ReproError
+from repro.util.tables import format_table
+
+
+def resolve_soc(spec: str) -> Soc:
+    """Turn an SOC spec string into a system (builtin / synthetic / file)."""
+    builtin = {"S1": build_s1, "S2": build_s2, "S3": build_s3, "D695": build_d695}
+    if spec.upper() in builtin:
+        return builtin[spec.upper()]()
+    if spec.upper().startswith("SYN"):
+        body = spec[3:]
+        count, _, seed = body.partition(":")
+        return generate_synthetic_soc(int(count), seed=int(seed) if seed else 0)
+    return load_soc(spec)
+
+
+def _parse_widths(text: str) -> TamArchitecture:
+    return TamArchitecture([int(w) for w in text.split(",") if w.strip()])
+
+
+def _add_common_constraints(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timing", default="serial", choices=["fixed", "serial", "flexible"],
+                        help="core-to-bus test time model (default: serial)")
+    parser.add_argument("--power-budget", type=float, default=None, metavar="MW",
+                        help="maximum concurrent-pair test power")
+    parser.add_argument("--max-distance", type=float, default=None, metavar="MM",
+                        help="layout budget: cores farther apart may not share a bus "
+                             "(uses the deterministic grid floorplan)")
+    parser.add_argument("--backend", default="bnb", choices=["bnb", "scipy"],
+                        help="exact solver backend (default: our branch & bound)")
+
+
+def _problem_from_args(soc: Soc, arch: TamArchitecture, args) -> DesignProblem:
+    floorplan = grid_place(soc) if args.max_distance is not None else None
+    return DesignProblem(
+        soc=soc,
+        arch=arch,
+        timing=args.timing,
+        power_budget=args.power_budget,
+        floorplan=floorplan,
+        max_pair_distance=args.max_distance,
+    )
+
+
+def cmd_describe(args) -> int:
+    soc = resolve_soc(args.soc)
+    print(soc.describe())
+    return 0
+
+
+def cmd_design(args) -> int:
+    soc = resolve_soc(args.soc)
+    problem = _problem_from_args(soc, _parse_widths(args.widths), args)
+    result = design(problem, backend=args.backend)
+    print(design_report(result))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    soc = resolve_soc(args.soc)
+    floorplan = grid_place(soc) if args.max_distance is not None else None
+    sweep = design_best_architecture(
+        soc,
+        args.total_width,
+        args.buses,
+        timing=args.timing,
+        power_budget=args.power_budget,
+        floorplan=floorplan,
+        max_pair_distance=args.max_distance,
+        backend=args.backend,
+    )
+    rows = [
+        ["+".join(str(w) for w in arch.widths), makespan]
+        for arch, makespan in sweep.per_architecture
+    ]
+    print(format_table(["widths", "T* (cycles)"], rows,
+                       title=f"{soc.name}: W={args.total_width} over {args.buses} buses"))
+    if sweep.best is None:
+        print("\nno feasible width distribution")
+        return 1
+    print(f"\nbest: {sweep.best.arch} at {sweep.best.makespan:.0f} cycles "
+          f"({sweep.evaluated} distributions, {sweep.infeasible} infeasible, "
+          f"{sweep.wall_time:.1f}s)")
+    print(design_report(sweep.best))
+    return 0
+
+
+def cmd_minwidth(args) -> int:
+    soc = resolve_soc(args.soc)
+    floorplan = grid_place(soc) if args.max_distance is not None else None
+    result = minimize_width(
+        soc,
+        args.buses,
+        args.time_budget,
+        timing=args.timing,
+        power_budget=args.power_budget,
+        floorplan=floorplan,
+        max_pair_distance=args.max_distance,
+        backend=args.backend,
+    )
+    print(result.describe())
+    print(format_table(
+        ["probed W", "T* (cycles)"],
+        [[w, t] for w, t in result.evaluated_widths],
+        title="binary search trace",
+    ))
+    return 0
+
+
+def cmd_buscount(args) -> int:
+    soc = resolve_soc(args.soc)
+    points = explore_bus_counts(
+        soc, args.total_width, args.max_buses,
+        timing=args.timing, power_budget=args.power_budget, backend=args.backend,
+    )
+    rows = [
+        [p.num_buses, p.makespan, "+".join(str(w) for w in p.arch_widths) if p.arch_widths else None]
+        for p in points
+    ]
+    print(format_table(["NB", "T* (cycles)", "best widths"], rows,
+                       title=f"{soc.name}: bus-count exploration at W={args.total_width}"))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main([args.id])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOC test access architecture design (Chakrabarty, DAC 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print an SOC inventory")
+    p.add_argument("soc", help="S1 | S2 | S3 | d695 | SYN<n>[:seed] | path/to/file.soc")
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("design", help="solve one instance and print the report")
+    p.add_argument("soc")
+    p.add_argument("--widths", required=True, metavar="W1,W2,...",
+                   help="bus widths, e.g. 16,16,32")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("sweep", help="best width distribution for a pin budget")
+    p.add_argument("soc")
+    p.add_argument("--total-width", type=int, required=True)
+    p.add_argument("--buses", type=int, required=True)
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("minwidth", help="smallest TAM width meeting a time budget")
+    p.add_argument("soc")
+    p.add_argument("--buses", type=int, required=True)
+    p.add_argument("--time-budget", type=float, required=True, metavar="CYCLES")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_minwidth)
+
+    p = sub.add_parser("buscount", help="testing time per bus count at fixed W")
+    p.add_argument("soc")
+    p.add_argument("--total-width", type=int, required=True)
+    p.add_argument("--max-buses", type=int, default=4)
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_buscount)
+
+    p = sub.add_parser("experiments", help="run evaluation harnesses (T1..T5, F1..F4, all)")
+    p.add_argument("id", nargs="?", default="all")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like cat does.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

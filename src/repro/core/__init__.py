@@ -1,0 +1,66 @@
+"""The paper's contribution: constrained test access architecture design.
+
+Pipeline:
+
+1. Describe the instance as a :class:`DesignProblem` — SOC, bus widths, a
+   timing model, and optional power budget / layout distance budget;
+2. :func:`build_assignment_ilp` encodes it exactly as the DAC 2000 ILP
+   (assignment binaries, makespan variable, power equalities, layout
+   conflict inequalities);
+3. :func:`design` solves it (our branch & bound or HiGHS) and returns a
+   certified :class:`TamDesign`;
+4. :func:`design_best_architecture` additionally sweeps the width
+   distributions of a total-TAM-width budget;
+5. :mod:`repro.core.baselines` supplies the heuristic comparators and
+   :mod:`repro.core.pareto` the sweep drivers behind the evaluation's
+   figures;
+6. :mod:`repro.core.scheduler` turns an assignment into a concrete test
+   schedule whose true power profile is verified against the budget.
+"""
+
+from repro.core.problem import DesignProblem
+from repro.core.formulation import build_assignment_ilp, IlpFormulation
+from repro.core.designer import design, design_best_architecture, TamDesign, ArchitectureSweepResult
+from repro.core.scheduler import TestSchedule, ScheduledTest, build_schedule
+from repro.core.baselines import (
+    BaselineResult,
+    lpt_assignment,
+    random_assignment,
+    local_search,
+    simulated_annealing,
+    run_all_baselines,
+)
+from repro.core.pareto import width_sweep, power_budget_sweep, distance_budget_sweep, pareto_front
+from repro.core.dual import minimize_width, explore_bus_counts, WidthMinimization, BusCountPoint
+from repro.core.power_schedule import schedule_with_power_cap, CappedScheduleResult
+from repro.core.report import design_report
+
+__all__ = [
+    "DesignProblem",
+    "build_assignment_ilp",
+    "IlpFormulation",
+    "design",
+    "design_best_architecture",
+    "TamDesign",
+    "ArchitectureSweepResult",
+    "TestSchedule",
+    "ScheduledTest",
+    "build_schedule",
+    "BaselineResult",
+    "lpt_assignment",
+    "random_assignment",
+    "local_search",
+    "simulated_annealing",
+    "run_all_baselines",
+    "width_sweep",
+    "power_budget_sweep",
+    "distance_budget_sweep",
+    "pareto_front",
+    "minimize_width",
+    "explore_bus_counts",
+    "WidthMinimization",
+    "BusCountPoint",
+    "schedule_with_power_cap",
+    "CappedScheduleResult",
+    "design_report",
+]

@@ -1,0 +1,252 @@
+"""End-to-end architecture design: solve instances, sweep width splits.
+
+:func:`design` solves one :class:`DesignProblem` to optimality and wraps the
+result as a :class:`TamDesign` — assignment, certified makespan, wirelength
+(when a floorplan is attached), and solver work counters.
+
+:func:`design_best_architecture` reproduces the paper's outer loop: given a
+total TAM width budget ``W`` and a bus count ``NB``, enumerate the width
+distributions (integer partitions of W into NB parts — buses are symmetric
+before assignment), solve each, and keep the best. Infeasible distributions
+are recorded, not ignored: the constrained experiments need to report how
+much of the design space a tight budget kills.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.formulation import build_assignment_ilp
+from repro.core.problem import DesignProblem
+from repro.ilp.solution import SolveStats, Status
+from repro.layout.floorplan import Floorplan
+from repro.layout.routing import tam_wirelength
+from repro.soc.system import Soc
+from repro.tam.architecture import TamArchitecture
+from repro.tam.assignment import Assignment
+from repro.tam.timing import TimingModel
+from repro.util.errors import InfeasibleError, SolverError
+
+
+@dataclass
+class TamDesign:
+    """An optimized test access architecture for one problem instance."""
+
+    problem: DesignProblem
+    assignment: Assignment
+    makespan: float
+    bus_times: list[float]
+    status: Status
+    stats: SolveStats
+    backend: str
+    wirelength: float | None = None
+
+    @property
+    def arch(self) -> TamArchitecture:
+        return self.problem.arch
+
+    @property
+    def is_proven_optimal(self) -> bool:
+        return self.status is Status.OPTIMAL
+
+    def describe(self) -> str:
+        lines = [
+            f"TAM design for {self.problem.soc.name} [{self.problem.constraint_summary()}]",
+            self.assignment.describe(self.problem.timing),
+        ]
+        if self.wirelength is not None:
+            lines.append(f"  TAM wirelength: {self.wirelength:.1f} wire-mm")
+        lines.append(
+            f"  solver: {self.backend}, status={self.status.value}, "
+            f"nodes={self.stats.nodes}, LPs={self.stats.lp_solves}, "
+            f"{self.stats.wall_time * 1000:.0f} ms"
+        )
+        return "\n".join(lines)
+
+
+def design(
+    problem: DesignProblem,
+    backend: str = "bnb",
+    wirelength_method: str = "chain",
+    warm_start_heuristic: bool = False,
+    **solver_options,
+) -> TamDesign:
+    """Solve ``problem`` to proven optimality.
+
+    Raises :class:`InfeasibleError` when the constraints admit no assignment
+    and :class:`SolverError` if the backend stops without a proof (node or
+    time limit) — callers doing sweeps catch the former to record the
+    infeasible region.
+
+    ``warm_start_heuristic`` feeds the LPT greedy solution to the branch &
+    bound as its initial incumbent (bnb backend only): the optimum is
+    unchanged, pruning just starts earlier.
+    """
+    contradictions = problem.contradictions()
+    if contradictions:
+        names = problem.soc.core_names
+        listed = ", ".join(f"({names[a]}, {names[b]})" for a, b in contradictions[:4])
+        raise InfeasibleError(
+            f"power budget forces and layout budget forbids the same pair(s): {listed}",
+            reason="forced/forbidden contradiction",
+        )
+
+    formulation = build_assignment_ilp(problem)
+    if backend == "bnb" and "gap_tol" not in solver_options:
+        # Test times are integral cycle counts: stop once the bound is
+        # within one cycle of the incumbent.
+        solver_options["gap_tol"] = 1.0 - 1e-6
+    if warm_start_heuristic and backend == "bnb" and "warm_start" not in solver_options:
+        from repro.core.baselines import lpt_assignment
+
+        try:
+            baseline = lpt_assignment(problem)
+        except InfeasibleError:
+            pass  # greedy failed; B&B starts cold and still proves the answer
+        else:
+            values = {
+                var: 1.0 if baseline.assignment.bus_of[i] == j else 0.0
+                for (i, j), var in formulation.x.items()
+            }
+            values[formulation.makespan_var] = baseline.makespan
+            solver_options["warm_start"] = values
+    solution = formulation.model.solve(backend=backend, **solver_options)
+
+    if solution.status is Status.INFEASIBLE:
+        raise InfeasibleError(
+            f"no feasible assignment for {problem.constraint_summary()}",
+            reason="ILP infeasible",
+        )
+    if not solution.is_feasible:
+        raise SolverError(
+            f"backend {backend!r} stopped with status {solution.status.value} "
+            f"after {solution.stats.nodes} nodes"
+        )
+
+    assignment = formulation.decode(solution)
+    violations = problem.validate(assignment)
+    if violations:
+        raise SolverError(
+            "solver returned an assignment violating the problem constraints: "
+            + "; ".join(violations)
+        )
+    bus_times = assignment.bus_times(problem.timing)
+    makespan = max(bus_times)
+    wirelength = None
+    if problem.floorplan is not None:
+        wirelength = tam_wirelength(problem.floorplan, assignment, method=wirelength_method)
+    return TamDesign(
+        problem=problem,
+        assignment=assignment,
+        makespan=makespan,
+        bus_times=bus_times,
+        status=solution.status,
+        stats=solution.stats,
+        backend=solution.backend,
+        wirelength=wirelength,
+    )
+
+
+@dataclass
+class ArchitectureSweepResult:
+    """Outcome of sweeping width distributions for one (W, NB) budget.
+
+    ``pruned`` counts distributions skipped because a cheap certified lower
+    bound already matched or exceeded the incumbent best — they cannot
+    improve the sweep and are not solved.
+    """
+
+    soc_name: str
+    total_width: int
+    num_buses: int
+    best: TamDesign | None
+    per_architecture: list[tuple[TamArchitecture, float | None]] = field(default_factory=list)
+    evaluated: int = 0
+    infeasible: int = 0
+    pruned: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def best_makespan(self) -> float:
+        return self.best.makespan if self.best else math.inf
+
+
+def design_best_architecture(
+    soc: Soc,
+    total_width: int,
+    num_buses: int,
+    timing: TimingModel | str = "fixed",
+    power_budget: float | None = None,
+    floorplan: Floorplan | None = None,
+    max_pair_distance: float | None = None,
+    backend: str = "bnb",
+    clamp_useless_width: bool = False,
+    **solver_options,
+) -> ArchitectureSweepResult:
+    """Optimal width distribution + assignment for a total width budget.
+
+    Enumerates integer partitions of ``total_width`` into ``num_buses``
+    positive parts (symmetric permutations deduplicated), solves each to
+    optimality, and returns the best design along with the full sweep trace.
+
+    With ``clamp_useless_width`` the enumeration caps each bus at the timing
+    model's :meth:`~repro.tam.timing.TimingModel.max_useful_bus_width` and
+    shrinks the budget to ``num_buses x cap`` when it exceeds it — wider
+    buses cannot improve any core, so the clamped sweep reaches the same
+    optimum over a far smaller space (used by the dual width-minimization
+    search, where budgets can be large).
+    """
+    from repro.tam.timing import make_timing_model
+
+    start = time.perf_counter()
+    result = ArchitectureSweepResult(soc.name, total_width, num_buses, best=None)
+    max_bus_width = None
+    if clamp_useless_width:
+        timing_model = make_timing_model(timing) if isinstance(timing, str) else timing
+        max_bus_width = timing_model.max_useful_bus_width(soc)
+        total_width = min(total_width, num_buses * max_bus_width)
+        timing = timing_model
+    for arch in TamArchitecture.enumerate_distributions(
+        total_width, num_buses, max_bus_width=max_bus_width
+    ):
+        problem = DesignProblem(
+            soc=soc,
+            arch=arch,
+            timing=timing,
+            power_budget=power_budget,
+            floorplan=floorplan,
+            max_pair_distance=max_pair_distance,
+        )
+        # Certified lower bounds that hold under any constraint set: the
+        # slowest core on its fastest bus, and total work spread perfectly
+        # over the buses. An infinite bound means some core fits no bus
+        # (provably infeasible, recorded without solving); a finite bound
+        # matching the incumbent cannot strictly improve the sweep.
+        per_core_best = np.min(problem.times, axis=1)
+        if not np.isfinite(per_core_best).all():
+            result.evaluated += 1
+            result.infeasible += 1
+            result.per_architecture.append((arch, None))
+            continue
+        if result.best is not None:
+            singleton_bound = float(np.max(per_core_best))
+            work_bound = float(np.sum(per_core_best)) / num_buses
+            if max(singleton_bound, work_bound) >= result.best.makespan - 1e-9:
+                result.pruned += 1
+                continue
+        result.evaluated += 1
+        try:
+            candidate = design(problem, backend=backend, **solver_options)
+        except InfeasibleError:
+            result.infeasible += 1
+            result.per_architecture.append((arch, None))
+            continue
+        result.per_architecture.append((arch, candidate.makespan))
+        if result.best is None or candidate.makespan < result.best.makespan:
+            result.best = candidate
+    result.wall_time = time.perf_counter() - start
+    return result

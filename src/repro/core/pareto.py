@@ -1,0 +1,170 @@
+"""Tradeoff sweeps behind the evaluation's figures.
+
+Each sweep drives the exact designer across one budget axis and returns
+plain row records ready for tabulation:
+
+- :func:`width_sweep` — testing time vs total TAM width (figure F1);
+- :func:`power_budget_sweep` — testing time vs ``P_max`` (figure F2);
+- :func:`distance_budget_sweep` — testing time and TAM wirelength vs the
+  layout budget ``delta`` (figure F3), including the Pareto frontier.
+
+Infeasible budget points are kept in the output with ``makespan=None`` so
+the harness can report where the feasible region ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.designer import design, design_best_architecture
+from repro.core.problem import DesignProblem
+from repro.layout.constraints import distance_sweep_points
+from repro.layout.floorplan import Floorplan
+from repro.power.model import budget_sweep_points
+from repro.soc.system import Soc
+from repro.tam.architecture import TamArchitecture
+from repro.tam.timing import TimingModel
+from repro.util.errors import InfeasibleError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample. ``budget`` is W, P_max, or delta depending on axis."""
+
+    budget: float
+    makespan: float | None
+    wirelength: float | None = None
+    detail: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.makespan is not None
+
+
+def width_sweep(
+    soc: Soc,
+    num_buses: int,
+    total_widths: list[int],
+    timing: TimingModel | str = "serial",
+    backend: str = "bnb",
+) -> list[SweepPoint]:
+    """Best achievable testing time for each total TAM width budget.
+
+    Uses the full width-distribution enumeration per budget, so each point
+    is the true optimum for (W, NB).
+    """
+    points = []
+    for width in total_widths:
+        if width < num_buses:
+            points.append(SweepPoint(width, None, detail="W < NB"))
+            continue
+        sweep = design_best_architecture(
+            soc, width, num_buses, timing=timing, backend=backend
+        )
+        if sweep.best is None:
+            points.append(SweepPoint(width, None, detail="all distributions infeasible"))
+        else:
+            points.append(
+                SweepPoint(width, sweep.best_makespan, detail=str(sweep.best.arch))
+            )
+    return points
+
+
+def power_budget_sweep(
+    soc: Soc,
+    arch: TamArchitecture,
+    timing: TimingModel | str = "fixed",
+    budgets: list[float] | None = None,
+    backend: str = "bnb",
+) -> list[SweepPoint]:
+    """Optimal testing time as the power budget tightens.
+
+    Defaults to sweeping exactly the budgets where the conflict-pair set
+    changes (plus the unconstrained endpoint), tracing the full staircase.
+    """
+    if budgets is None:
+        budgets = budget_sweep_points(soc)
+        top = budgets[-1] if budgets else 0.0
+        budgets = budgets + [top * 1.1 + 1.0]
+    points = []
+    for budget in sorted(budgets):
+        problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
+        try:
+            result = design(problem, backend=backend)
+        except InfeasibleError as exc:
+            points.append(SweepPoint(budget, None, detail=str(exc.reason or "infeasible")))
+            continue
+        points.append(
+            SweepPoint(
+                budget,
+                result.makespan,
+                detail=f"{len(problem.forced_pairs)} forced pairs",
+            )
+        )
+    return points
+
+
+def distance_budget_sweep(
+    soc: Soc,
+    arch: TamArchitecture,
+    floorplan: Floorplan,
+    timing: TimingModel | str = "fixed",
+    deltas: list[float] | None = None,
+    backend: str = "bnb",
+    wirelength_method: str = "chain",
+) -> list[SweepPoint]:
+    """Testing time and TAM wirelength as the layout budget tightens.
+
+    Defaults to the floorplan's own distance change points (descending).
+    Returned wirelength is the width-weighted routing cost of the optimal
+    design at each budget.
+    """
+    if deltas is None:
+        sweep = distance_sweep_points(floorplan)
+        top = floorplan.spread()
+        deltas = [top * 1.01] + sweep
+    points = []
+    for delta in deltas:
+        problem = DesignProblem(
+            soc=soc,
+            arch=arch,
+            timing=timing,
+            floorplan=floorplan,
+            max_pair_distance=delta,
+        )
+        try:
+            result = design(problem, backend=backend, wirelength_method=wirelength_method)
+        except InfeasibleError as exc:
+            points.append(SweepPoint(delta, None, detail=str(exc.reason or "infeasible")))
+            continue
+        points.append(
+            SweepPoint(
+                delta,
+                result.makespan,
+                wirelength=result.wirelength,
+                detail=f"{len(problem.forbidden_pairs)} forbidden pairs",
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Non-dominated (makespan, wirelength) subset of a distance sweep.
+
+    A point dominates another if it is no worse on both axes and strictly
+    better on one. Returned sorted by makespan ascending.
+    """
+    feasible = [p for p in points if p.feasible and p.wirelength is not None]
+    front = []
+    for p in feasible:
+        dominated = any(
+            (q.makespan <= p.makespan and q.wirelength <= p.wirelength)
+            and (q.makespan < p.makespan or q.wirelength < p.wirelength)
+            for q in feasible
+        )
+        if not dominated:
+            front.append(p)
+    unique = {}
+    for p in sorted(front, key=lambda q: (q.makespan, q.wirelength)):
+        unique.setdefault((p.makespan, p.wirelength), p)
+    return list(unique.values())

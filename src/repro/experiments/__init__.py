@@ -1,0 +1,66 @@
+"""Experiment harnesses regenerating every table and figure.
+
+Each module exposes ``run(**options) -> ExperimentResult``; results carry
+rendered ASCII tables plus self-checked *shape assertions* — the qualitative
+claims the DAC 2000 paper makes (optimality dominance, monotone budget
+staircases, wirelength/time tradeoff direction). A failed shape assertion
+raises, so the benchmark wrappers double as integration tests.
+
+Run from the command line::
+
+    python -m repro.experiments T2       # one experiment
+    python -m repro.experiments all      # the full evaluation
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    e1_power_cap,
+    e2_bus_count,
+    e3_min_width,
+    e4_architectures,
+    e5_resources,
+    t1_composition,
+    t2_unconstrained,
+    t3_power,
+    t4_layout,
+    t5_combined,
+    f1_width,
+    f2_power_curve,
+    f3_tradeoff,
+    f4_scaling,
+)
+
+#: Experiment id -> module with a ``run`` callable. T/F ids reproduce the
+#: paper's tables/figures; E ids are this library's extensions.
+REGISTRY = {
+    "E1": e1_power_cap,
+    "E2": e2_bus_count,
+    "E3": e3_min_width,
+    "E4": e4_architectures,
+    "E5": e5_resources,
+    "T1": t1_composition,
+    "T2": t2_unconstrained,
+    "T3": t3_power,
+    "T4": t4_layout,
+    "T5": t5_combined,
+    "F1": f1_width,
+    "F2": f2_power_curve,
+    "F3": f3_tradeoff,
+    "F4": f4_scaling,
+}
+
+
+def run_experiment(experiment_id: str, **options) -> ExperimentResult:
+    """Run one experiment by id (T1..T5, F1..F4)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise KeyError(f"unknown experiment {experiment_id!r}; have {sorted(REGISTRY)}")
+    return REGISTRY[key].run(**options)
+
+
+def run_all(**options) -> list[ExperimentResult]:
+    """Run the entire evaluation in order."""
+    return [REGISTRY[key].run(**options) for key in sorted(REGISTRY)]
+
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment", "run_all"]

@@ -1,0 +1,27 @@
+"""Command-line entry point: ``python -m repro.experiments [ID|all]``."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import REGISTRY, run_all, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    target = argv[0] if argv else "all"
+    start = time.perf_counter()
+    if target.lower() == "all":
+        results = run_all()
+    else:
+        results = [run_experiment(target)]
+    for result in results:
+        print(result.render())
+        print()
+    elapsed = time.perf_counter() - start
+    print(f"[{len(results)} experiment(s), {elapsed:.1f}s total; ids: {', '.join(sorted(REGISTRY))}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,59 @@
+"""Shared result type for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Tables plus free-form notes for one table/figure reproduction.
+
+    ``checks`` records the shape assertions that were verified while the
+    experiment ran (they raise on failure, so their presence in a result
+    certifies they passed).
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_chart(self, chart: str) -> None:
+        """Attach an ASCII chart (rendered after the tables)."""
+        self.charts.append(chart)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def check(self, condition: bool, description: str) -> None:
+        """Assert a qualitative claim of the paper; record it when it holds."""
+        if not condition:
+            raise AssertionError(
+                f"[{self.experiment_id}] shape assertion failed: {description}"
+            )
+        self.checks.append(description)
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        for chart in self.charts:
+            lines.append("")
+            lines.append(chart)
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        if self.checks:
+            lines.append("")
+            lines.extend(f"check passed: {check}" for check in self.checks)
+        return "\n".join(lines)

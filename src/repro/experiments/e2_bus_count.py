@@ -1,0 +1,62 @@
+"""E2 (extension) — the bus-count knee.
+
+At a fixed pin budget, more buses buy concurrency but starve each bus of
+wires. This extension sweeps NB at fixed W with the exact designer and
+shows the non-monotone knee (the reason the paper treats the architecture,
+not just the assignment, as the design variable).
+
+Shape claims: one bus equals full serialization; some intermediate count is
+optimal; at W < NB the point is infeasible.
+"""
+
+from __future__ import annotations
+
+from repro.core import explore_bus_counts
+from repro.experiments.base import ExperimentResult
+from repro.soc import build_d695, build_s1
+from repro.tam import make_timing_model
+from repro.util.tables import Table
+
+
+def run(socs=None, total_width: int = 32, max_buses: int = 5, timing: str = "serial",
+        backend: str = "scipy") -> ExperimentResult:
+    # Default backend is HiGHS: this sweep solves hundreds of ILPs and the
+    # bnb/scipy equivalence is continuously asserted by the test suite.
+    result = ExperimentResult("E2", "Extension: testing time vs bus count at fixed W")
+    timing_model = make_timing_model(timing) if isinstance(timing, str) else timing
+    for soc in socs or (build_s1(), build_d695()):
+        points = explore_bus_counts(
+            soc, total_width, max_buses, timing=timing_model, backend=backend
+        )
+        table = result.add_table(
+            Table(
+                ["NB", "T* (cycles)", "best widths"],
+                title=f"{soc.name}: bus-count exploration at W={total_width} ({timing} timing)",
+            )
+        )
+        for point in points:
+            table.add_row(
+                [
+                    point.num_buses,
+                    point.makespan,
+                    "+".join(str(w) for w in point.arch_widths) if point.arch_widths else None,
+                ]
+            )
+        serial_total = sum(
+            timing_model.time_on_bus(core, total_width) for core in soc
+        )
+        result.check(
+            points[0].makespan is not None
+            and abs(points[0].makespan - serial_total) < 1e-6,
+            f"{soc.name}: NB=1 equals full serialization ({serial_total:.0f} cycles)",
+        )
+        feasible = [p.makespan for p in points if p.makespan is not None]
+        best = min(feasible)
+        best_nb = next(p.num_buses for p in points if p.makespan == best)
+        result.check(best_nb > 1, f"{soc.name}: concurrency helps (knee at NB={best_nb})")
+        result.note(f"{soc.name}: best bus count at W={total_width} is NB={best_nb}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,84 @@
+"""E4 (extension) — access architecture styles compared.
+
+Reproduces the classic multiplexed / daisy-chain / distribution / test-bus
+comparison (Aerts & Marinissen, ITC'98) over this library's wrapper
+substrate, with the paper's test-bus architecture solved exactly. One pin
+budget per row; all styles share the flexible wrapper model.
+
+Shape claims: multiplexed and distribution times are non-increasing in W;
+daisy-chain always pays its bypass overhead over multiplexed; distribution
+is infeasible below one wire per core and *wins or ties at generous
+budgets* while the bus styles win at starved budgets — the crossover the
+literature reports.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.soc import build_d695, build_s1
+from repro.tam import compare_architectures
+from repro.util.tables import Table
+
+DEFAULT_WIDTHS = (8, 16, 24, 32, 48)
+
+
+def run(socs=None, total_widths=DEFAULT_WIDTHS, num_buses: int = 3,
+        backend: str = "scipy") -> ExperimentResult:
+    result = ExperimentResult("E4", "Extension: access architecture styles at equal pin budgets")
+    for soc in socs or (build_s1(), build_d695()):
+        table = result.add_table(
+            Table(
+                ["W", "multiplexed", "daisychain", "distribution", "test bus", "winner"],
+                title=f"{soc.name}: testing time (cycles) per architecture style "
+                      f"(flexible wrappers, {num_buses}-bus test bus)",
+            )
+        )
+        prev_mux = prev_dist = None
+        saw_distribution_win = False
+        saw_bus_win = False
+        for width in total_widths:
+            comparison = compare_architectures(soc, width, num_buses=num_buses, backend=backend)
+            winner = comparison.best_style()
+            saw_distribution_win |= winner == "distribution"
+            saw_bus_win |= winner == "test_bus"
+            result.check(
+                comparison.daisychain >= comparison.multiplexed,
+                f"{soc.name} W={width}: daisy-chain pays bypass overhead",
+            )
+            if prev_mux is not None:
+                result.check(
+                    comparison.multiplexed <= prev_mux + 1e-9,
+                    f"{soc.name} W={width}: multiplexed non-increasing in W",
+                )
+            if prev_dist is not None and comparison.distribution is not None:
+                result.check(
+                    comparison.distribution <= prev_dist + 1e-9,
+                    f"{soc.name} W={width}: distribution non-increasing in W",
+                )
+            prev_mux = comparison.multiplexed
+            if comparison.distribution is not None:
+                prev_dist = comparison.distribution
+            table.add_row(
+                [
+                    width,
+                    comparison.multiplexed,
+                    comparison.daisychain,
+                    comparison.distribution,
+                    comparison.test_bus,
+                    winner,
+                ]
+            )
+        result.check(
+            saw_bus_win or saw_distribution_win,
+            f"{soc.name}: a partitioned style (bus or distribution) wins somewhere",
+        )
+        result.note(
+            f"{soc.name}: shared-medium styles (multiplexed/daisy-chain) lose to "
+            "partitioned styles once the budget affords concurrency — the paper's "
+            "motivation for the test-bus architecture."
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,68 @@
+"""F2 — testing time vs power budget (the power staircase).
+
+The figure form of T3: the full staircase of optimal testing time as
+``P_max`` sweeps the conflict change points, for two bus architectures side
+by side. Shape claims: each series is non-increasing in the budget; the
+narrower architecture is never faster than the wider one at equal budget;
+both saturate at their unconstrained optima.
+"""
+
+from __future__ import annotations
+
+from repro.core import power_budget_sweep
+from repro.experiments.base import ExperimentResult
+from repro.soc import build_s1
+from repro.tam import TamArchitecture
+from repro.util.tables import Table
+
+
+def run(soc=None, archs=None, timing: str = "serial", backend: str = "bnb") -> ExperimentResult:
+    soc = soc or build_s1()
+    archs = archs or (TamArchitecture([16, 16]), TamArchitecture([16, 16, 16]))
+    result = ExperimentResult("F2", "Testing time vs power budget staircase")
+    sweeps = [power_budget_sweep(soc, arch, timing=timing, backend=backend) for arch in archs]
+    budgets = [p.budget for p in sweeps[0]]
+    table = result.add_table(
+        Table(
+            ["P_max (mW)"] + [f"{arch} T*" for arch in archs],
+            title=f"{soc.name}: power staircase ({timing} timing)",
+        )
+    )
+    for idx, budget in enumerate(budgets):
+        table.add_row([round(budget, 1)] + [sweep[idx].makespan for sweep in sweeps])
+
+    from repro.util.plots import ascii_chart, staircase
+
+    chart_series = {
+        str(arch): staircase([(p.budget, p.makespan) for p in sweep if p.feasible])
+        for arch, sweep in zip(archs, sweeps)
+    }
+    result.add_chart(
+        ascii_chart(chart_series, x_label="P_max (mW)", y_label="T* (cycles)")
+    )
+
+    for arch, sweep in zip(archs, sweeps):
+        values = [p.makespan for p in sweep if p.feasible]
+        result.check(values != [], f"{arch}: some budget is feasible")
+        result.check(
+            all(a >= b - 1e-6 for a, b in zip(values, values[1:])),
+            f"{arch}: staircase non-increasing in budget",
+        )
+    # Wider architecture dominates at every budget where both are feasible.
+    small, large = sweeps[0], sweeps[-1]
+    for p_small, p_large in zip(small, large):
+        if p_small.feasible and p_large.feasible:
+            result.check(
+                p_large.makespan <= p_small.makespan + 1e-6,
+                f"P_max={p_small.budget:.1f}: more buses never hurt (same widths each)",
+            )
+    tight = [p for p in large if p.feasible]
+    result.check(
+        tight[0].makespan >= tight[-1].makespan,
+        "tightest feasible budget is the slowest point of the staircase",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

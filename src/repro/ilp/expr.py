@@ -1,0 +1,278 @@
+"""Linear expressions over decision variables.
+
+The expression layer lets formulation code read like the math in the paper:
+
+    m.add_constr(quicksum(x[i, j] for j in buses) == 1)
+    m.add_constr(T >= quicksum(t[i][j] * x[i, j] for i in cores))
+
+Expressions are immutable-by-convention dictionaries mapping variables to
+coefficients plus a constant term. Comparisons build :class:`Constraint`
+objects; they never evaluate truthiness (attempting ``bool()`` on a
+constraint raises, which catches the classic ``if x <= y:`` formulation bug).
+"""
+
+from __future__ import annotations
+
+import enum
+import numbers
+from collections.abc import Iterable
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+CONTINUOUS = VarType.CONTINUOUS
+INTEGER = VarType.INTEGER
+BINARY = VarType.BINARY
+
+LE = "<="
+GE = ">="
+EQ = "=="
+
+_SENSES = (LE, GE, EQ)
+
+
+class Variable:
+    """A single decision variable owned by a :class:`~repro.ilp.model.Model`.
+
+    Variables are created via ``Model.add_var`` (never directly) so the model
+    can assign a dense column index. They hash by identity, which makes them
+    usable as dictionary keys in expressions.
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "vartype", "_model_id")
+
+    def __init__(self, name: str, index: int, lb: float, ub: float, vartype: VarType, model_id: int):
+        self.name = name
+        self.index = index
+        self.lb = lb
+        self.ub = ub
+        self.vartype = vartype
+        self._model_id = model_id
+
+    @property
+    def is_integer(self) -> bool:
+        """True for INTEGER and BINARY variables."""
+        return self.vartype is not VarType.CONTINUOUS
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    # -- arithmetic: delegate to LinExpr ------------------------------------
+    def _as_expr(self) -> LinExpr:
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other):
+        return self._as_expr() + other
+
+    def __radd__(self, other):
+        return self._as_expr() + other
+
+    def __sub__(self, other):
+        return self._as_expr() - other
+
+    def __rsub__(self, other):
+        return (-self._as_expr()) + other
+
+    def __mul__(self, other):
+        return self._as_expr() * other
+
+    def __rmul__(self, other):
+        return self._as_expr() * other
+
+    def __truediv__(self, other):
+        return self._as_expr() / other
+
+    def __neg__(self):
+        return self._as_expr() * -1.0
+
+    def __le__(self, other):
+        return self._as_expr() <= other
+
+    def __ge__(self, other):
+        return self._as_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, numbers.Real)):
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class LinExpr:
+    """A linear expression ``sum(coef_v * v) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: dict[Variable, float] | None = None, constant: float = 0.0):
+        self.terms: dict[Variable, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> LinExpr:
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._as_expr()
+        if isinstance(value, numbers.Real):
+            return LinExpr(constant=float(value))
+        raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def copy(self) -> LinExpr:
+        return LinExpr(self.terms, self.constant)
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other) -> LinExpr:
+        other = self._coerce(other)
+        result = self.copy()
+        for var, coef in other.terms.items():
+            result.terms[var] = result.terms.get(var, 0.0) + coef
+        result.constant += other.constant
+        return result
+
+    def __radd__(self, other) -> LinExpr:
+        return self.__add__(other)
+
+    def __sub__(self, other) -> LinExpr:
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> LinExpr:
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, scalar) -> LinExpr:
+        if not isinstance(scalar, numbers.Real):
+            raise TypeError("linear expressions can only be scaled by numbers (the model is linear)")
+        scalar = float(scalar)
+        return LinExpr({v: c * scalar for v, c in self.terms.items()}, self.constant * scalar)
+
+    def __rmul__(self, scalar) -> LinExpr:
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar) -> LinExpr:
+        if not isinstance(scalar, numbers.Real):
+            raise TypeError("linear expressions can only be divided by numbers")
+        if scalar == 0:
+            raise ZeroDivisionError("division of a linear expression by zero")
+        return self.__mul__(1.0 / float(scalar))
+
+    def __neg__(self) -> LinExpr:
+        return self.__mul__(-1.0)
+
+    # -- comparisons build constraints ----------------------------------------
+    def __le__(self, other) -> Constraint:
+        return Constraint(self - self._coerce(other), LE)
+
+    def __ge__(self, other) -> Constraint:
+        return Constraint(self - self._coerce(other), GE)
+
+    def __eq__(self, other) -> Constraint:  # type: ignore[override]
+        return Constraint(self - self._coerce(other), EQ)
+
+    def __hash__(self):  # pragma: no cover - expressions are not hashable
+        raise TypeError("LinExpr is unhashable; did you mean to compare with <=, >=, ==?")
+
+    # -- inspection ------------------------------------------------------------
+    def value(self, assignment: dict[Variable, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        total = self.constant
+        for var, coef in self.terms.items():
+            total += coef * assignment[var]
+        return total
+
+    def simplified(self, tol: float = 0.0) -> LinExpr:
+        """Return a copy with coefficients of magnitude <= tol dropped."""
+        return LinExpr(
+            {v: c for v, c in self.terms.items() if abs(c) > tol}, self.constant
+        )
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return f"LinExpr({self.constant})"
+        parts = []
+        for var, coef in sorted(self.terms.items(), key=lambda item: item[0].index):
+            if coef == 1.0:
+                parts.append(var.name)
+            elif coef == -1.0:
+                parts.append(f"-{var.name}")
+            else:
+                parts.append(f"{coef:g}*{var.name}")
+        body = " + ".join(parts).replace("+ -", "- ")
+        if self.constant:
+            body += f" + {self.constant:g}".replace("+ -", "- ")
+        return f"LinExpr({body})"
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` in normalized form.
+
+    The left-hand side absorbs everything; ``rhs`` is derived as the negated
+    constant so the constraint reads ``terms SENSE rhs``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str | None = None):
+        if sense not in _SENSES:
+            raise ValueError(f"sense must be one of {_SENSES}, got {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def terms(self) -> dict[Variable, float]:
+        return self.expr.terms
+
+    @property
+    def rhs(self) -> float:
+        return -self.expr.constant
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "a Constraint has no truth value; pass it to Model.add_constr "
+            "instead of using it in a boolean context"
+        )
+
+    def is_satisfied(self, assignment: dict[Variable, float], tol: float = 1e-7) -> bool:
+        """Check the constraint under a full variable assignment."""
+        lhs = sum(coef * assignment[var] for var, coef in self.terms.items())
+        if self.sense == LE:
+            return lhs <= self.rhs + tol
+        if self.sense == GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+    def violation(self, assignment: dict[Variable, float]) -> float:
+        """Return the non-negative amount by which the constraint is violated."""
+        lhs = sum(coef * assignment[var] for var, coef in self.terms.items())
+        if self.sense == LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense == GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.expr!r} {self.sense} 0{label})"
+
+
+def quicksum(items: Iterable) -> LinExpr:
+    """Sum variables/expressions/numbers into one expression in a single pass.
+
+    Equivalent to ``sum(items)`` but avoids quadratic-copy behaviour by
+    accumulating into one mutable expression.
+    """
+    result = LinExpr()
+    for item in items:
+        item = LinExpr._coerce(item)
+        for var, coef in item.terms.items():
+            result.terms[var] = result.terms.get(var, 0.0) + coef
+        result.constant += item.constant
+    return result

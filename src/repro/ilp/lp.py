@@ -1,0 +1,106 @@
+"""LP relaxation solving, shared by the model front-end and branch & bound.
+
+Two interchangeable engines solve the relaxation of a
+:class:`~repro.ilp.model.MatrixForm`:
+
+- ``"scipy"`` — ``scipy.optimize.linprog`` with the HiGHS dual simplex
+  (fast; the default inside branch and bound);
+- ``"simplex"`` — our own two-phase tableau simplex from
+  :mod:`repro.ilp.simplex` (slower; fully self-contained).
+
+Both are exercised against each other by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ilp.model import MatrixForm, Model
+from repro.ilp.simplex import solve_lp_simplex
+from repro.ilp.solution import Solution, SolveStats, Status
+
+
+@dataclass
+class LpResult:
+    """Raw relaxation outcome used by branch and bound."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "error"
+    x: np.ndarray | None
+    objective: float | None
+    iterations: int = 0
+
+
+def solve_matrix_lp(
+    form: MatrixForm,
+    lb: np.ndarray | None = None,
+    ub: np.ndarray | None = None,
+    method: str = "scipy",
+) -> LpResult:
+    """Solve the LP relaxation of ``form`` with optional bound overrides.
+
+    Branch and bound passes tightened ``lb``/``ub`` arrays per node; when
+    omitted, the model's own bounds are used.
+    """
+    lb = form.lb if lb is None else lb
+    ub = form.ub if ub is None else ub
+    if np.any(lb > ub):
+        return LpResult("infeasible", None, None)
+
+    if method == "simplex":
+        res = solve_lp_simplex(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, lb, ub)
+        obj = None if res.objective is None else res.objective + form.c0
+        return LpResult(res.status, res.x, obj, res.iterations)
+    if method != "scipy":
+        raise ValueError(f"unknown LP method {method!r}; expected 'scipy' or 'simplex'")
+
+    bounds = [
+        (None if np.isneginf(lo) else lo, None if np.isposinf(hi) else hi)
+        for lo, hi in zip(lb, ub)
+    ]
+    res = linprog(
+        form.c,
+        A_ub=form.a_ub if form.a_ub.size else None,
+        b_ub=form.b_ub if form.b_ub.size else None,
+        A_eq=form.a_eq if form.a_eq.size else None,
+        b_eq=form.b_eq if form.b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    iterations = int(getattr(res, "nit", 0) or 0)
+    if res.status == 0:
+        return LpResult("optimal", np.asarray(res.x), float(res.fun) + form.c0, iterations)
+    if res.status == 2:
+        return LpResult("infeasible", None, None, iterations)
+    if res.status == 3:
+        return LpResult("unbounded", None, None, iterations)
+    return LpResult("error", None, None, iterations)
+
+
+_STATUS_MAP = {
+    "optimal": Status.OPTIMAL,
+    "infeasible": Status.INFEASIBLE,
+    "unbounded": Status.UNBOUNDED,
+    "iteration_limit": Status.ITERATION_LIMIT,
+    "error": Status.ITERATION_LIMIT,
+}
+
+
+def solve_relaxation(model: Model, method: str = "scipy") -> Solution:
+    """Solve ``model`` with integrality dropped and wrap as a Solution."""
+    form = model.to_matrix_form()
+    result = solve_matrix_lp(form, method=method)
+    status = _STATUS_MAP[result.status]
+    if status is not Status.OPTIMAL:
+        return Solution(status, backend=f"lp-{method}")
+    sign = 1.0 if model.sense == "min" else -1.0
+    values = {var: float(result.x[var.index]) for var in model.variables}
+    return Solution(
+        Status.OPTIMAL,
+        objective=sign * result.objective,
+        values=values,
+        stats=SolveStats(lp_solves=1, lp_iterations=result.iterations),
+        backend=f"lp-{method}",
+    )

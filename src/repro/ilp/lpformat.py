@@ -1,0 +1,281 @@
+"""CPLEX LP file format export/import.
+
+Lets any model built with this substrate be inspected, archived, or solved
+by an external solver — the workflow the paper itself used (it shipped its
+ILPs to ``lpsolve``). The writer emits the classic sectioned format::
+
+    \\ tam-S1-TAM[16+16+16]
+    Minimize
+     obj: T
+    Subject To
+     assign_c880: x_c880_b0 + x_c880_b1 + x_c880_b2 = 1
+     bus0_time: 823 x_c880_b0 + ... - T <= 0
+    Bounds
+     T >= 5151
+    Binaries
+     x_c880_b0 ...
+    End
+
+The parser reads the same dialect back (objective, constraints, bounds,
+``Binaries``/``Generals`` sections) into a fresh :class:`Model`, and the
+test suite round-trips models through it and re-solves to the same optimum.
+Variable names must match ``[A-Za-z_][A-Za-z0-9_()\\[\\]\\.]*`` — true for
+every name this library generates.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.ilp.expr import BINARY, EQ, GE, INTEGER, LE, LinExpr, Variable
+from repro.ilp.model import Model
+from repro.util.errors import ValidationError
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_()\[\].]*$")
+_TOKEN_RE = re.compile(
+    r"(?P<sign>[+-])|(?P<number>\d+(?:\.\d*)?(?:[eE][+-]?\d+)?|\.\d+)|(?P<name>[A-Za-z_][A-Za-z0-9_()\[\].]*)"
+)
+
+
+def _format_coef(coef: float, name: str, first: bool) -> str:
+    sign = "-" if coef < 0 else ("" if first else "+")
+    magnitude = abs(coef)
+    body = name if magnitude == 1.0 else f"{magnitude:.12g} {name}"
+    return f"{sign} {body}".strip() if not first or sign else f"{sign}{body}"
+
+
+def _format_expr(terms: dict[Variable, float]) -> str:
+    parts = []
+    items = sorted(terms.items(), key=lambda item: item[0].index)
+    for position, (var, coef) in enumerate(items):
+        if coef == 0:
+            continue
+        parts.append(_format_coef(coef, var.name, first=position == 0 and coef >= 0))
+    return " ".join(parts) if parts else "0"
+
+
+def write_lp(model: Model) -> str:
+    """Serialize ``model`` to CPLEX LP text."""
+    for var in model.variables:
+        if not _NAME_RE.match(var.name):
+            raise ValidationError(
+                f"variable name {var.name!r} is not LP-format safe"
+            )
+    lines = [f"\\ {model.name}"]
+    lines.append("Maximize" if model.sense == "max" else "Minimize")
+    objective = _format_expr(model.objective.terms)
+    lines.append(f" obj: {objective}")
+    if model.objective.constant:
+        lines.append(f"\\ objective constant {model.objective.constant:.12g} not expressible; re-add after solving")
+
+    lines.append("Subject To")
+    for index, constr in enumerate(model.constraints):
+        label = constr.name or f"c{index}"
+        op = {LE: "<=", GE: ">=", EQ: "="}[constr.sense]
+        lines.append(f" {label}: {_format_expr(constr.terms)} {op} {constr.rhs:.12g}")
+
+    bound_lines = []
+    for var in model.variables:
+        default_lb = 0.0 if var.vartype is not BINARY else 0.0
+        lb, ub = var.lb, var.ub
+        if var.vartype is BINARY and lb == 0.0 and ub == 1.0:
+            continue
+        if lb == default_lb and math.isinf(ub):
+            continue
+        if math.isinf(lb) and math.isinf(ub):
+            bound_lines.append(f" {var.name} free")
+        elif math.isinf(ub):
+            bound_lines.append(f" {var.name} >= {lb:.12g}")
+        elif math.isinf(lb):
+            bound_lines.append(f" -inf <= {var.name} <= {ub:.12g}")
+        else:
+            bound_lines.append(f" {lb:.12g} <= {var.name} <= {ub:.12g}")
+    if bound_lines:
+        lines.append("Bounds")
+        lines.extend(bound_lines)
+
+    binaries = [v.name for v in model.variables if v.vartype is BINARY]
+    generals = [v.name for v in model.variables if v.vartype is INTEGER]
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(binaries))
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(generals))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+class _Parser:
+    """Recursive-descent-ish parser for the LP dialect written above."""
+
+    _SECTIONS = {
+        "minimize": "objective",
+        "maximize": "objective",
+        "subject": "constraints",
+        "st": "constraints",
+        "bounds": "bounds",
+        "binaries": "binaries",
+        "binary": "binaries",
+        "generals": "generals",
+        "general": "generals",
+        "end": "end",
+    }
+
+    def __init__(self, text: str):
+        self.model = Model("parsed-lp")
+        self.vars: dict[str, Variable] = {}
+        self.sense = "min"
+        self.text = text
+
+    def var(self, name: str) -> Variable:
+        if name not in self.vars:
+            self.vars[name] = self.model.add_var(name)
+        return self.vars[name]
+
+    def parse_expr(self, text: str) -> LinExpr:
+        expr = LinExpr()
+        sign = 1.0
+        pending: float | None = None
+        for match in _TOKEN_RE.finditer(text):
+            if match.lastgroup == "sign":
+                if pending is not None:
+                    expr.constant += sign * pending
+                    pending = None
+                sign = -1.0 if match.group() == "-" else 1.0
+            elif match.lastgroup == "number":
+                if pending is not None:
+                    expr.constant += sign * pending
+                    sign = 1.0
+                pending = float(match.group())
+            else:
+                coef = sign * (pending if pending is not None else 1.0)
+                variable = self.var(match.group())
+                expr.terms[variable] = expr.terms.get(variable, 0.0) + coef
+                pending = None
+                sign = 1.0
+        if pending is not None:
+            expr.constant += sign * pending
+        return expr
+
+    def parse(self) -> Model:
+        section = None
+        objective_text = []
+        constraint_rows: list[tuple[str | None, str]] = []
+        bound_rows: list[str] = []
+        binary_names: list[str] = []
+        general_names: list[str] = []
+
+        for raw in self.text.splitlines():
+            line = raw.split("\\", 1)[0].strip()
+            if not line:
+                continue
+            keyword = line.split()[0].lower().rstrip(":")
+            if keyword in self._SECTIONS and (
+                keyword != "st" or line.lower().startswith(("st", "s.t."))
+            ):
+                section = self._SECTIONS[keyword]
+                if section == "objective":
+                    self.sense = "max" if keyword == "maximize" else "min"
+                if section == "end":
+                    break
+                remainder = line.partition(" ")[2].strip()
+                if section == "constraints" and line.lower().startswith("subject"):
+                    remainder = remainder.partition(" ")[2].strip()  # drop "To"
+                if remainder:
+                    line = remainder
+                else:
+                    continue
+            if section == "objective":
+                objective_text.append(line)
+            elif section == "constraints":
+                label, colon, body = line.partition(":")
+                if colon:
+                    constraint_rows.append((label.strip(), body.strip()))
+                else:
+                    constraint_rows.append((None, line))
+            elif section == "bounds":
+                bound_rows.append(line)
+            elif section == "binaries":
+                binary_names.extend(line.split())
+            elif section == "generals":
+                general_names.extend(line.split())
+
+        obj_body = " ".join(objective_text)
+        obj_body = obj_body.partition(":")[2].strip() if ":" in obj_body else obj_body
+        objective = self.parse_expr(obj_body)
+
+        for label, body in constraint_rows:
+            for op, sense in (("<=", LE), (">=", GE), ("=", EQ)):
+                if op in body:
+                    lhs_text, _, rhs_text = body.partition(op)
+                    lhs = self.parse_expr(lhs_text)
+                    rhs = self.parse_expr(rhs_text)
+                    constr = (lhs - rhs <= 0) if sense == LE else (
+                        (lhs - rhs >= 0) if sense == GE else (lhs - rhs == 0)
+                    )
+                    self.model.add_constr(constr, name=label)
+                    break
+            else:
+                raise ValidationError(f"constraint without comparison: {body!r}")
+
+        for row in bound_rows:
+            self._apply_bound(row)
+        for name in binary_names:
+            self._retype(name, BINARY)
+        for name in general_names:
+            self._retype(name, INTEGER)
+
+        if self.sense == "max":
+            self.model.maximize(objective)
+        else:
+            self.model.minimize(objective)
+        return self.model
+
+    def _retype(self, name: str, vartype) -> None:
+        var = self.var(name)
+        var.vartype = vartype
+        if vartype is BINARY:
+            var.lb = max(var.lb, 0.0)
+            var.ub = min(var.ub, 1.0)
+
+    def _apply_bound(self, row: str) -> None:
+        tokens = row.replace("<=", " <= ").replace(">=", " >= ").split()
+        if len(tokens) == 2 and tokens[1].lower() == "free":
+            var = self.var(tokens[0])
+            var.lb, var.ub = -math.inf, math.inf
+            return
+        if len(tokens) == 3:
+            left, op, right = tokens
+            if op == ">=":
+                self.var(left).lb = float(right)
+            elif op == "<=":
+                self.var(left).ub = float(right)
+            else:
+                raise ValidationError(f"malformed bound: {row!r}")
+            return
+        if len(tokens) == 5 and tokens[1] == "<=" and tokens[3] == "<=":
+            lo, _, name, _, hi = tokens
+            var = self.var(name)
+            var.lb = -math.inf if lo.lower() in ("-inf", "-infinity") else float(lo)
+            var.ub = float(hi)
+            return
+        raise ValidationError(f"malformed bound: {row!r}")
+
+
+def parse_lp(text: str) -> Model:
+    """Parse LP-format text into a fresh :class:`Model`."""
+    return _Parser(text).parse()
+
+
+def save_lp(model: Model, path) -> None:
+    """Write ``model`` to an ``.lp`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_lp(model))
+
+
+def load_lp(path) -> Model:
+    """Read an ``.lp`` file into a model."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_lp(handle.read())

@@ -1,0 +1,84 @@
+"""Solver result types shared by every backend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ilp.expr import LinExpr, Variable
+
+
+class Status(enum.Enum):
+    """Terminal state of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+    ITERATION_LIMIT = "iteration_limit"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+
+
+@dataclass
+class SolveStats:
+    """Work counters reported by the branch-and-bound solver.
+
+    ``nodes`` counts B&B nodes actually processed (LP relaxations solved at a
+    node), ``lp_iterations`` sums simplex/HiGHS iterations when available, and
+    ``wall_time`` is seconds of wall clock inside ``solve``.
+    """
+
+    nodes: int = 0
+    lp_solves: int = 0
+    lp_iterations: int = 0
+    wall_time: float = 0.0
+    incumbent_updates: int = 0
+    best_bound: float | None = None
+    gap: float | None = None
+    cuts: int = 0
+
+
+@dataclass
+class Solution:
+    """Outcome of solving a model: status, objective, and variable values."""
+
+    status: Status
+    objective: float | None = None
+    values: dict[Variable, float] = field(default_factory=dict)
+    stats: SolveStats = field(default_factory=SolveStats)
+    backend: str = "bnb"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is Status.OPTIMAL
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status in (Status.OPTIMAL, Status.FEASIBLE)
+
+    def __getitem__(self, var: Variable) -> float:
+        if not self.is_feasible:
+            raise KeyError(f"solution has status {self.status.value}; no values available")
+        return self.values[var]
+
+    def value(self, expr: LinExpr | Variable) -> float:
+        """Evaluate a variable or linear expression under this solution."""
+        if isinstance(expr, Variable):
+            return self[expr]
+        return expr.value(self.values)
+
+    def rounded(self, tol: float = 1e-6) -> dict[Variable, float]:
+        """Return values with near-integers snapped to exact integers.
+
+        LP-based solvers return 0.9999999; downstream code indexing
+        assignments by integer value wants exactly 1.0.
+        """
+        snapped = {}
+        for var, val in self.values.items():
+            nearest = round(val)
+            snapped[var] = float(nearest) if abs(val - nearest) <= tol else val
+        return snapped
+
+    def __repr__(self) -> str:
+        obj = "-" if self.objective is None else f"{self.objective:g}"
+        return f"Solution(status={self.status.value}, objective={obj}, backend={self.backend})"

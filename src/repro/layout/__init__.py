@@ -1,0 +1,45 @@
+"""Place-and-route substrate.
+
+The DAC 2000 layout constraints need three physical ingredients the paper
+takes from its floorplan:
+
+- a **placement** of cores on the die (:class:`Floorplan`, built by the
+  deterministic grid placer or the simulated-annealing placer);
+- **distances** between cores, feeding the pairwise "too far to share a
+  bus" constraints (:mod:`repro.layout.constraints`);
+- **TAM wirelength** estimates for a designed architecture
+  (:mod:`repro.layout.routing`): bounding-box, daisy-chain tour, and
+  rectilinear-MST Steiner estimates, width-weighted into routing cost.
+"""
+
+from repro.layout.floorplan import Block, Floorplan
+from repro.layout.placers import grid_place, anneal_place
+from repro.layout.routing import (
+    bounding_box_length,
+    chain_tour_length,
+    rectilinear_mst_length,
+    bus_wirelength,
+    tam_wirelength,
+)
+from repro.layout.constraints import (
+    forbidden_pairs_by_distance,
+    distance_sweep_points,
+    min_workable_distance,
+)
+from repro.layout.render import render_floorplan
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "grid_place",
+    "anneal_place",
+    "bounding_box_length",
+    "chain_tour_length",
+    "rectilinear_mst_length",
+    "bus_wirelength",
+    "tam_wirelength",
+    "forbidden_pairs_by_distance",
+    "distance_sweep_points",
+    "min_workable_distance",
+    "render_floorplan",
+]

@@ -1,0 +1,87 @@
+"""Deriving place-and-route constraints from a floorplan.
+
+The paper's layout constraint family: two cores farther apart than a
+distance budget ``delta`` must not share a test bus — chaining them would
+stretch the bus across the die and congest routing. The constraint set is a
+step function of ``delta``; :func:`distance_sweep_points` yields exactly the
+budgets where it changes, and :func:`min_workable_distance` bounds how tight
+a budget can get before no architecture with the requested bus count exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+from repro.layout.floorplan import Floorplan
+from repro.util.errors import ValidationError
+
+
+def forbidden_pairs_by_distance(floorplan: Floorplan, delta: float) -> list[tuple[int, int]]:
+    """Core index pairs whose Manhattan distance exceeds ``delta``.
+
+    These pairs may not share a bus. ``delta`` at or above the floorplan's
+    spread yields no constraints (the unconstrained problem).
+    """
+    if delta < 0:
+        raise ValidationError(f"distance budget must be non-negative, got {delta}")
+    matrix = floorplan.distance_matrix()
+    n = matrix.shape[0]
+    return [
+        (i, j)
+        for i, j in itertools.combinations(range(n), 2)
+        if matrix[i, j] > delta + 1e-12
+    ]
+
+
+def distance_sweep_points(floorplan: Floorplan) -> list[float]:
+    """Distinct pairwise distances, descending — the sweep's change points.
+
+    Sweeping ``delta`` through these values tightens the constraint set one
+    step at a time, tracing the full wirelength/testing-time tradeoff.
+    """
+    matrix = floorplan.distance_matrix()
+    n = matrix.shape[0]
+    # Exact float values: at delta == distance the pair still shares freely
+    # (strict >), so each point is the loosest budget with that pair forbidden
+    # just below it. Values within 1e-9 of each other (numpy summation-order
+    # noise on symmetric placements) are collapsed to their largest member so
+    # a sweep never solves the same constraint set twice.
+    values = sorted(
+        {float(matrix[i, j]) for i, j in itertools.combinations(range(n), 2)},
+        reverse=True,
+    )
+    deduped: list[float] = []
+    for value in values:
+        if not deduped or deduped[-1] - value > 1e-9:
+            deduped.append(value)
+    return deduped
+
+
+def min_workable_distance(floorplan: Floorplan, num_buses: int) -> float:
+    """Smallest ``delta`` for which cores *can* be spread over ``num_buses``.
+
+    Below this value the "must not share" graph needs more than
+    ``num_buses`` colors. Computed by binary search over the sweep points
+    with a greedy (largest-first) coloring as the feasibility check, so the
+    returned value is a safe (possibly slightly conservative) budget: at or
+    above it a valid bus split certainly exists.
+    """
+    import networkx as nx
+
+    if num_buses <= 0:
+        raise ValidationError(f"num_buses must be positive, got {num_buses}")
+    points = distance_sweep_points(floorplan)
+    if not points:
+        return 0.0
+    workable = points[0]
+    for delta in points:  # descending: constraints tighten monotonically
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(floorplan.blocks)))
+        graph.add_edges_from(forbidden_pairs_by_distance(floorplan, delta))
+        coloring = nx.greedy_color(graph, strategy="largest_first")
+        if max(coloring.values(), default=0) + 1 <= num_buses:
+            workable = delta
+        else:
+            break
+    return workable

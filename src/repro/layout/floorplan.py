@@ -1,0 +1,144 @@
+"""Floorplan model: core blocks placed on the die."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.soc.system import Soc
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Block:
+    """An axis-aligned placed block (center coordinates, mm)."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(xmin, ymin, xmax, ymax)."""
+        return (
+            self.x - self.width / 2,
+            self.y - self.height / 2,
+            self.x + self.width / 2,
+            self.y + self.height / 2,
+        )
+
+    def overlaps(self, other: Block, slack: float = 1e-9) -> bool:
+        ax0, ay0, ax1, ay1 = self.bounds
+        bx0, by0, bx1, by1 = other.bounds
+        return ax0 < bx1 - slack and bx0 < ax1 - slack and ay0 < by1 - slack and by0 < ay1 - slack
+
+
+class Floorplan:
+    """A placement of every core of an SOC inside its die.
+
+    Blocks are indexed like the SOC's cores. The TAM source and sink pads sit
+    on the die boundary (test pins enter at the left edge midpoint and leave
+    at the right edge midpoint by default), matching the single-entry/
+    single-exit test bus topology of the paper.
+    """
+
+    def __init__(
+        self,
+        soc: Soc,
+        blocks: list[Block],
+        source_pad: tuple[float, float] | None = None,
+        sink_pad: tuple[float, float] | None = None,
+    ):
+        if len(blocks) != len(soc):
+            raise ValidationError(
+                f"floorplan has {len(blocks)} blocks but SOC {soc.name!r} has {len(soc)} cores"
+            )
+        for core, block in zip(soc.cores, blocks):
+            if core.name != block.name:
+                raise ValidationError(
+                    f"block order mismatch: expected {core.name!r}, got {block.name!r}"
+                )
+        self.soc = soc
+        self.blocks = list(blocks)
+        self.source_pad = source_pad or (0.0, soc.die_height / 2)
+        self.sink_pad = sink_pad or (soc.die_width, soc.die_height / 2)
+
+    # ------------------------------------------------------------ validation
+    def out_of_die(self, tolerance: float = 1e-6) -> list[str]:
+        """Names of blocks extending beyond the die boundary."""
+        names = []
+        for block in self.blocks:
+            x0, y0, x1, y1 = block.bounds
+            if (
+                x0 < -tolerance
+                or y0 < -tolerance
+                or x1 > self.soc.die_width + tolerance
+                or y1 > self.soc.die_height + tolerance
+            ):
+                names.append(block.name)
+        return names
+
+    def overlapping_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of blocks that physically overlap (should be empty)."""
+        pairs = []
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                if a.overlaps(b):
+                    pairs.append((a.name, b.name))
+        return pairs
+
+    def is_legal(self) -> bool:
+        return not self.out_of_die() and not self.overlapping_pairs()
+
+    # ------------------------------------------------------------- distances
+    def position(self, index: int) -> tuple[float, float]:
+        block = self.blocks[index]
+        return (block.x, block.y)
+
+    def distance(self, i: int, j: int) -> float:
+        """Manhattan center-to-center distance between cores ``i`` and ``j``."""
+        xi, yi = self.position(i)
+        xj, yj = self.position(j)
+        return abs(xi - xj) + abs(yi - yj)
+
+    def distance_matrix(self) -> np.ndarray:
+        """Dense symmetric Manhattan distance matrix over core indices."""
+        n = len(self.blocks)
+        coordinates = np.array([[b.x, b.y] for b in self.blocks])
+        diff = coordinates[:, None, :] - coordinates[None, :, :]
+        return np.abs(diff).sum(axis=2)
+
+    def spread(self) -> float:
+        """Largest pairwise distance — the scale for distance-budget sweeps."""
+        matrix = self.distance_matrix()
+        return float(matrix.max())
+
+    def describe(self) -> str:
+        lines = [
+            f"Floorplan of {self.soc.name} on {self.soc.die_width:g}x"
+            f"{self.soc.die_height:g} mm (legal={self.is_legal()})"
+        ]
+        for block in self.blocks:
+            lines.append(
+                f"  {block.name}: center ({block.x:.2f}, {block.y:.2f}), "
+                f"{block.width:.2f}x{block.height:.2f} mm"
+            )
+        return "\n".join(lines)
+
+
+def block_dimensions(area: float, aspect: float = 1.0) -> tuple[float, float]:
+    """Width/height of a block of ``area`` mm^2 at the given aspect ratio."""
+    if area <= 0:
+        raise ValidationError(f"block area must be positive, got {area}")
+    if aspect <= 0:
+        raise ValidationError(f"aspect ratio must be positive, got {aspect}")
+    width = math.sqrt(area * aspect)
+    return width, area / width

@@ -1,0 +1,127 @@
+"""Core placement: a deterministic grid placer and a simulated-annealing placer.
+
+The layout constraints only consume center-to-center distances, so the
+placers optimize for legality (no overlaps, inside the die) plus a simple
+communication objective. Absent a functional netlist, connectivity is modeled
+the way early interconnect-planning papers do for IP blocks: every core talks
+to the test pads in proportion to its I/O count, and cores adjacent in the
+SOC list form a pipeline. This gives annealing a real objective while keeping
+everything derivable from the SOC alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.layout.floorplan import Block, Floorplan, block_dimensions
+from repro.soc.system import Soc
+from repro.util.errors import ValidationError
+from repro.util.rng import RngLike, make_rng
+
+
+def _grid_shape(count: int) -> tuple[int, int]:
+    """Near-square rows x cols grid with at least ``count`` cells."""
+    cols = math.ceil(math.sqrt(count))
+    rows = math.ceil(count / cols)
+    return rows, cols
+
+
+def _blocks_at_slots(soc: Soc, slot_of: list[int]) -> list[Block]:
+    """Materialize blocks with core ``i`` centered in grid slot ``slot_of[i]``."""
+    rows, cols = _grid_shape(len(soc))
+    cell_w = soc.die_width / cols
+    cell_h = soc.die_height / rows
+    blocks = []
+    for i, core in enumerate(soc.cores):
+        slot = slot_of[i]
+        row, col = divmod(slot, cols)
+        width, height = block_dimensions(core.area_mm2)
+        # Shrink any block that would not fit its cell (keeps legality for
+        # pathological area distributions at the cost of mild distortion).
+        scale = min(1.0, 0.95 * cell_w / width, 0.95 * cell_h / height)
+        blocks.append(
+            Block(
+                core.name,
+                x=(col + 0.5) * cell_w,
+                y=(row + 0.5) * cell_h,
+                width=width * scale,
+                height=height * scale,
+            )
+        )
+    return blocks
+
+
+def grid_place(soc: Soc) -> Floorplan:
+    """Deterministic placement: cores in SOC order, row-major on a grid.
+
+    The reproducible default used by every experiment. Large and small cores
+    mix across the die, so pairwise distances span the whole sweep range.
+    """
+    return Floorplan(soc, _blocks_at_slots(soc, list(range(len(soc)))))
+
+
+def _wirelength_proxy(soc: Soc, floorplan: Floorplan) -> float:
+    """Communication objective: pad tethers weighted by I/O + pipeline chain."""
+    total = 0.0
+    sx, sy = floorplan.source_pad
+    tx, ty = floorplan.sink_pad
+    for i, core in enumerate(soc.cores):
+        x, y = floorplan.position(i)
+        io_weight = (core.num_inputs + core.num_outputs) / 100.0
+        total += io_weight * min(abs(x - sx) + abs(y - sy), abs(x - tx) + abs(y - ty))
+    for i in range(len(soc) - 1):
+        total += floorplan.distance(i, i + 1)
+    return total
+
+
+def anneal_place(
+    soc: Soc,
+    seed: RngLike = 0,
+    iterations: int = 2000,
+    initial_temperature: float | None = None,
+) -> Floorplan:
+    """Simulated-annealing placement over grid-slot permutations.
+
+    Moves swap the slots of two cores (or move a core to an empty slot);
+    the objective is :func:`_wirelength_proxy`. Slot-based moves keep every
+    intermediate state legal, so the placer cannot return an illegal plan.
+    """
+    if iterations < 0:
+        raise ValidationError(f"iterations must be non-negative, got {iterations}")
+    rng = make_rng(seed)
+    n = len(soc)
+    rows, cols = _grid_shape(n)
+    num_slots = rows * cols
+
+    slot_of = list(range(n))
+    current_plan = Floorplan(soc, _blocks_at_slots(soc, slot_of))
+    current_cost = _wirelength_proxy(soc, current_plan)
+    best_slots = list(slot_of)
+    best_cost = current_cost
+
+    temperature = initial_temperature if initial_temperature is not None else current_cost * 0.1 + 1.0
+    cooling = 0.995
+
+    for _ in range(iterations):
+        trial = list(slot_of)
+        a = int(rng.integers(n))
+        target_slot = int(rng.integers(num_slots))
+        occupant = next((i for i, s in enumerate(trial) if s == target_slot), None)
+        if occupant == a:
+            continue
+        if occupant is None:
+            trial[a] = target_slot
+        else:
+            trial[a], trial[occupant] = trial[occupant], trial[a]
+        trial_plan = Floorplan(soc, _blocks_at_slots(soc, trial))
+        trial_cost = _wirelength_proxy(soc, trial_plan)
+        delta = trial_cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            slot_of = trial
+            current_cost = trial_cost
+            if current_cost < best_cost:
+                best_cost = current_cost
+                best_slots = list(slot_of)
+        temperature *= cooling
+
+    return Floorplan(soc, _blocks_at_slots(soc, best_slots))

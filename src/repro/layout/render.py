@@ -1,0 +1,61 @@
+"""ASCII floorplan rendering.
+
+Draws the die as a character grid with each core's block filled by an index
+letter, plus the TAM source/sink pads — enough to eyeball why a distance
+budget forbids a pairing. Used by the layout example and the CLI.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.layout.floorplan import Floorplan
+from repro.util.errors import ValidationError
+
+
+def render_floorplan(floorplan: Floorplan, width: int = 64) -> str:
+    """Render the floorplan to ASCII at ``width`` columns.
+
+    Rows are scaled by the die aspect ratio (terminal cells are ~2x taller
+    than wide, so rows are halved). Each block is labeled a, b, c, ... in
+    core order; a trailing legend maps letters to core names.
+    """
+    if width < 16:
+        raise ValidationError(f"render width must be >= 16, got {width}")
+    soc = floorplan.soc
+    height = max(4, int(width * (soc.die_height / soc.die_width) / 2))
+    grid = [["."] * width for _ in range(height)]
+
+    labels = string.ascii_lowercase + string.ascii_uppercase
+    if len(floorplan.blocks) > len(labels):
+        raise ValidationError(
+            f"cannot label {len(floorplan.blocks)} blocks with {len(labels)} letters"
+        )
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int(x / soc.die_width * (width - 1))))
+
+    def to_row(y: float) -> int:
+        # y grows upward on the die, downward on screen.
+        return min(height - 1, max(0, int((1 - y / soc.die_height) * (height - 1))))
+
+    for index, block in enumerate(floorplan.blocks):
+        x0, y0, x1, y1 = block.bounds
+        c0, c1 = to_col(x0), to_col(x1)
+        r0, r1 = to_row(y1), to_row(y0)
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                grid[row][col] = labels[index]
+
+    sc, sr = to_col(floorplan.source_pad[0]), to_row(floorplan.source_pad[1])
+    tc, tr = to_col(floorplan.sink_pad[0]), to_row(floorplan.sink_pad[1])
+    grid[sr][sc] = ">"
+    grid[tr][tc] = "<"
+
+    lines = [f"{soc.name} die ({soc.die_width:g} x {soc.die_height:g} mm); > source pad, < sink pad"]
+    lines += ["".join(row) for row in grid]
+    legend = ", ".join(
+        f"{labels[i]}={block.name}" for i, block in enumerate(floorplan.blocks)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

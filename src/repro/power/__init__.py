@@ -1,0 +1,41 @@
+"""Test power modeling and power-compatibility analysis.
+
+The paper's power constraint: cores tested **concurrently** (i.e. assigned
+to different test buses) must never jointly exceed the system test power
+budget ``P_max``. Its conservative linear encoding forces every
+*incompatible pair* (``p_i + p_k > P_max``) onto the same bus, where the
+serial schedule separates them in time.
+
+This subpackage provides the analysis around that encoding:
+
+- conflict pairs / conflict graph / merged power groups;
+- bounds on meaningful budgets (below ``max_i p_i`` nothing is schedulable;
+  above ``max pairwise sum`` the constraint never binds — with the pairwise
+  encoding, higher-order sums are intentionally out of scope, as in the
+  paper);
+- instantaneous power profiles of concrete schedules, used to *verify* that
+  designed architectures actually respect the budget over time.
+"""
+
+from repro.power.model import (
+    conflict_pairs,
+    conflict_graph,
+    power_groups,
+    min_meaningful_budget,
+    max_meaningful_budget,
+    budget_sweep_points,
+    max_clique_power,
+)
+from repro.power.profile import PowerProfile, profile_from_intervals
+
+__all__ = [
+    "conflict_pairs",
+    "conflict_graph",
+    "power_groups",
+    "min_meaningful_budget",
+    "max_meaningful_budget",
+    "budget_sweep_points",
+    "max_clique_power",
+    "PowerProfile",
+    "profile_from_intervals",
+]

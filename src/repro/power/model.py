@@ -1,0 +1,108 @@
+"""Pairwise power-compatibility analysis."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.soc.system import Soc
+from repro.util.errors import ValidationError
+
+
+def _check_budget(p_max: float) -> None:
+    if p_max <= 0:
+        raise ValidationError(f"power budget must be positive, got {p_max}")
+
+
+def conflict_pairs(soc: Soc, p_max: float) -> list[tuple[int, int]]:
+    """Core index pairs whose joint power exceeds ``p_max``.
+
+    These are exactly the pairs the paper's ILP forces onto a common bus.
+    """
+    _check_budget(p_max)
+    pairs = []
+    for i, j in itertools.combinations(range(len(soc)), 2):
+        if soc.cores[i].test_power + soc.cores[j].test_power > p_max:
+            pairs.append((i, j))
+    return pairs
+
+
+def conflict_graph(soc: Soc, p_max: float) -> nx.Graph:
+    """Graph over core indices with an edge per incompatible pair."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(soc)))
+    graph.add_edges_from(conflict_pairs(soc, p_max))
+    return graph
+
+
+def power_groups(soc: Soc, p_max: float) -> list[set[int]]:
+    """Connected components of the conflict graph with 2+ cores.
+
+    Forcing each conflicting pair onto one bus transitively merges whole
+    components: every core in a returned group must end up on the same bus.
+    The groups bound how much concurrency a budget leaves available.
+    """
+    graph = conflict_graph(soc, p_max)
+    return [comp for comp in nx.connected_components(graph) if len(comp) > 1]
+
+
+def min_meaningful_budget(soc: Soc) -> float:
+    """Smallest budget any schedule can respect: the hungriest single core.
+
+    At some instant that core is under test by itself, so no architecture
+    can meet a budget below its power.
+    """
+    return max(core.test_power for core in soc.cores)
+
+
+def max_meaningful_budget(soc: Soc) -> float:
+    """Budget above which the pairwise constraint never binds.
+
+    Equal to the largest pairwise power sum; any ``P_max`` at or above it
+    yields the unconstrained problem. (With the paper's pairwise encoding,
+    triple-and-higher sums are deliberately not constrained.)
+    """
+    if len(soc) < 2:
+        return min_meaningful_budget(soc)
+    powers = sorted((core.test_power for core in soc.cores), reverse=True)
+    return powers[0] + powers[1]
+
+
+def budget_sweep_points(soc: Soc, include_endpoints: bool = True) -> list[float]:
+    """Budgets at which the conflict-pair set changes (sorted ascending).
+
+    The constraint set is a step function of ``P_max`` that changes exactly
+    at the pairwise sums; sweeping these points traces the full testing-time
+    versus budget staircase with no redundant solves.
+    """
+    # Exact float sums: at budget == sum the pair is compatible (strict >),
+    # so each sweep point is the first budget at which that pair relaxes.
+    sums = {
+        soc.cores[i].test_power + soc.cores[j].test_power
+        for i, j in itertools.combinations(range(len(soc)), 2)
+    }
+    points = sorted(sums)
+    if include_endpoints:
+        low = min_meaningful_budget(soc)
+        points = [p for p in points if p >= low]
+        if not points or points[0] > low:
+            points.insert(0, low)
+    return points
+
+
+def max_clique_power(soc: Soc, p_max: float) -> float:
+    """Largest joint power over cliques of the *compatibility* graph.
+
+    A clique of pairwise-compatible cores is a candidate concurrent set; its
+    total power can exceed ``p_max`` even though every pair is fine — the
+    known conservatism gap of the pairwise model. Experiment T3 reports this
+    to quantify the gap. Exponential in principle; fine at benchmark sizes.
+    """
+    _check_budget(p_max)
+    compat = nx.complement(conflict_graph(soc, p_max))
+    best = min_meaningful_budget(soc)
+    for clique in nx.find_cliques(compat):
+        total = sum(soc.cores[i].test_power for i in clique)
+        best = max(best, total)
+    return best

@@ -1,0 +1,95 @@
+"""Instantaneous power profiles of concrete test schedules.
+
+The ILP's pairwise encoding is conservative in one direction (it may forbid
+concurrency that a clever schedule could allow) and optimistic in another
+(three mutually compatible cores can jointly exceed the budget). The
+experiment harness therefore *verifies* every designed schedule by sweeping
+its actual power-over-time profile, reporting the true peak.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+#: (label, start_cycle, end_cycle, power_mW)
+Interval = tuple[str, float, float, float]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """A piecewise-constant power waveform.
+
+    ``steps`` holds ``(time, power)`` change points sorted by time: the
+    system dissipates ``power`` from that time until the next step.
+    """
+
+    steps: tuple[tuple[float, float], ...]
+
+    @property
+    def peak(self) -> float:
+        """Maximum instantaneous power."""
+        return max((power for _, power in self.steps), default=0.0)
+
+    @property
+    def end_time(self) -> float:
+        return self.steps[-1][0] if self.steps else 0.0
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous power at ``time`` (0 before the first step)."""
+        current = 0.0
+        for step_time, power in self.steps:
+            if step_time > time:
+                break
+            current = power
+        return current
+
+    def energy(self) -> float:
+        """Integral of power over time (mW x cycles)."""
+        total = 0.0
+        for (t0, p0), (t1, _) in zip(self.steps, self.steps[1:]):
+            total += p0 * (t1 - t0)
+        return total
+
+    def violations(self, budget: float) -> list[tuple[float, float]]:
+        """Return ``(time, power)`` steps where power exceeds ``budget``."""
+        return [(t, p) for t, p in self.steps if p > budget + 1e-9]
+
+    def respects(self, budget: float) -> bool:
+        return not self.violations(budget)
+
+
+def profile_from_intervals(intervals: Iterable[Interval]) -> PowerProfile:
+    """Build the power waveform of overlapping test intervals.
+
+    Each interval contributes its power between start and end. Zero-length
+    intervals are ignored; negative durations are rejected.
+    """
+    events: list[tuple[float, float]] = []
+    for label, start, end, power in intervals:
+        if end < start:
+            raise ValidationError(f"interval {label!r} ends before it starts ({start} > {end})")
+        if power < 0:
+            raise ValidationError(f"interval {label!r} has negative power {power}")
+        if end == start:
+            continue
+        events.append((start, power))
+        events.append((end, -power))
+    if not events:
+        return PowerProfile(())
+    events.sort()
+    steps: list[tuple[float, float]] = []
+    current = 0.0
+    index = 0
+    while index < len(events):
+        time = events[index][0]
+        while index < len(events) and events[index][0] == time:
+            current += events[index][1]
+            index += 1
+        # Clamp float residue so profiles of exactly-cancelling intervals end at 0.
+        if abs(current) < 1e-9:
+            current = 0.0
+        steps.append((time, current))
+    return PowerProfile(tuple(steps))

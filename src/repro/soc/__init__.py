@@ -1,0 +1,43 @@
+"""SOC and core data model.
+
+The DAC 2000 evaluation assembles hypothetical systems-on-chip from ISCAS-85
+(combinational) and ISCAS-89 (full-scan sequential) benchmark circuits, each
+treated as an embedded core with a precomputed test set. This subpackage
+provides:
+
+- :class:`Core` / :class:`Soc` — validated data records;
+- :mod:`repro.soc.catalog` — the ISCAS core catalog with public structural
+  statistics and documented test-set sizes;
+- :mod:`repro.soc.builders` — the academic SOCs S1/S2/S3 used throughout the
+  reconstructed evaluation;
+- :mod:`repro.soc.generator` — seeded synthetic SOCs for scalability sweeps;
+- :mod:`repro.soc.io` — a plain-text ``.soc`` interchange format.
+"""
+
+from repro.soc.core import Core
+from repro.soc.system import Soc
+from repro.soc.catalog import CATALOG, catalog_core, catalog_names
+from repro.soc.builders import build_s1, build_s2, build_s3, build_soc
+from repro.soc.generator import generate_synthetic_soc
+from repro.soc.io import load_soc, save_soc, parse_soc, dump_soc
+from repro.soc.itc02 import build_d695, d695_core, D695_MODULES
+
+__all__ = [
+    "Core",
+    "Soc",
+    "CATALOG",
+    "catalog_core",
+    "catalog_names",
+    "build_s1",
+    "build_s2",
+    "build_s3",
+    "build_soc",
+    "generate_synthetic_soc",
+    "load_soc",
+    "save_soc",
+    "parse_soc",
+    "dump_soc",
+    "build_d695",
+    "d695_core",
+    "D695_MODULES",
+]

@@ -1,0 +1,78 @@
+"""Academic SOC builders.
+
+The DAC 2000 evaluation uses hypothetical SOCs assembled from ISCAS cores.
+We reconstruct three:
+
+- **S1** — the six-core system of the VTS/DAC 2000 papers (three ISCAS-85
+  combinational cores, three ISCAS-89 full-scan cores);
+- **S2** — a ten-core system mixing small and very large cores, stressing
+  the width-adaptation and power constraints;
+- **S3** — an eighteen-core merge used for scalability studies (Figure F4).
+
+Die sizes are chosen so total core area occupies roughly half the die,
+leaving realistic routing channels for the layout experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.soc.catalog import catalog_core
+from repro.soc.system import Soc
+
+#: Core mix of the paper's six-core example system.
+S1_CORES = ("c880", "c2670", "c7552", "s953", "s5378", "s1196")
+
+#: Ten-core system with the big ISCAS-89 designs.
+S2_CORES = (
+    "c432",
+    "c499",
+    "c1908",
+    "c3540",
+    "c6288",
+    "s9234",
+    "s13207",
+    "s15850",
+    "s38417",
+    "s38584",
+)
+
+#: Eighteen-core merge: S1 + S2 + two extra heavyweights.
+S3_EXTRA = ("c5315", "s35932")
+
+
+def build_soc(
+    name: str,
+    core_names: Sequence[str],
+    die_width: float,
+    die_height: float,
+    power_budget: float | None = None,
+) -> Soc:
+    """Assemble an SOC from catalog benchmarks.
+
+    Duplicate entries are allowed and are renamed ``<core>_2``, ``<core>_3``
+    ... so a system can embed the same IP block several times (common in the
+    paper's successors' benchmarks).
+    """
+    seen: dict[str, int] = {}
+    cores = []
+    for base in core_names:
+        seen[base] = seen.get(base, 0) + 1
+        rename = base if seen[base] == 1 else f"{base}_{seen[base]}"
+        cores.append(catalog_core(base, rename=rename))
+    return Soc(name, cores, die_width=die_width, die_height=die_height, power_budget=power_budget)
+
+
+def build_s1() -> Soc:
+    """The six-core academic SOC S1 (the paper's running example)."""
+    return build_soc("S1", S1_CORES, die_width=8.0, die_height=8.0)
+
+
+def build_s2() -> Soc:
+    """The ten-core academic SOC S2 with the large ISCAS-89 cores."""
+    return build_soc("S2", S2_CORES, die_width=14.0, die_height=14.0)
+
+
+def build_s3() -> Soc:
+    """The eighteen-core scalability SOC S3 = S1 ∪ S2 ∪ extras."""
+    return build_soc("S3", S1_CORES + S2_CORES + S3_EXTRA, die_width=18.0, die_height=18.0)

@@ -1,0 +1,132 @@
+"""The embedded-core record.
+
+A :class:`Core` is a *testable unit*: a block delivered with a precomputed
+test set (pattern count), structural statistics (I/O, scan flip-flops,
+gates), and test resource requirements (test access width, test power). The
+TAM design machinery never looks inside the core — exactly the modular-test
+abstraction the paper works in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Core:
+    """An embedded core with its test set and physical summary.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within an SOC.
+    num_inputs / num_outputs:
+        Functional input/output terminal counts (test stimulus and response
+        bits per pattern, beyond scan).
+    num_flipflops:
+        Scan flip-flops (0 for combinational cores — ISCAS-85).
+    num_gates:
+        Logic gate count; drives the derived area and power models.
+    num_patterns:
+        Size of the precomputed test set.
+    test_width:
+        TAM width (bits) the core's test interface was designed for. In the
+        paper's fixed-width model a core can only sit on a bus at least this
+        wide; in the serialization model narrower buses stretch the test.
+    test_power:
+        Average power dissipated while this core is under test (mW). Consumed
+        only through pairwise sums against the system budget ``P_max``.
+    activity:
+        Scan toggle activity factor in (0, 1]; recorded so the power model is
+        auditable (``test_power`` is derived from gates x activity by the
+        catalog, but custom cores may set any consistent pair).
+    scan_chains:
+        Optional explicit internal scan chain lengths (must sum to
+        ``num_flipflops``). Cores delivered with a fixed chain structure —
+        the ITC'02 benchmark style — set this; otherwise the wrapper
+        substrate derives balanced chains.
+    """
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_flipflops: int
+    num_gates: int
+    num_patterns: int
+    test_width: int
+    test_power: float
+    activity: float = 0.6
+    scan_chains: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("core name must be non-empty")
+        for attr in ("num_inputs", "num_outputs", "num_flipflops", "num_gates", "num_patterns"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value < 0:
+                raise ValidationError(f"core {self.name!r}: {attr} must be a non-negative int, got {value!r}")
+        if self.num_patterns == 0:
+            raise ValidationError(f"core {self.name!r}: a testable core needs at least one pattern")
+        if self.test_width <= 0:
+            raise ValidationError(f"core {self.name!r}: test_width must be positive, got {self.test_width}")
+        if self.test_power < 0:
+            raise ValidationError(f"core {self.name!r}: test_power must be non-negative")
+        if not 0 < self.activity <= 1:
+            raise ValidationError(f"core {self.name!r}: activity must be in (0, 1], got {self.activity}")
+        if self.scan_chains is not None:
+            chains = tuple(int(c) for c in self.scan_chains)
+            object.__setattr__(self, "scan_chains", chains)
+            if any(c <= 0 for c in chains):
+                raise ValidationError(f"core {self.name!r}: scan chain lengths must be positive")
+            if sum(chains) != self.num_flipflops:
+                raise ValidationError(
+                    f"core {self.name!r}: scan chains sum to {sum(chains)} "
+                    f"but the core has {self.num_flipflops} flip-flops"
+                )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def is_sequential(self) -> bool:
+        """True if the core has scan flip-flops."""
+        return self.num_flipflops > 0
+
+    @property
+    def scan_in_bits(self) -> int:
+        """Bits shifted *into* the wrapper per pattern (stimulus + scan load)."""
+        return self.num_flipflops + self.num_inputs
+
+    @property
+    def scan_out_bits(self) -> int:
+        """Bits shifted *out of* the wrapper per pattern (response + scan unload)."""
+        return self.num_flipflops + self.num_outputs
+
+    @property
+    def area_mm2(self) -> float:
+        """Die area estimate at ~10k usable gates per mm^2 plus scan overhead."""
+        return self.num_gates / 10_000.0 + self.num_flipflops / 40_000.0
+
+    def scan_length(self, width: int) -> int:
+        """Longest wrapper chain when test data is balanced over ``width`` wires."""
+        if width <= 0:
+            raise ValidationError(f"width must be positive, got {width}")
+        longest_in = math.ceil(self.scan_in_bits / width)
+        longest_out = math.ceil(self.scan_out_bits / width)
+        return max(longest_in, longest_out)
+
+    def with_patterns(self, num_patterns: int) -> Core:
+        """Return a copy with a different test-set size (used by the generator)."""
+        return replace(self, num_patterns=num_patterns)
+
+    def renamed(self, name: str) -> Core:
+        """Return a copy under a new name (for SOCs embedding a core twice)."""
+        return replace(self, name=name)
+
+    def __str__(self) -> str:
+        kind = "seq" if self.is_sequential else "comb"
+        return (
+            f"{self.name} ({kind}: {self.num_gates}g, {self.num_flipflops}ff, "
+            f"{self.num_patterns}p, w={self.test_width}, {self.test_power:.1f}mW)"
+        )

@@ -1,0 +1,94 @@
+"""Seeded synthetic SOC generation for scalability sweeps.
+
+The ILP-scaling experiment (F4) needs a family of SOCs of increasing core
+count with controlled statistics. Two generation modes:
+
+- ``mode="catalog"`` — sample (with replacement) from the ISCAS catalog and
+  jitter the pattern counts, so cores keep realistic structure;
+- ``mode="parametric"`` — draw core structure from log-normal gate-count and
+  pattern distributions, producing arbitrary-size systems independent of the
+  catalog.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.soc.catalog import CATALOG, POWER_SCALE, catalog_names
+from repro.soc.core import Core
+from repro.soc.system import Soc
+from repro.util.errors import ValidationError
+from repro.util.rng import RngLike, make_rng
+
+
+def _jittered_patterns(base: int, rng) -> int:
+    """Scale a pattern count by a uniform +/-30% factor, at least one."""
+    return max(1, int(round(base * rng.uniform(0.7, 1.3))))
+
+
+def _parametric_core(index: int, rng) -> Core:
+    """Draw one synthetic core from log-normal size distributions."""
+    gates = int(rng.lognormal(mean=7.8, sigma=0.9)) + 100  # median ~2.5k gates
+    sequential = rng.random() < 0.6
+    flipflops = int(gates * rng.uniform(0.05, 0.12)) if sequential else 0
+    inputs = max(4, int(gates ** 0.45 * rng.uniform(0.5, 1.5)))
+    outputs = max(4, int(gates ** 0.45 * rng.uniform(0.4, 1.2)))
+    patterns = max(8, int(rng.lognormal(mean=4.5, sigma=0.6)))
+    activity = float(rng.uniform(0.45, 0.7))
+    bits = max(flipflops + inputs, flipflops + outputs)
+    width = max(4, min(32, math.ceil(bits / 16)))
+    width = int(math.ceil(width / 4) * 4)
+    return Core(
+        name=f"syn{index}",
+        num_inputs=inputs,
+        num_outputs=outputs,
+        num_flipflops=flipflops,
+        num_gates=gates,
+        num_patterns=patterns,
+        test_width=width,
+        test_power=round(gates * activity * POWER_SCALE, 1),
+        activity=round(activity, 3),
+    )
+
+
+def generate_synthetic_soc(
+    num_cores: int,
+    seed: RngLike = 0,
+    mode: str = "catalog",
+    name: str | None = None,
+) -> Soc:
+    """Generate a deterministic synthetic SOC with ``num_cores`` cores.
+
+    The die is sized so the cores cover about half the area, keeping layout
+    experiments meaningful at every scale.
+    """
+    if num_cores <= 0:
+        raise ValidationError(f"num_cores must be positive, got {num_cores}")
+    if mode not in ("catalog", "parametric"):
+        raise ValidationError(f"unknown generation mode {mode!r}")
+    rng = make_rng(seed)
+    cores: list[Core] = []
+    if mode == "catalog":
+        pool = catalog_names()
+        counts: dict[str, int] = {}
+        for _ in range(num_cores):
+            base = pool[int(rng.integers(len(pool)))]
+            counts[base] = counts.get(base, 0) + 1
+            template = CATALOG[base]
+            rename = base if counts[base] == 1 else f"{base}_{counts[base]}"
+            cores.append(
+                template.renamed(rename).with_patterns(
+                    _jittered_patterns(template.num_patterns, rng)
+                )
+            )
+    else:
+        cores = [_parametric_core(i, rng) for i in range(num_cores)]
+
+    total_area = sum(core.area_mm2 for core in cores)
+    side = max(4.0, round(math.sqrt(total_area * 2.0) + 2.0, 1))
+    return Soc(
+        name or f"SYN{num_cores}",
+        cores,
+        die_width=side,
+        die_height=side,
+    )

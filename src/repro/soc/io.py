@@ -1,0 +1,152 @@
+"""Plain-text ``.soc`` interchange format.
+
+A deliberately simple, diff-friendly format in the spirit of the later
+ITC'02 SOC benchmark files, so users can describe their own systems without
+touching Python::
+
+    # my system
+    soc MySys
+    die 12.5 10.0
+    powerbudget 900
+    core dsp inputs=32 outputs=32 flipflops=400 gates=9000 \
+             patterns=120 width=16 power=270.0 activity=0.6
+    core rom inputs=18 outputs=8 flipflops=0 gates=700 \
+             patterns=40 width=8 power=21.0
+
+Lines starting with ``#`` are comments; blank lines are ignored; a trailing
+backslash continues a line. ``activity`` is optional (defaults to 0.6).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.soc.core import Core
+from repro.soc.system import Soc
+from repro.util.errors import ValidationError
+
+_CORE_FIELDS = {
+    "inputs": "num_inputs",
+    "outputs": "num_outputs",
+    "flipflops": "num_flipflops",
+    "gates": "num_gates",
+    "patterns": "num_patterns",
+    "width": "test_width",
+    "power": "test_power",
+    "activity": "activity",
+    "chains": "scan_chains",
+}
+_REQUIRED = {"inputs", "outputs", "flipflops", "gates", "patterns", "width", "power"}
+_INT_FIELDS = {"inputs", "outputs", "flipflops", "gates", "patterns", "width"}
+_LIST_FIELDS = {"chains"}
+
+
+def _logical_lines(text: str):
+    """Yield (line_number, content) with comments stripped and continuations joined."""
+    pending = ""
+    pending_start = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            if not pending:
+                pending_start = number
+            pending += line[:-1] + " "
+            continue
+        combined = (pending + line).strip()
+        pending = ""
+        if combined:
+            yield (pending_start or number, combined)
+        pending_start = 0
+    if pending.strip():
+        yield (pending_start, pending.strip())
+
+
+def parse_soc(text: str) -> Soc:
+    """Parse ``.soc`` text into a validated :class:`Soc`."""
+    name: str | None = None
+    die = (10.0, 10.0)
+    power_budget: float | None = None
+    cores: list[Core] = []
+
+    for number, line in _logical_lines(text):
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        try:
+            if keyword == "soc":
+                if len(tokens) != 2:
+                    raise ValidationError("expected: soc <name>")
+                name = tokens[1]
+            elif keyword == "die":
+                if len(tokens) != 3:
+                    raise ValidationError("expected: die <width_mm> <height_mm>")
+                die = (float(tokens[1]), float(tokens[2]))
+            elif keyword == "powerbudget":
+                if len(tokens) != 2:
+                    raise ValidationError("expected: powerbudget <mW>")
+                power_budget = float(tokens[1])
+            elif keyword == "core":
+                cores.append(_parse_core(tokens))
+            else:
+                raise ValidationError(f"unknown keyword {tokens[0]!r}")
+        except ValidationError as exc:
+            raise ValidationError(f"line {number}: {exc}") from None
+        except ValueError as exc:
+            raise ValidationError(f"line {number}: {exc}") from None
+
+    if name is None:
+        raise ValidationError("missing 'soc <name>' line")
+    return Soc(name, cores, die_width=die[0], die_height=die[1], power_budget=power_budget)
+
+
+def _parse_core(tokens: list[str]) -> Core:
+    if len(tokens) < 2:
+        raise ValidationError("expected: core <name> key=value ...")
+    fields: dict[str, float] = {}
+    for token in tokens[2:]:
+        if "=" not in token:
+            raise ValidationError(f"malformed core attribute {token!r} (expected key=value)")
+        key, _, value = token.partition("=")
+        key = key.lower()
+        if key not in _CORE_FIELDS:
+            raise ValidationError(f"unknown core attribute {key!r}")
+        if key in _LIST_FIELDS:
+            fields[key] = tuple(int(item) for item in value.split(",") if item)
+        elif key in _INT_FIELDS:
+            fields[key] = int(value)
+        else:
+            fields[key] = float(value)
+    missing = _REQUIRED - fields.keys()
+    if missing:
+        raise ValidationError(f"core {tokens[1]!r} missing attributes: {sorted(missing)}")
+    kwargs = {_CORE_FIELDS[key]: value for key, value in fields.items()}
+    return Core(name=tokens[1], **kwargs)
+
+
+def dump_soc(soc: Soc) -> str:
+    """Serialize an SOC to ``.soc`` text (round-trips with :func:`parse_soc`)."""
+    lines = [f"# {soc.name}: {len(soc)} cores", f"soc {soc.name}", f"die {soc.die_width:g} {soc.die_height:g}"]
+    if soc.power_budget is not None:
+        lines.append(f"powerbudget {soc.power_budget:g}")
+    for core in soc.cores:
+        line = (
+            f"core {core.name} inputs={core.num_inputs} outputs={core.num_outputs} "
+            f"flipflops={core.num_flipflops} gates={core.num_gates} "
+            f"patterns={core.num_patterns} width={core.test_width} "
+            f"power={core.test_power:g} activity={core.activity:g}"
+        )
+        if core.scan_chains is not None:
+            line += " chains=" + ",".join(str(c) for c in core.scan_chains)
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def load_soc(path: str | os.PathLike) -> Soc:
+    """Read and parse a ``.soc`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_soc(handle.read())
+
+
+def save_soc(soc: Soc, path: str | os.PathLike) -> None:
+    """Write an SOC to a ``.soc`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_soc(soc))

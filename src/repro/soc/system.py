@@ -1,0 +1,110 @@
+"""The system-on-chip container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.core import Core
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class Soc:
+    """An SOC: a named set of cores plus die-level test parameters.
+
+    Parameters
+    ----------
+    name:
+        System identifier (e.g. ``"S1"``).
+    cores:
+        The embedded cores. Names must be unique; assignment vectors and
+        constraint matrices throughout the library index cores by their
+        position in this list, so order is significant and stable.
+    die_width / die_height:
+        Die dimensions in mm; the floorplanner places cores inside this box
+        and the TAM source/sink pads sit on its boundary.
+    power_budget:
+        Default maximum concurrent test power (mW); experiment sweeps
+        override it per run. ``None`` means unconstrained.
+    """
+
+    name: str
+    cores: list[Core]
+    die_width: float = 10.0
+    die_height: float = 10.0
+    power_budget: float | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("SOC name must be non-empty")
+        if not self.cores:
+            raise ValidationError(f"SOC {self.name!r} must contain at least one core")
+        names = [core.name for core in self.cores]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValidationError(f"SOC {self.name!r} has duplicate core names: {sorted(duplicates)}")
+        if self.die_width <= 0 or self.die_height <= 0:
+            raise ValidationError(f"SOC {self.name!r}: die dimensions must be positive")
+        if self.power_budget is not None and self.power_budget <= 0:
+            raise ValidationError(f"SOC {self.name!r}: power budget must be positive or None")
+        self._index = {core.name: i for i, core in enumerate(self.cores)}
+
+    # ----------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    def __getitem__(self, key: int | str) -> Core:
+        if isinstance(key, str):
+            return self.cores[self.index_of(key)]
+        return self.cores[key]
+
+    def index_of(self, name: str) -> int:
+        """Return the position of the named core (the library-wide core id)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"SOC {self.name!r} has no core named {name!r}") from None
+
+    @property
+    def core_names(self) -> list[str]:
+        return [core.name for core in self.cores]
+
+    # ------------------------------------------------------------- summaries
+    @property
+    def total_gates(self) -> int:
+        return sum(core.num_gates for core in self.cores)
+
+    @property
+    def total_flipflops(self) -> int:
+        return sum(core.num_flipflops for core in self.cores)
+
+    @property
+    def total_test_power(self) -> float:
+        """Power if every core were tested concurrently (the budget ceiling)."""
+        return sum(core.test_power for core in self.cores)
+
+    @property
+    def max_test_width(self) -> int:
+        """Widest core interface; the fixed-width model needs a bus this wide."""
+        return max(core.test_width for core in self.cores)
+
+    @property
+    def total_core_area(self) -> float:
+        return sum(core.area_mm2 for core in self.cores)
+
+    def describe(self) -> str:
+        """Multi-line human-readable inventory (used by example scripts)."""
+        lines = [
+            f"SOC {self.name}: {len(self.cores)} cores, die "
+            f"{self.die_width:g}x{self.die_height:g} mm, "
+            f"{self.total_gates} gates, {self.total_flipflops} scan FFs"
+        ]
+        for core in self.cores:
+            lines.append(f"  {core}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Soc({self.name!r}, {len(self.cores)} cores)"

@@ -1,0 +1,64 @@
+"""Test access mechanism (TAM) architecture model.
+
+The paper's architecture is a set of *test buses*: bus ``j`` has width
+``w_j`` wires; cores assigned to the same bus are tested one after another,
+buses operate in parallel, and the system test time is the longest bus.
+
+- :class:`TamArchitecture` — the bus set and widths;
+- :mod:`repro.tam.timing` — the three core-to-bus test-time models
+  (fixed-width, serialization, flexible-wrapper);
+- :class:`Assignment` — a core-to-bus mapping with evaluation;
+- :mod:`repro.tam.exhaustive` — branch-and-prune exact search used as the
+  oracle for the ILP solver on small systems.
+"""
+
+from repro.tam.architecture import TamArchitecture
+from repro.tam.timing import (
+    TimingModel,
+    FixedWidthTiming,
+    SerializationTiming,
+    FlexibleWidthTiming,
+    make_timing_model,
+    INFEASIBLE_TIME,
+)
+from repro.tam.assignment import Assignment, evaluate_makespan
+from repro.tam.exhaustive import exhaustive_optimal
+from repro.tam.metrics import (
+    core_test_data_volume,
+    soc_test_data_volume,
+    tam_utilization,
+    ate_vector_memory,
+    TamUtilization,
+)
+from repro.tam.alternatives import (
+    multiplexed_time,
+    daisychain_time,
+    distribution_allocation,
+    compare_architectures,
+    DistributionResult,
+    ArchitectureComparison,
+)
+
+__all__ = [
+    "TamArchitecture",
+    "TimingModel",
+    "FixedWidthTiming",
+    "SerializationTiming",
+    "FlexibleWidthTiming",
+    "make_timing_model",
+    "INFEASIBLE_TIME",
+    "Assignment",
+    "evaluate_makespan",
+    "exhaustive_optimal",
+    "multiplexed_time",
+    "daisychain_time",
+    "distribution_allocation",
+    "compare_architectures",
+    "DistributionResult",
+    "ArchitectureComparison",
+    "core_test_data_volume",
+    "soc_test_data_volume",
+    "tam_utilization",
+    "ate_vector_memory",
+    "TamUtilization",
+]

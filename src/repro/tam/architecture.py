@@ -1,0 +1,94 @@
+"""Test bus architecture: the widths of the buses."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.util.combinatorics import compositions, partitions
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class TamArchitecture:
+    """An ordered tuple of test bus widths.
+
+    Buses are identified by their index ``0..num_buses-1``. Order matters
+    for reproducibility of assignments, but two architectures whose width
+    multisets match are test-time-equivalent; :meth:`canonical` gives the
+    sorted representative for deduplication.
+    """
+
+    widths: tuple[int, ...]
+
+    def __init__(self, widths: Sequence[int]):
+        widths = tuple(int(w) for w in widths)
+        if not widths:
+            raise ValidationError("a TAM needs at least one test bus")
+        if any(w <= 0 for w in widths):
+            raise ValidationError(f"bus widths must be positive, got {widths}")
+        object.__setattr__(self, "widths", widths)
+
+    @property
+    def num_buses(self) -> int:
+        return len(self.widths)
+
+    @property
+    def total_width(self) -> int:
+        """Total TAM wires — the chip-pin cost the paper budgets."""
+        return sum(self.widths)
+
+    def width_of(self, bus: int) -> int:
+        if not 0 <= bus < self.num_buses:
+            raise ValidationError(f"bus index {bus} out of range [0, {self.num_buses})")
+        return self.widths[bus]
+
+    def canonical(self) -> TamArchitecture:
+        """Width-sorted (descending) representative of this architecture."""
+        return TamArchitecture(tuple(sorted(self.widths, reverse=True)))
+
+    def __iter__(self):
+        return iter(self.widths)
+
+    def __len__(self) -> int:
+        return self.num_buses
+
+    def __str__(self) -> str:
+        return "TAM[" + "+".join(str(w) for w in self.widths) + "]"
+
+    # ------------------------------------------------------------ factories
+    @staticmethod
+    def even_split(total_width: int, num_buses: int) -> TamArchitecture:
+        """Split ``total_width`` wires as evenly as possible over the buses."""
+        if num_buses <= 0:
+            raise ValidationError(f"num_buses must be positive, got {num_buses}")
+        if total_width < num_buses:
+            raise ValidationError(
+                f"cannot give {num_buses} buses at least one wire each from {total_width}"
+            )
+        base, extra = divmod(total_width, num_buses)
+        return TamArchitecture([base + 1] * extra + [base] * (num_buses - extra))
+
+    @staticmethod
+    def enumerate_distributions(
+        total_width: int,
+        num_buses: int,
+        distinct_buses: bool = False,
+        max_bus_width: int | None = None,
+    ) -> Iterable[TamArchitecture]:
+        """Yield every width distribution of ``total_width`` over ``num_buses``.
+
+        With ``distinct_buses=False`` (default) symmetric permutations are
+        deduplicated via integer partitions — the form the designer sweeps.
+        ``max_bus_width`` clamps individual bus widths; timing models expose
+        the width beyond which no core improves, so wider buses would only
+        waste wires.
+        """
+        if distinct_buses:
+            for widths in compositions(total_width, num_buses):
+                if max_bus_width is None or max(widths) <= max_bus_width:
+                    yield TamArchitecture(widths)
+        else:
+            for widths in partitions(total_width, num_buses, max_part=max_bus_width):
+                if len(widths) == num_buses:
+                    yield TamArchitecture(widths)

@@ -1,0 +1,106 @@
+"""Core-to-bus assignments and their evaluation.
+
+An :class:`Assignment` binds an SOC to a :class:`TamArchitecture` through a
+vector ``bus_of[i]`` giving each core's bus. Evaluation under a timing model
+produces per-bus serial test times and the system makespan — the quantity
+the paper minimizes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.soc.system import Soc
+from repro.tam.architecture import TamArchitecture
+from repro.tam.timing import TimingModel
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete core-to-bus mapping."""
+
+    soc: Soc
+    arch: TamArchitecture
+    bus_of: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.bus_of) != len(self.soc):
+            raise ValidationError(
+                f"assignment covers {len(self.bus_of)} cores but SOC "
+                f"{self.soc.name!r} has {len(self.soc)}"
+            )
+        for i, bus in enumerate(self.bus_of):
+            if not 0 <= bus < self.arch.num_buses:
+                raise ValidationError(
+                    f"core {self.soc.cores[i].name!r} assigned to bus {bus}, "
+                    f"but architecture has buses 0..{self.arch.num_buses - 1}"
+                )
+
+    # ------------------------------------------------------------- structure
+    def cores_on_bus(self, bus: int) -> list[int]:
+        """Indices of the cores assigned to ``bus`` (in SOC order)."""
+        return [i for i, b in enumerate(self.bus_of) if b == bus]
+
+    def buses_used(self) -> list[int]:
+        """Bus indices that carry at least one core."""
+        return sorted(set(self.bus_of))
+
+    def groups(self) -> dict[int, list[str]]:
+        """Bus index -> core names, for human-readable reporting."""
+        return {
+            bus: [self.soc.cores[i].name for i in self.cores_on_bus(bus)]
+            for bus in range(self.arch.num_buses)
+        }
+
+    def shares_bus(self, core_a: int, core_b: int) -> bool:
+        return self.bus_of[core_a] == self.bus_of[core_b]
+
+    # ------------------------------------------------------------- evaluation
+    def bus_times(self, timing: TimingModel) -> list[float]:
+        """Serial test time of each bus under ``timing`` (inf if incompatible)."""
+        totals = [0.0] * self.arch.num_buses
+        for i, core in enumerate(self.soc):
+            bus = self.bus_of[i]
+            totals[bus] += timing.time_on_bus(core, self.arch.width_of(bus))
+        return totals
+
+    def makespan(self, timing: TimingModel) -> float:
+        """System testing time: the longest bus."""
+        return max(self.bus_times(timing))
+
+    def is_timing_feasible(self, timing: TimingModel) -> bool:
+        """True if no core sits on a bus it cannot use."""
+        return math.isfinite(self.makespan(timing))
+
+    def describe(self, timing: TimingModel) -> str:
+        """Multi-line report: per-bus core lists, times, and the makespan."""
+        times = self.bus_times(timing)
+        lines = [f"{self.soc.name} on {self.arch}:"]
+        for bus in range(self.arch.num_buses):
+            names = ", ".join(self.soc.cores[i].name for i in self.cores_on_bus(bus)) or "(empty)"
+            time = "INFEASIBLE" if math.isinf(times[bus]) else f"{times[bus]:.0f}"
+            lines.append(f"  bus {bus} (w={self.arch.width_of(bus)}): {names} -> {time} cycles")
+        span = self.makespan(timing)
+        span_text = "INFEASIBLE" if math.isinf(span) else f"{span:.0f}"
+        lines.append(f"  makespan: {span_text} cycles")
+        return "\n".join(lines)
+
+
+def evaluate_makespan(
+    times: np.ndarray, bus_of: Sequence[int], num_buses: int
+) -> float:
+    """Makespan from a precomputed ``t[i][j]`` matrix (hot path for search).
+
+    ``times`` is the dense matrix from ``TimingModel.matrix``; infeasible
+    core/bus pairs are inf and poison the makespan, which is the desired
+    behaviour for search pruning.
+    """
+    totals = [0.0] * num_buses
+    for i, bus in enumerate(bus_of):
+        totals[bus] += times[i][bus]
+    return max(totals)

@@ -1,0 +1,132 @@
+"""Exhaustive (branch-and-prune) optimal assignment for small systems.
+
+Independent oracle for the ILP path: enumerates core-to-bus assignments with
+makespan pruning and optional conflict constraints. Exponential in the core
+count — use only on systems of roughly a dozen cores (exactly the regime the
+paper's examples live in).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Collection
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.soc.system import Soc
+from repro.tam.architecture import TamArchitecture
+from repro.tam.assignment import Assignment
+from repro.tam.timing import TimingModel
+from repro.util.errors import InfeasibleError
+
+
+@dataclass
+class ExhaustiveResult:
+    """Best assignment found plus search work counters."""
+
+    assignment: Assignment
+    makespan: float
+    nodes_explored: int
+
+
+def exhaustive_optimal(
+    soc: Soc,
+    arch: TamArchitecture,
+    timing: TimingModel,
+    forbidden_pairs: Collection[tuple[int, int]] = (),
+    forced_pairs: Collection[tuple[int, int]] = (),
+    max_cores: int = 16,
+) -> ExhaustiveResult:
+    """Find the makespan-optimal assignment by pruned enumeration.
+
+    Parameters mirror the constrained design problem: ``forbidden_pairs``
+    are core index pairs that may **not** share a bus (place-and-route);
+    ``forced_pairs`` **must** share one (power serialization). Cores are
+    explored largest-first, and a branch is cut as soon as its partial
+    makespan reaches the incumbent. Symmetry between equal-width empty buses
+    is broken by only opening the first such bus.
+
+    Raises :class:`InfeasibleError` when no assignment satisfies all
+    constraints (e.g. contradictory pair constraints, or a fixed-width core
+    with no wide-enough bus).
+    """
+    n = len(soc)
+    if n > max_cores:
+        raise InfeasibleError(
+            f"exhaustive search limited to {max_cores} cores; {soc.name} has {n}",
+            reason="instance too large",
+        )
+    times = timing.matrix(soc, arch)
+    num_buses = arch.num_buses
+
+    forbid: list[set[int]] = [set() for _ in range(n)]
+    for a, b in forbidden_pairs:
+        forbid[a].add(b)
+        forbid[b].add(a)
+    force: list[set[int]] = [set() for _ in range(n)]
+    for a, b in forced_pairs:
+        force[a].add(b)
+        force[b].add(a)
+
+    # Largest-first order makes pruning bite early.
+    order = sorted(range(n), key=lambda i: -np.nanmin(np.where(np.isfinite(times[i]), times[i], np.nan)) if np.isfinite(times[i]).any() else 0)
+
+    best_span = math.inf
+    best_vector: list[int] | None = None
+    bus_load = [0.0] * num_buses
+    assigned: dict[int, int] = {}
+    nodes = 0
+
+    def candidate_buses(core: int) -> list[int]:
+        """Buses this core may take given pair constraints and symmetry."""
+        forced_buses = {assigned[p] for p in force[core] if p in assigned}
+        if len(forced_buses) > 1:
+            return []  # already-placed partners disagree; dead branch
+        if forced_buses:
+            buses = [forced_buses.pop()]
+        else:
+            buses = list(range(num_buses))
+        blocked = {assigned[p] for p in forbid[core] if p in assigned}
+        result = []
+        seen_empty_widths: set[int] = set()
+        for bus in buses:
+            if bus in blocked or not math.isfinite(times[core][bus]):
+                continue
+            width = arch.width_of(bus)
+            if bus_load[bus] == 0.0 and not any(b == bus for b in assigned.values()):
+                # Empty bus: identical-width empty buses are interchangeable.
+                if width in seen_empty_widths:
+                    continue
+                seen_empty_widths.add(width)
+            result.append(bus)
+        return result
+
+    def search(pos: int) -> None:
+        nonlocal best_span, best_vector, nodes
+        if pos == n:
+            span = max(bus_load)
+            if span < best_span:
+                best_span = span
+                best_vector = [assigned[i] for i in range(n)]
+            return
+        core = order[pos]
+        for bus in candidate_buses(core):
+            new_load = bus_load[bus] + times[core][bus]
+            if new_load >= best_span:
+                continue
+            bus_load[bus] = new_load
+            assigned[core] = bus
+            nodes += 1
+            search(pos + 1)
+            del assigned[core]
+            bus_load[bus] = new_load - times[core][bus]
+
+    search(0)
+    if best_vector is None:
+        raise InfeasibleError(
+            f"no feasible assignment for {soc.name} on {arch}",
+            reason="constraints exclude every assignment",
+        )
+    assignment = Assignment(soc, arch, tuple(best_vector))
+    return ExhaustiveResult(assignment, best_span, nodes)

@@ -1,0 +1,115 @@
+"""Test resource metrics: data volume, ATE vector memory, TAM utilization.
+
+The successor literature (tester-memory-constrained multisite testing)
+evaluates TAM designs on more than the makespan; these metrics make the
+same quantities available here:
+
+- **test data volume** — bits that must cross the chip boundary for a
+  core/SOC (stimulus in + response out per pattern);
+- **ATE vector memory** — per TAM wire the tester stores one bit per cycle
+  the wire's bus is active, so a bus of width ``w`` busy for ``t`` cycles
+  costs ``w x t`` bits of channel memory;
+- **TAM utilization** — fraction of the architecture's wire-cycles
+  (``total_width x makespan``) actually carrying a core's test. Idle
+  wire-cycles come from two sources this metric separates: buses finishing
+  before the makespan (*schedule slack*) and cores narrower than their bus
+  (*width slack*, fixed/serial models only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.core import Core
+from repro.soc.system import Soc
+from repro.tam.assignment import Assignment
+from repro.tam.timing import FlexibleWidthTiming, TimingModel
+
+
+def core_test_data_volume(core: Core) -> int:
+    """Bits crossing the core's wrapper over its whole test.
+
+    Per pattern: stimulus (inputs + scan load) in and response (outputs +
+    scan unload) out.
+    """
+    return core.num_patterns * (core.scan_in_bits + core.scan_out_bits)
+
+
+def soc_test_data_volume(soc: Soc) -> int:
+    """Total test data volume of the system (bits)."""
+    return sum(core_test_data_volume(core) for core in soc)
+
+
+@dataclass(frozen=True)
+class TamUtilization:
+    """Wire-cycle accounting of one designed architecture."""
+
+    total_wire_cycles: float  # total_width x makespan
+    active_wire_cycles: float  # wire-cycles carrying test data
+    schedule_slack: float  # idle because a bus finished early
+    width_slack: float  # idle because a core is narrower than its bus
+
+    @property
+    def utilization(self) -> float:
+        """Active fraction in [0, 1]."""
+        if self.total_wire_cycles == 0:
+            return 0.0
+        return self.active_wire_cycles / self.total_wire_cycles
+
+    def __str__(self) -> str:
+        return (
+            f"utilization {self.utilization:.1%} "
+            f"(schedule slack {self.schedule_slack:.0f}, "
+            f"width slack {self.width_slack:.0f} wire-cycles)"
+        )
+
+
+def _active_wires(core: Core, bus_width: int, timing: TimingModel) -> int:
+    """Wires a core actually drives on its bus under the timing model."""
+    if isinstance(timing, FlexibleWidthTiming):
+        return bus_width  # wrapper redesigned for the full bus
+    return min(core.test_width, bus_width)
+
+
+def tam_utilization(
+    soc: Soc, assignment: Assignment, timing: TimingModel
+) -> TamUtilization:
+    """Wire-cycle utilization of ``assignment`` under ``timing``."""
+    arch = assignment.arch
+    bus_times = assignment.bus_times(timing)
+    makespan = max(bus_times)
+    total = arch.total_width * makespan
+
+    active = 0.0
+    width_slack = 0.0
+    for i, core in enumerate(soc):
+        bus = assignment.bus_of[i]
+        width = arch.width_of(bus)
+        duration = timing.time_on_bus(core, width)
+        wires = _active_wires(core, width, timing)
+        active += wires * duration
+        width_slack += (width - wires) * duration
+    schedule_slack = sum(
+        (makespan - bus_time) * arch.width_of(bus)
+        for bus, bus_time in enumerate(bus_times)
+    )
+    return TamUtilization(
+        total_wire_cycles=total,
+        active_wire_cycles=active,
+        schedule_slack=schedule_slack,
+        width_slack=width_slack,
+    )
+
+
+def ate_vector_memory(assignment: Assignment, timing: TimingModel) -> float:
+    """Tester channel memory (bits) to hold the architecture's vectors.
+
+    Each TAM wire needs one stored bit per cycle its bus is active, so a
+    bus costs ``width x bus_time`` regardless of the makespan (idle buses
+    simply stop consuming vectors).
+    """
+    arch = assignment.arch
+    return sum(
+        arch.width_of(bus) * bus_time
+        for bus, bus_time in enumerate(assignment.bus_times(timing))
+    )

@@ -1,0 +1,36 @@
+"""Shared utilities: combinatorics, formatting, randomness, and errors.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.util.combinatorics import (
+    compositions,
+    num_compositions,
+    partitions,
+    set_partitions,
+    bounded_compositions,
+)
+from repro.util.errors import (
+    ReproError,
+    InfeasibleError,
+    ValidationError,
+    SolverError,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import Table, format_table
+
+__all__ = [
+    "compositions",
+    "num_compositions",
+    "partitions",
+    "set_partitions",
+    "bounded_compositions",
+    "ReproError",
+    "InfeasibleError",
+    "ValidationError",
+    "SolverError",
+    "make_rng",
+    "Table",
+    "format_table",
+]

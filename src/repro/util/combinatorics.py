@@ -1,0 +1,160 @@
+"""Combinatorial enumeration helpers.
+
+The TAM design space enumerates *compositions* of the total TAM width W into
+``NB`` positive bus widths (ordered, because buses are distinguishable by the
+cores routed to them) and, for exhaustive baselines, *set partitions* of the
+core set into at most ``NB`` blocks. Both enumerators are generators so large
+spaces can be streamed and short-circuited.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+
+def compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Yield all ordered ways to write ``total`` as ``parts`` positive ints.
+
+    A composition of ``W`` into ``NB`` parts models a TAM width distribution:
+    every bus gets at least one wire and widths sum to ``W``. There are
+    ``C(total - 1, parts - 1)`` of them (stars and bars).
+
+    >>> sorted(compositions(4, 2))
+    [(1, 3), (2, 2), (3, 1)]
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < parts:
+        return
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def bounded_compositions(
+    total: int, parts: int, lower: int = 1, upper: int | None = None
+) -> Iterator[tuple[int, ...]]:
+    """Yield compositions of ``total`` with every part in ``[lower, upper]``.
+
+    Used when bus widths are clamped (e.g. a bus can never be wider than the
+    widest core interface it must feed, or narrower than some routing-imposed
+    minimum).
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if lower < 0:
+        raise ValueError(f"lower bound must be non-negative, got {lower}")
+    hi = total if upper is None else upper
+    if parts == 1:
+        if lower <= total <= hi:
+            yield (total,)
+        return
+    for first in range(lower, hi + 1):
+        remaining = total - first
+        if remaining < lower * (parts - 1) or remaining > hi * (parts - 1):
+            continue
+        for rest in bounded_compositions(remaining, parts - 1, lower, upper):
+            yield (first,) + rest
+
+
+def num_compositions(total: int, parts: int) -> int:
+    """Return the number of compositions of ``total`` into ``parts`` parts.
+
+    >>> num_compositions(4, 2)
+    3
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < parts:
+        return 0
+    return math.comb(total - 1, parts - 1)
+
+
+def partitions(
+    total: int, max_parts: int | None = None, max_part: int | None = None
+) -> Iterator[tuple[int, ...]]:
+    """Yield integer partitions of ``total`` in non-increasing order.
+
+    Partitions (unordered compositions) are used to dedupe symmetric width
+    distributions when all buses are interchangeable, shrinking the design
+    sweep by up to ``NB!``. ``max_part`` caps individual parts (bus widths
+    beyond a core's useful range are wasted wires, so sweeps clamp them).
+
+    >>> sorted(partitions(4, 2))
+    [(2, 2), (3, 1), (4,)]
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if max_part is not None and max_part <= 0:
+        raise ValueError(f"max_part must be positive, got {max_part}")
+
+    def _gen(remaining: int, largest: int, parts_left: int | None) -> Iterator[tuple[int, ...]]:
+        if remaining == 0:
+            yield ()
+            return
+        if parts_left is not None and parts_left == 0:
+            return
+        for part in range(min(remaining, largest), 0, -1):
+            next_parts = None if parts_left is None else parts_left - 1
+            for rest in _gen(remaining - part, part, next_parts):
+                yield (part,) + rest
+
+    start = total if max_part is None else min(total, max_part)
+    yield from _gen(total, start, max_parts)
+
+
+def set_partitions(items: Sequence, max_blocks: int) -> Iterator[list[list]]:
+    """Yield partitions of ``items`` into at most ``max_blocks`` nonempty blocks.
+
+    This drives the exhaustive-optimal TAM baseline on small SOCs: every way
+    of distributing cores over indistinguishable buses is one set partition.
+    Blocks are emitted in first-seen order, so each partition appears once.
+    """
+    if max_blocks <= 0:
+        raise ValueError(f"max_blocks must be positive, got {max_blocks}")
+    items = list(items)
+    if not items:
+        yield []
+        return
+
+    def _gen(index: int, blocks: list[list]) -> Iterator[list[list]]:
+        if index == len(items):
+            yield [list(block) for block in blocks]
+            return
+        item = items[index]
+        for block in blocks:
+            block.append(item)
+            yield from _gen(index + 1, blocks)
+            block.pop()
+        if len(blocks) < max_blocks:
+            blocks.append([item])
+            yield from _gen(index + 1, blocks)
+            blocks.pop()
+
+    yield from _gen(0, [])
+
+
+def stirling2(n: int, k: int) -> int:
+    """Return S(n, k): the number of partitions of an n-set into k blocks.
+
+    >>> stirling2(4, 2)
+    7
+    """
+    if n < 0 or k < 0:
+        raise ValueError("arguments must be non-negative")
+    if k == 0:
+        return 1 if n == 0 else 0
+    if k > n:
+        return 0
+    row = [1] + [0] * k
+    for _ in range(n):
+        new_row = [0] * (k + 1)
+        for j in range(1, k + 1):
+            new_row[j] = j * row[j] + row[j - 1]
+        row = new_row
+        row[0] = 0
+    return row[k]

@@ -1,0 +1,89 @@
+"""Plain-text charts for figure experiments.
+
+The paper's figures are line charts; the experiment harness reproduces them
+as tables plus these ASCII renderings so the *shape* (staircases, knees,
+frontiers) is visible directly in a terminal or CI log without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.util.errors import ValidationError
+
+Point = tuple[float, float]
+
+
+def _bounds(values: Sequence[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        pad = abs(lo) * 0.05 + 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def ascii_chart(
+    series: dict[str, Sequence[Point]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter chart.
+
+    Series are marked ``o``, ``x``, ``+``, ... in insertion order (names can
+    share prefixes, so first letters would collide); cells hit by several
+    series render ``*``. Axes are annotated with the data ranges. Series may
+    have different x grids (the figure sweeps do).
+    """
+    if width < 10 or height < 4:
+        raise ValidationError(f"chart needs width >= 10 and height >= 4, got {width}x{height}")
+    points = [(x, y) for s in series.values() for x, y in s]
+    if not points:
+        return "(no data)"
+    x_lo, x_hi = _bounds([p[0] for p in points])
+    y_lo, y_hi = _bounds([p[1] for p in points])
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - row  # screen coordinates grow downward
+        current = grid[row][col]
+        grid[row][col] = mark if current in (" ", mark) else "*"
+
+    marks = "ox+#@%&="
+    mark_of = {name: marks[i % len(marks)] for i, name in enumerate(series)}
+    for name, data in series.items():
+        for x, y in data:
+            place(x, y, mark_of[name])
+
+    lines = [f"{y_label}: {y_lo:g} .. {y_hi:g}"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_lo:g} .. {x_hi:g}")
+    if len(series) > 1:
+        legend = ", ".join(f"{mark_of[name]} = {name}" for name in series)
+        lines.append(f"legend: {legend} (* = overlap)")
+    return "\n".join(lines)
+
+
+def staircase(points: Sequence[Point]) -> list[Point]:
+    """Expand sweep samples into step points for faithful staircase charts.
+
+    Budget sweeps are piecewise constant: the value holds from one change
+    point to the next. Inserting the corner points makes the ASCII chart
+    show flats instead of misleading diagonals.
+    """
+    ordered = sorted(points)
+    out: list[Point] = []
+    for (x0, y0), (x1, _) in zip(ordered, ordered[1:]):
+        out.append((x0, y0))
+        out.append((x1, y0))
+    if ordered:
+        out.append(ordered[-1])
+    return out

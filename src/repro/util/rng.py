@@ -1,0 +1,39 @@
+"""Seeded randomness plumbing.
+
+Every stochastic component in the library (synthetic SOC generation, the
+simulated-annealing placer and baseline, randomized LP tests) takes either a
+seed or a ``numpy.random.Generator``. Centralizing the coercion here keeps
+experiments reproducible: the harness passes integers, library code passes
+generators through unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = int | np.random.Generator | None
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh OS-seeded generator; an ``int`` yields a
+    deterministic PCG64 stream; an existing generator is returned as-is so
+    callers can thread one stream through a pipeline.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Children are derived via ``spawn`` on the underlying bit generator seed
+    sequence, so two children never produce correlated streams even when the
+    parent is used afterwards.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seed_seq = rng.bit_generator.seed_seq
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]

@@ -1,0 +1,87 @@
+"""Plain-text table rendering for the experiment harness.
+
+The DAC paper reports its results as tables; our harness regenerates them as
+aligned ASCII so the rows can be eyeballed against the paper and diffed
+between runs. Intentionally minimal: no colors, no wrapping, stable output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+
+def _render_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """An accumulating table: add rows as an experiment sweeps, render once.
+
+    >>> t = Table(["W", "time"], title="Fig 1")
+    >>> t.add_row([16, 1200])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Fig 1
+    W  | time
+    ---+-----
+    16 | 1200
+    """
+
+    headers: list[str]
+    title: str | None = None
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, row: Sequence) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def column(self, name: str) -> list:
+        """Return one column by header name (for shape assertions in benches)."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; have {self.headers}") from None
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

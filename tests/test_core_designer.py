@@ -1,0 +1,214 @@
+"""Tests for the end-to-end designer, cross-checked against the oracle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DesignProblem, design, design_best_architecture
+from repro.ilp import Status
+from repro.layout import grid_place
+from repro.soc import build_s1, generate_synthetic_soc
+from repro.tam import TamArchitecture, exhaustive_optimal
+from repro.util.errors import InfeasibleError, SolverError
+
+
+class TestDesignUnconstrained:
+    @pytest.mark.parametrize("timing", ["fixed", "serial", "flexible"])
+    def test_matches_exhaustive_on_s1(self, s1, timing):
+        arch = TamArchitecture([32, 16, 16])
+        problem = DesignProblem(soc=s1, arch=arch, timing=timing)
+        result = design(problem)
+        oracle = exhaustive_optimal(s1, arch, problem.timing)
+        assert result.makespan == pytest.approx(oracle.makespan)
+        assert result.is_proven_optimal
+        assert result.status is Status.OPTIMAL
+
+    def test_backends_agree(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        ours = design(problem, backend="bnb")
+        ref = design(problem, backend="scipy")
+        assert ours.makespan == pytest.approx(ref.makespan)
+
+    def test_bus_times_consistent(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        result = design(problem)
+        assert max(result.bus_times) == pytest.approx(result.makespan)
+        assert result.bus_times == result.assignment.bus_times(problem.timing)
+
+    def test_wirelength_reported_with_floorplan(self, s1, arch3, s1_floorplan):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial", floorplan=s1_floorplan)
+        result = design(problem)
+        assert result.wirelength is not None and result.wirelength > 0
+
+    def test_wirelength_absent_without_floorplan(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        assert design(problem).wirelength is None
+
+    def test_describe_includes_solver_info(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        text = design(problem).describe()
+        assert "status=optimal" in text and "makespan" in text
+
+
+class TestDesignConstrained:
+    def test_power_constraint_respected_and_optimal(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial", power_budget=110.0)
+        result = design(problem)
+        oracle = exhaustive_optimal(
+            s1, arch3, problem.timing, forced_pairs=problem.forced_pairs
+        )
+        assert result.makespan == pytest.approx(oracle.makespan)
+        for a, b in problem.forced_pairs:
+            assert result.assignment.shares_bus(a, b)
+
+    def test_layout_constraint_respected_and_optimal(self, s1, arch3, s1_floorplan):
+        problem = DesignProblem(
+            soc=s1, arch=arch3, timing="serial",
+            floorplan=s1_floorplan, max_pair_distance=5.0,
+        )
+        result = design(problem)
+        oracle = exhaustive_optimal(
+            s1, arch3, problem.timing, forbidden_pairs=problem.forbidden_pairs
+        )
+        assert result.makespan == pytest.approx(oracle.makespan)
+        for a, b in problem.forbidden_pairs:
+            assert not result.assignment.shares_bus(a, b)
+
+    def test_contradiction_raises_before_solving(self, s1, arch3):
+        problem = DesignProblem(
+            soc=s1, arch=arch3, timing="serial",
+            extra_forced=[(0, 1)], extra_forbidden=[(0, 1)],
+        )
+        with pytest.raises(InfeasibleError) as excinfo:
+            design(problem)
+        assert "contradiction" in str(excinfo.value)
+
+    def test_overconstrained_layout_infeasible(self, s1, s1_floorplan):
+        arch = TamArchitecture([16, 16])
+        problem = DesignProblem(
+            soc=s1, arch=arch, timing="serial",
+            floorplan=s1_floorplan, max_pair_distance=1.0,
+        )
+        with pytest.raises(InfeasibleError):
+            design(problem)
+
+    def test_constraints_never_improve_time(self, s1, arch3, s1_floorplan):
+        base = design(DesignProblem(soc=s1, arch=arch3, timing="serial")).makespan
+        constrained = design(
+            DesignProblem(
+                soc=s1, arch=arch3, timing="serial", power_budget=110.0,
+                floorplan=s1_floorplan, max_pair_distance=7.0,
+            )
+        ).makespan
+        assert constrained >= base - 1e-9
+
+    def test_node_limit_raises_solver_error(self, s2):
+        arch = TamArchitecture([32, 16, 16])
+        problem = DesignProblem(soc=s2, arch=arch, timing="serial")
+        with pytest.raises(SolverError):
+            design(problem, node_limit=1, dive=False)
+
+
+class TestBestArchitecture:
+    def test_beats_or_matches_even_split(self, s1):
+        sweep = design_best_architecture(s1, 32, 2, timing="serial")
+        even = design(
+            DesignProblem(soc=s1, arch=TamArchitecture.even_split(32, 2), timing="serial")
+        )
+        assert sweep.best_makespan <= even.makespan + 1e-9
+        assert sweep.evaluated == 16  # partitions of 32 into exactly 2 parts
+
+    def test_per_architecture_trace_complete(self, s1):
+        sweep = design_best_architecture(s1, 12, 3, timing="serial")
+        assert len(sweep.per_architecture) == sweep.evaluated
+        feasible = [m for _, m in sweep.per_architecture if m is not None]
+        assert min(feasible) == pytest.approx(sweep.best_makespan)
+
+    def test_infeasible_distributions_counted(self, s1):
+        # Fixed-width S1 needs a 16-wide bus; splitting 18 over 3 buses
+        # leaves some partitions with no 16-wide bus.
+        sweep = design_best_architecture(s1, 18, 3, timing="fixed")
+        assert sweep.infeasible > 0
+        assert sweep.best is not None
+
+    def test_pruning_is_sound(self, s1):
+        # The serial sweep at W=16 prunes several distributions via the
+        # certified lower bounds; verify the pruned sweep still finds the
+        # true best by solving every distribution manually.
+        sweep = design_best_architecture(s1, 16, 3, timing="serial", backend="scipy")
+        assert sweep.pruned > 0
+        best = math.inf
+        for arch in TamArchitecture.enumerate_distributions(16, 3):
+            problem = DesignProblem(soc=s1, arch=arch, timing="serial")
+            try:
+                best = min(best, design(problem, backend="scipy").makespan)
+            except InfeasibleError:
+                continue
+        assert sweep.best_makespan == pytest.approx(best)
+
+    def test_width_infeasible_archs_counted_not_pruned(self, s1):
+        # Fixed timing at W=18: distributions lacking a 16-wide bus are
+        # provably infeasible and must land in `infeasible`, never `pruned`.
+        sweep = design_best_architecture(s1, 18, 3, timing="fixed")
+        assert sweep.infeasible > 0
+        assert sweep.evaluated == sweep.infeasible + len(
+            [m for _, m in sweep.per_architecture if m is not None]
+        )
+
+    def test_all_infeasible_returns_none(self, s1):
+        sweep = design_best_architecture(s1, 8, 2, timing="fixed")
+        assert sweep.best is None
+        assert sweep.best_makespan == math.inf
+        assert sweep.infeasible == sweep.evaluated
+
+
+class TestRandomizedOracle:
+    @given(st.integers(0, 60))
+    @settings(max_examples=15)
+    def test_random_instances_match_exhaustive(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        soc = generate_synthetic_soc(int(rng.integers(3, 7)), seed=seed)
+        widths = [int(w) for w in rng.choice([4, 8, 16, 32], size=int(rng.integers(2, 4)))]
+        arch = TamArchitecture(widths)
+        problem = DesignProblem(soc=soc, arch=arch, timing="serial")
+        result = design(problem)
+        oracle = exhaustive_optimal(soc, arch, problem.timing)
+        assert result.makespan == pytest.approx(oracle.makespan)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=10)
+    def test_random_constrained_instances_match_exhaustive(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed + 1000)
+        soc = generate_synthetic_soc(5, seed=seed)
+        arch = TamArchitecture([16, 16, 8])
+        floorplan = grid_place(soc)
+        powers = sorted(c.test_power for c in soc)
+        budget = powers[-1] + powers[-2] * float(rng.uniform(0.3, 1.2))
+        delta = floorplan.spread() * float(rng.uniform(0.5, 1.0))
+        problem = DesignProblem(
+            soc=soc, arch=arch, timing="serial", power_budget=budget,
+            floorplan=floorplan, max_pair_distance=delta,
+        )
+        try:
+            result = design(problem)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                exhaustive_optimal(
+                    soc, arch, problem.timing,
+                    forbidden_pairs=problem.forbidden_pairs,
+                    forced_pairs=problem.forced_pairs,
+                )
+            return
+        oracle = exhaustive_optimal(
+            soc, arch, problem.timing,
+            forbidden_pairs=problem.forbidden_pairs,
+            forced_pairs=problem.forced_pairs,
+        )
+        assert result.makespan == pytest.approx(oracle.makespan)
+        assert problem.validate(result.assignment) == []

@@ -1,0 +1,130 @@
+"""Tests for the dual problems: width minimization and bus-count exploration."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DesignProblem,
+    design,
+    design_best_architecture,
+    explore_bus_counts,
+    minimize_width,
+)
+from repro.tam import TamArchitecture, make_timing_model
+from repro.util.errors import InfeasibleError, ValidationError
+
+
+class TestMaxUsefulWidth:
+    def test_fixed_and_serial_use_interface_width(self, s1):
+        assert make_timing_model("fixed").max_useful_bus_width(s1) == 16
+        assert make_timing_model("serial").max_useful_bus_width(s1) == 16
+
+    def test_flexible_uses_pareto_knee(self, s1):
+        knee = make_timing_model("flexible").max_useful_bus_width(s1)
+        assert 1 <= knee <= 64
+
+    def test_clamped_sweep_matches_unclamped(self, s1):
+        plain = design_best_architecture(s1, 24, 2, timing="serial")
+        clamped = design_best_architecture(
+            s1, 24, 2, timing="serial", clamp_useless_width=True
+        )
+        assert clamped.best_makespan == pytest.approx(plain.best_makespan)
+        assert clamped.evaluated <= plain.evaluated
+
+    def test_clamp_shrinks_oversized_budget(self, s1):
+        # 2 buses x cap 16 = 32 useful wires; a 100-wire budget collapses.
+        clamped = design_best_architecture(
+            s1, 100, 2, timing="serial", clamp_useless_width=True
+        )
+        assert clamped.evaluated == 1  # only (16, 16)
+        reference = design(
+            DesignProblem(soc=s1, arch=TamArchitecture([16, 16]), timing="serial")
+        )
+        assert clamped.best_makespan == pytest.approx(reference.makespan)
+
+
+class TestMinimizeWidth:
+    def test_finds_knee_exactly(self, s1):
+        # Establish T* at a few widths, then ask for the budget between them.
+        at_24 = design_best_architecture(s1, 24, 2, timing="serial").best_makespan
+        at_23 = design_best_architecture(s1, 23, 2, timing="serial").best_makespan
+        assert at_23 >= at_24
+        result = minimize_width(s1, 2, time_budget=at_24, timing="serial", max_width=40)
+        if at_23 > at_24:
+            assert result.min_width == 24
+        else:
+            assert result.min_width <= 24
+        assert result.design.makespan <= at_24 + 1e-9
+
+    def test_budget_of_unconstrained_optimum(self, s1):
+        # The loosest meaningful budget: time at full useful width.
+        full = design_best_architecture(
+            s1, 32, 2, timing="serial", clamp_useless_width=True
+        ).best_makespan
+        result = minimize_width(s1, 2, time_budget=full, timing="serial")
+        assert result.design.makespan <= full + 1e-9
+        # And the width just below must miss the budget.
+        if result.min_width > 2:
+            below = design_best_architecture(
+                s1, result.min_width - 1, 2, timing="serial", clamp_useless_width=True
+            )
+            assert below.best is None or below.best.makespan > full
+
+    def test_unreachable_budget_raises(self, s1):
+        with pytest.raises(InfeasibleError):
+            minimize_width(s1, 2, time_budget=1.0, timing="serial", max_width=48)
+
+    def test_bad_inputs_rejected(self, s1):
+        with pytest.raises(ValidationError):
+            minimize_width(s1, 2, time_budget=0)
+        with pytest.raises(ValidationError):
+            minimize_width(s1, 4, time_budget=100, max_width=3)
+
+    def test_respects_power_constraints(self, s1):
+        # Budget chosen as the best time achievable *under* the power
+        # constraint, so both searches succeed and can be compared.
+        achievable = design_best_architecture(
+            s1, 48, 3, timing="serial", power_budget=120.0, clamp_useless_width=True
+        ).best_makespan
+        loose = minimize_width(s1, 3, time_budget=achievable, timing="serial")
+        tight = minimize_width(
+            s1, 3, time_budget=achievable, timing="serial", power_budget=120.0
+        )
+        # Constraints can only demand more wires for the same time budget.
+        assert tight.min_width >= loose.min_width
+        assert tight.design.makespan <= achievable + 1e-9
+
+    def test_trace_is_recorded(self, s1):
+        result = minimize_width(s1, 2, time_budget=9000.0, timing="serial")
+        assert result.evaluated_widths == sorted(result.evaluated_widths)
+        assert any(w == result.min_width for w, _ in result.evaluated_widths)
+        assert "min TAM width" in result.describe()
+
+
+class TestExploreBusCounts:
+    def test_covers_all_counts(self, s1):
+        points = explore_bus_counts(s1, 32, 4, timing="serial")
+        assert [p.num_buses for p in points] == [1, 2, 3, 4]
+        assert all(p.makespan is not None for p in points)
+
+    def test_single_bus_is_total_serialization(self, s1, serial_timing):
+        point = explore_bus_counts(s1, 32, 1, timing=serial_timing)[0]
+        expected = sum(serial_timing.time_on_bus(c, 32) for c in s1)
+        assert point.makespan == pytest.approx(expected)
+
+    def test_width_smaller_than_count_marked_infeasible(self, s1):
+        points = explore_bus_counts(s1, 3, 4, timing="serial")
+        assert points[3].makespan is None
+
+    def test_bad_count_rejected(self, s1):
+        with pytest.raises(ValidationError):
+            explore_bus_counts(s1, 16, 0)
+
+    def test_some_intermediate_count_is_best(self, s1):
+        # The NB knee: neither 1 bus (no concurrency) nor max buses
+        # (starved widths) wins on S1 at W=32.
+        points = explore_bus_counts(s1, 32, 4, timing="serial")
+        spans = [p.makespan for p in points]
+        best = min(spans)
+        assert spans.index(best) not in (0,)

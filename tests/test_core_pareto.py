@@ -1,0 +1,100 @@
+"""Tests for the sweep drivers and Pareto extraction."""
+
+import pytest
+
+from repro.core import distance_budget_sweep, power_budget_sweep, width_sweep
+from repro.core.pareto import SweepPoint, pareto_front
+from repro.tam import TamArchitecture
+
+
+class TestWidthSweep:
+    def test_monotone_and_details(self, s1):
+        points = width_sweep(s1, 2, [8, 16, 24, 32], timing="serial")
+        values = [p.makespan for p in points if p.feasible]
+        assert len(values) == 4
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+        assert all(p.detail.startswith("TAM[") for p in points if p.feasible)
+
+    def test_width_below_bus_count_infeasible(self, s1):
+        points = width_sweep(s1, 3, [2, 6], timing="serial")
+        assert not points[0].feasible
+        assert points[0].detail == "W < NB"
+        assert points[1].feasible
+
+    def test_fixed_timing_narrow_budget_infeasible(self, s1):
+        points = width_sweep(s1, 2, [8], timing="fixed")
+        assert not points[0].feasible
+        assert "infeasible" in points[0].detail
+
+
+class TestPowerSweep:
+    def test_default_budgets_cover_change_points(self, s1, arch2):
+        from repro.power import budget_sweep_points
+
+        points = power_budget_sweep(s1, arch2, timing="serial")
+        expected = budget_sweep_points(s1)
+        assert len(points) == len(expected) + 1  # + loose endpoint
+        values = [p.makespan for p in points if p.feasible]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_custom_budgets(self, s1, arch2):
+        points = power_budget_sweep(s1, arch2, timing="serial", budgets=[100.0, 500.0])
+        assert [p.budget for p in points] == [100.0, 500.0]
+
+    def test_detail_counts_pairs(self, s1, arch2):
+        point = power_budget_sweep(s1, arch2, timing="serial", budgets=[110.0])[0]
+        assert "forced pairs" in point.detail
+
+
+class TestDistanceSweep:
+    def test_time_tightens_wirelength_shrinks(self, s1, arch3, s1_floorplan):
+        points = distance_budget_sweep(s1, arch3, s1_floorplan, timing="serial")
+        feasible = [p for p in points if p.feasible]
+        times = [p.makespan for p in feasible]
+        # budgets descend, so times weakly increase down the sweep
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+        assert any(not p.feasible for p in points)  # tight end goes infeasible
+
+    def test_custom_deltas(self, s1, arch3, s1_floorplan):
+        points = distance_budget_sweep(
+            s1, arch3, s1_floorplan, timing="serial", deltas=[10.0, 5.0]
+        )
+        assert [p.budget for p in points] == [10.0, 5.0]
+        assert points[0].wirelength is not None
+
+
+class TestParetoFront:
+    def test_extracts_non_dominated(self):
+        points = [
+            SweepPoint(1, makespan=100, wirelength=50),
+            SweepPoint(2, makespan=90, wirelength=60),   # frontier
+            SweepPoint(3, makespan=100, wirelength=40),  # frontier
+            SweepPoint(4, makespan=110, wirelength=45),  # dominated by 3
+            SweepPoint(5, makespan=None, wirelength=None),
+        ]
+        front = pareto_front(points)
+        assert {(p.makespan, p.wirelength) for p in front} == {(90, 60), (100, 40)}
+
+    def test_duplicates_collapsed(self):
+        points = [
+            SweepPoint(1, makespan=10, wirelength=5),
+            SweepPoint(2, makespan=10, wirelength=5),
+        ]
+        assert len(pareto_front(points)) == 1
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        front = pareto_front([SweepPoint(1, makespan=10, wirelength=5)])
+        assert len(front) == 1
+
+    def test_frontier_sorted_by_makespan(self):
+        points = [
+            SweepPoint(1, makespan=30, wirelength=1),
+            SweepPoint(2, makespan=10, wirelength=9),
+            SweepPoint(3, makespan=20, wirelength=5),
+        ]
+        front = pareto_front(points)
+        spans = [p.makespan for p in front]
+        assert spans == sorted(spans)

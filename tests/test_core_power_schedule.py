@@ -1,0 +1,112 @@
+"""Tests for power-capped schedule construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DesignProblem, build_schedule, design, schedule_with_power_cap
+from repro.soc import build_s1, generate_synthetic_soc
+from repro.tam import TamArchitecture
+from repro.util.errors import InfeasibleError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def s1_designed():
+    soc = build_s1()
+    problem = DesignProblem(soc=soc, arch=TamArchitecture([16, 16, 16]), timing="serial")
+    return problem, design(problem).assignment
+
+
+class TestCapCompliance:
+    def test_profile_respects_cap(self, s1_designed):
+        problem, assignment = s1_designed
+        capped = schedule_with_power_cap(problem, assignment, 150.0)
+        assert capped.schedule.power_profile().respects(150.0)
+
+    def test_all_cores_scheduled_exactly_once(self, s1_designed):
+        problem, assignment = s1_designed
+        capped = schedule_with_power_cap(problem, assignment, 150.0)
+        assert sorted(s.core_name for s in capped.schedule.sessions) == sorted(
+            problem.soc.core_names
+        )
+
+    def test_buses_stay_serial(self, s1_designed):
+        problem, assignment = s1_designed
+        capped = schedule_with_power_cap(problem, assignment, 120.0)
+        for bus in {s.bus for s in capped.schedule.sessions}:
+            sessions = capped.schedule.sessions_on_bus(bus)
+            for earlier, later in zip(sessions, sessions[1:]):
+                assert earlier.end <= later.start + 1e-9
+
+    def test_sessions_stay_on_assigned_bus(self, s1_designed):
+        problem, assignment = s1_designed
+        capped = schedule_with_power_cap(problem, assignment, 130.0)
+        for session in capped.schedule.sessions:
+            index = problem.soc.index_of(session.core_name)
+            assert session.bus == assignment.bus_of[index]
+
+
+class TestCost:
+    def test_loose_cap_is_free(self, s1_designed):
+        problem, assignment = s1_designed
+        capped = schedule_with_power_cap(
+            problem, assignment, problem.soc.total_test_power
+        )
+        assert capped.slowdown == pytest.approx(0.0)
+        assert capped.makespan == pytest.approx(assignment.makespan(problem.timing))
+
+    def test_tight_cap_costs_time(self, s1_designed):
+        problem, assignment = s1_designed
+        # Just above the hungriest core: near-total serialization.
+        cap = max(c.test_power for c in problem.soc) + 1.0
+        capped = schedule_with_power_cap(problem, assignment, cap)
+        assert capped.makespan > assignment.makespan(problem.timing)
+        assert capped.slowdown > 0
+
+    def test_never_faster_than_base(self, s1_designed):
+        problem, assignment = s1_designed
+        for cap in (100.0, 130.0, 180.0, 260.0):
+            capped = schedule_with_power_cap(problem, assignment, cap)
+            assert capped.makespan >= assignment.makespan(problem.timing) - 1e-9
+
+    def test_cap_below_single_core_infeasible(self, s1_designed):
+        problem, assignment = s1_designed
+        with pytest.raises(InfeasibleError):
+            schedule_with_power_cap(problem, assignment, 50.0)
+
+    def test_nonpositive_cap_rejected(self, s1_designed):
+        problem, assignment = s1_designed
+        with pytest.raises(ValidationError):
+            schedule_with_power_cap(problem, assignment, 0.0)
+
+    def test_capped_beats_or_matches_full_serialization(self, s1_designed):
+        problem, assignment = s1_designed
+        cap = max(c.test_power for c in problem.soc) + 1.0
+        capped = schedule_with_power_cap(problem, assignment, cap)
+        total_serial = sum(
+            problem.times[i][assignment.bus_of[i]] for i in range(len(problem.soc))
+        )
+        assert capped.makespan <= total_serial + 1e-9
+
+
+class TestRandomized:
+    @given(st.integers(0, 40))
+    @settings(max_examples=12)
+    def test_random_instances_comply(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        soc = generate_synthetic_soc(int(rng.integers(4, 8)), seed=seed)
+        problem = DesignProblem(
+            soc=soc, arch=TamArchitecture([16, 16, 8]), timing="serial"
+        )
+        assignment = design(problem).assignment
+        hungriest = max(c.test_power for c in soc)
+        cap = hungriest * float(rng.uniform(1.05, 2.5))
+        capped = schedule_with_power_cap(problem, assignment, cap)
+        profile = capped.schedule.power_profile()
+        assert profile.respects(cap)
+        assert capped.makespan >= assignment.makespan(problem.timing) - 1e-9
+        # the uncapped schedule's peak can exceed cap; the capped one's cannot
+        plain = build_schedule(problem, assignment)
+        assert profile.peak <= plain.peak_power + 1e-9 or plain.peak_power <= cap

@@ -1,0 +1,118 @@
+"""Tests for schedule construction and its power verification."""
+
+import itertools
+
+import pytest
+
+from repro.core import DesignProblem, build_schedule, design
+from repro.tam import Assignment, TamArchitecture
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def s1_problem(s1, arch3):
+    return DesignProblem(soc=s1, arch=arch3, timing="serial")
+
+
+@pytest.fixture
+def s1_schedule(s1_problem):
+    assignment = design(s1_problem).assignment
+    return s1_problem, assignment, build_schedule(s1_problem, assignment)
+
+
+class TestScheduleStructure:
+    def test_every_core_scheduled_once(self, s1, s1_schedule):
+        _, _, schedule = s1_schedule
+        names = sorted(s.core_name for s in schedule.sessions)
+        assert names == sorted(s1.core_names)
+
+    def test_serial_within_bus(self, s1_schedule):
+        _, _, schedule = s1_schedule
+        for bus in {s.bus for s in schedule.sessions}:
+            sessions = schedule.sessions_on_bus(bus)
+            for earlier, later in zip(sessions, sessions[1:]):
+                assert earlier.end <= later.start + 1e-9
+
+    def test_bus_packed_from_zero_without_gaps(self, s1_schedule):
+        _, _, schedule = s1_schedule
+        for bus in {s.bus for s in schedule.sessions}:
+            sessions = schedule.sessions_on_bus(bus)
+            assert sessions[0].start == 0.0
+            for earlier, later in zip(sessions, sessions[1:]):
+                assert later.start == pytest.approx(earlier.end)
+
+    def test_makespan_matches_assignment(self, s1_schedule):
+        problem, assignment, schedule = s1_schedule
+        assert schedule.makespan == pytest.approx(assignment.makespan(problem.timing))
+
+    def test_durations_match_timing_matrix(self, s1_schedule):
+        problem, assignment, schedule = s1_schedule
+        for session in schedule.sessions:
+            index = problem.soc.index_of(session.core_name)
+            assert session.duration == pytest.approx(
+                problem.times[index][assignment.bus_of[index]]
+            )
+
+    def test_unknown_policy_rejected(self, s1_problem):
+        assignment = design(s1_problem).assignment
+        with pytest.raises(ValidationError):
+            build_schedule(s1_problem, assignment, policy="fifo")
+
+
+class TestSchedulePolicies:
+    def test_policies_same_makespan(self, s1_problem):
+        assignment = design(s1_problem).assignment
+        lpt = build_schedule(s1_problem, assignment, policy="lpt")
+        stagger = build_schedule(s1_problem, assignment, policy="power_stagger")
+        assert lpt.makespan == pytest.approx(stagger.makespan)
+
+    def test_lpt_orders_descending_within_bus(self, s1_problem):
+        assignment = design(s1_problem).assignment
+        schedule = build_schedule(s1_problem, assignment, policy="lpt")
+        for bus in {s.bus for s in schedule.sessions}:
+            durations = [s.duration for s in schedule.sessions_on_bus(bus)]
+            assert durations == sorted(durations, reverse=True)
+
+
+class TestSchedulePower:
+    def test_profile_consistent_with_concurrency(self, s1_schedule):
+        _, _, schedule = s1_schedule
+        profile = schedule.power_profile()
+        probe = schedule.makespan * 0.3
+        concurrent = schedule.concurrent_at(probe)
+        by_name = {s.core_name: s.power for s in schedule.sessions}
+        assert profile.power_at(probe) == pytest.approx(
+            sum(by_name[name] for name in concurrent)
+        )
+
+    def test_peak_bounded_by_total(self, s1, s1_schedule):
+        _, _, schedule = s1_schedule
+        assert schedule.peak_power <= s1.total_test_power + 1e-9
+
+    def test_designed_budget_respected_pairwise(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial", power_budget=120.0)
+        result = design(problem)
+        schedule = build_schedule(problem, result.assignment)
+        for a, b in itertools.combinations(schedule.sessions, 2):
+            if a.bus != b.bus and a.start < b.end and b.start < a.end:
+                assert a.power + b.power <= 120.0 + 1e-9
+
+
+class TestGantt:
+    def test_gantt_renders_every_bus(self, s1_schedule):
+        _, _, schedule = s1_schedule
+        chart = schedule.gantt(width=40)
+        for bus in {s.bus for s in schedule.sessions}:
+            assert f"bus {bus}:" in chart
+
+    def test_gantt_rejects_bad_width(self, s1_schedule):
+        _, _, schedule = s1_schedule
+        with pytest.raises(ValidationError):
+            schedule.gantt(width=0)
+
+    def test_empty_schedule_safe(self):
+        from repro.core.scheduler import TestSchedule
+
+        schedule = TestSchedule("empty", [])
+        assert schedule.makespan == 0.0
+        assert schedule.peak_power == 0.0

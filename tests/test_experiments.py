@@ -1,0 +1,143 @@
+"""Integration tests over the experiment harnesses.
+
+Each experiment module carries its own shape assertions (the paper's
+qualitative claims); running it to completion is itself the test. The
+configurations here are trimmed for suite speed where the experiment
+exposes knobs; T2/F1 (the slow exact sweeps) run on reduced budgets.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments import (
+    f1_width,
+    f2_power_curve,
+    f3_tradeoff,
+    f4_scaling,
+    t1_composition,
+    t2_unconstrained,
+    t3_power,
+    t4_layout,
+    t5_combined,
+)
+from repro.soc import build_s1
+from repro.tam import TamArchitecture
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert sorted(REGISTRY) == [
+            "E1", "E2", "E3", "E4", "E5",
+            "F1", "F2", "F3", "F4",
+            "T1", "T2", "T3", "T4", "T5",
+        ]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("T99")
+
+    def test_case_insensitive(self):
+        result = run_experiment("t1")
+        assert result.experiment_id == "T1"
+
+
+class TestTables:
+    def test_t1_full(self):
+        result = t1_composition.run()
+        assert len(result.tables) == 2
+        assert len(result.checks) > 10
+        assert "S1 composition" in result.render()
+
+    def test_t2_reduced(self, s1):
+        result = t2_unconstrained.run(socs=(s1,), budgets=((24, 2), (24, 3)))
+        table = result.tables[0]
+        assert len(table) == 2
+        ilp = table.column("ILP T*")
+        lpt = table.column("LPT")
+        assert all(l >= i - 1e-9 for i, l in zip(ilp, lpt) if l is not None)
+
+    def test_t3_s1_only(self, s1):
+        result = t3_power.run(socs=(s1,))
+        times = [t for t in result.tables[0].column("T* (cycles)") if t is not None]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_t4_s1_only(self, s1):
+        result = t4_layout.run(socs=(s1,))
+        table = result.tables[0]
+        assert "delta (mm)" in table.headers
+        deltas = table.column("delta (mm)")
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_t5_s1_only(self, s1):
+        result = t5_combined.run(socs=(s1,))
+        assert any("INF" in str(cell) or isinstance(cell, float) for row in result.tables[0].rows for cell in row)
+        assert any("unconstrained optimum" in c for c in result.checks)
+
+
+class TestFigures:
+    def test_f1_reduced(self, s1):
+        result = f1_width.run(soc=s1, bus_counts=(2,), total_widths=[8, 16, 24, 32])
+        values = result.tables[0].column("NB=2 T*")
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_f2_s1(self, s1):
+        result = f2_power_curve.run(soc=s1)
+        assert len(result.tables) == 1
+        assert any("never hurt" in c for c in result.checks)
+
+    def test_f3_grid_only(self, s1):
+        result = f3_tradeoff.run(soc=s1, anneal_iterations=50)
+        titles = [t.title for t in result.tables]
+        assert any("Pareto" in t for t in titles)
+
+    def test_f4_small_sizes(self):
+        result = f4_scaling.run(sizes=(4, 6, 8, 10))
+        table = result.tables[0]
+        assert table.column("cores") == [4, 6, 8, 10]
+        assert all(n >= 1 for n in table.column("bnb nodes"))
+
+    def test_f4_custom_arch(self):
+        result = f4_scaling.run(sizes=(4, 6, 8, 10), arch=TamArchitecture([16, 16]))
+        assert "TAM[16+16]" in result.tables[0].title
+
+
+class TestExtensions:
+    def test_e1_s1_only(self, s1):
+        from repro.experiments import e1_power_cap
+        from repro.tam import TamArchitecture
+
+        result = e1_power_cap.run(
+            socs=(s1,), archs={"S1": TamArchitecture([16, 16, 16])}
+        )
+        slowdowns = [s for s in result.tables[0].column("slowdown (%)") if s is not None]
+        assert all(s >= 0 for s in slowdowns)
+        assert any("costs nothing" in c for c in result.checks)
+
+    def test_e2_s1_only(self, s1):
+        from repro.experiments import e2_bus_count
+
+        result = e2_bus_count.run(socs=(s1,), total_width=24, max_buses=3)
+        assert result.tables[0].column("NB") == [1, 2, 3]
+
+    def test_e3_small(self, s1):
+        from repro.experiments import e3_min_width
+
+        result = e3_min_width.run(soc=s1, num_buses=2)
+        assert len(result.tables[0]) >= 2
+
+
+class TestRender:
+    def test_render_contains_sections(self, s1):
+        result = f2_power_curve.run(soc=s1)
+        text = result.render()
+        assert text.startswith("=== F2")
+        assert "check passed:" in text
+
+    def test_failed_check_raises(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult("X", "test")
+        with pytest.raises(AssertionError):
+            result.check(False, "never true")
+        result.check(True, "fine")
+        assert result.checks == ["fine"]

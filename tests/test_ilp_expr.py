@@ -1,0 +1,147 @@
+"""Tests for the linear expression layer."""
+
+import pytest
+
+from repro.ilp import BINARY, EQ, GE, LE, Model, quicksum
+from repro.ilp.expr import Constraint, LinExpr
+
+
+@pytest.fixture
+def model():
+    return Model("expr-tests")
+
+
+@pytest.fixture
+def xy(model):
+    return model.add_var("x"), model.add_var("y")
+
+
+class TestArithmetic:
+    def test_addition_merges_terms(self, xy):
+        x, y = xy
+        expr = x + y + x
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == 1.0
+
+    def test_subtraction_and_negation(self, xy):
+        x, y = xy
+        expr = x - 2 * y - x
+        assert expr.terms.get(x, 0.0) == 0.0
+        assert expr.terms[y] == -2.0
+        neg = -(x + 1)
+        assert neg.terms[x] == -1.0 and neg.constant == -1.0
+
+    def test_scalar_multiplication_both_sides(self, xy):
+        x, _ = xy
+        assert (3 * x).terms[x] == 3.0
+        assert (x * 3).terms[x] == 3.0
+
+    def test_division_by_scalar(self, xy):
+        x, _ = xy
+        assert (x / 4).terms[x] == 0.25
+
+    def test_division_by_zero_raises(self, xy):
+        x, _ = xy
+        with pytest.raises(ZeroDivisionError):
+            (x + 0) / 0
+
+    def test_expression_times_expression_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)
+
+    def test_constants_fold(self, xy):
+        x, _ = xy
+        expr = (x + 2) + 3
+        assert expr.constant == 5.0
+
+    def test_rsub_from_number(self, xy):
+        x, _ = xy
+        expr = 10 - x
+        assert expr.terms[x] == -1.0 and expr.constant == 10.0
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeError):
+            LinExpr._coerce("nope")
+
+
+class TestComparisons:
+    def test_le_builds_constraint(self, xy):
+        x, y = xy
+        constr = x + y <= 3
+        assert isinstance(constr, Constraint)
+        assert constr.sense == LE
+        assert constr.rhs == 3.0
+
+    def test_ge_and_eq(self, xy):
+        x, _ = xy
+        assert (x >= 1).sense == GE
+        assert (x == 1).sense == EQ
+
+    def test_constraint_has_no_truth_value(self, xy):
+        x, y = xy
+        with pytest.raises(TypeError):
+            bool(x <= y)
+
+    def test_violation_measures(self, xy):
+        x, y = xy
+        constr = x + y <= 3
+        assert constr.violation({x: 2.0, y: 2.0}) == pytest.approx(1.0)
+        assert constr.violation({x: 1.0, y: 1.0}) == 0.0
+        eq = x == 2
+        assert eq.violation({x: 0.5, y: 0.0}) == pytest.approx(1.5)
+
+    def test_is_satisfied_tolerance(self, xy):
+        x, _ = xy
+        constr = x <= 1
+        assert constr.is_satisfied({x: 1.0 + 1e-9})
+        assert not constr.is_satisfied({x: 1.1})
+
+
+class TestQuicksum:
+    def test_matches_builtin_sum(self, model):
+        xs = model.add_vars(5, prefix="q")
+        fast = quicksum(2 * v for v in xs)
+        slow = sum((2 * v for v in xs), LinExpr())
+        assert fast.terms == slow.terms
+
+    def test_empty_is_zero(self):
+        expr = quicksum([])
+        assert expr.terms == {} and expr.constant == 0.0
+
+    def test_mixes_numbers_and_vars(self, xy):
+        x, y = xy
+        expr = quicksum([x, 2, y, 3])
+        assert expr.constant == 5.0
+        assert expr.terms[x] == 1.0 and expr.terms[y] == 1.0
+
+
+class TestEvaluation:
+    def test_value_under_assignment(self, xy):
+        x, y = xy
+        assert (2 * x + 3 * y + 1).value({x: 2.0, y: 1.0}) == pytest.approx(8.0)
+
+    def test_simplified_drops_zeros(self, xy):
+        x, y = xy
+        expr = (x + y - y).simplified()
+        assert y not in expr.terms and x in expr.terms
+
+    def test_repr_readable(self, xy):
+        x, y = xy
+        text = repr(2 * x - y)
+        assert "x" in text and "y" in text
+
+    def test_linexpr_not_hashable(self, xy):
+        x, _ = xy
+        with pytest.raises(TypeError):
+            hash(x + 1)
+
+
+class TestBinaryVar:
+    def test_binary_bounds_clamped(self, model):
+        b = model.add_var("b", vartype=BINARY)
+        assert b.lb == 0.0 and b.ub == 1.0
+        assert b.is_integer
+
+    def test_variable_repr(self, model):
+        assert "b2" in repr(model.add_var("b2"))

@@ -1,0 +1,108 @@
+"""Tests for the LP relaxation front-end and the scipy MILP backend."""
+
+import math
+
+import pytest
+
+from repro.ilp import Model, Status, quicksum, solve_with_scipy
+from repro.ilp.lp import solve_matrix_lp
+
+
+def _lp_model():
+    m = Model("lp")
+    x = m.add_var("x", ub=4)
+    y = m.add_var("y", ub=4)
+    m.add_constr(x + 2 * y <= 6)
+    m.maximize(3 * x + 2 * y)
+    return m, x, y
+
+
+class TestRelaxation:
+    def test_scipy_and_simplex_agree(self):
+        m, _, _ = _lp_model()
+        fast = m.solve_relaxation(method="scipy")
+        slow = m.solve_relaxation(method="simplex")
+        assert fast.objective == pytest.approx(14.0)
+        assert slow.objective == pytest.approx(14.0)
+
+    def test_relaxation_of_binary_model_is_fractional(self):
+        m = Model()
+        a, b = m.add_binary("a"), m.add_binary("b")
+        m.add_constr(a + b <= 1.5)
+        m.maximize(a + b)
+        sol = m.solve_relaxation()
+        assert sol.objective == pytest.approx(1.5)
+
+    def test_value_of_expression(self):
+        m, x, y = _lp_model()
+        sol = m.solve_relaxation()
+        assert sol.value(x + y) == pytest.approx(sol[x] + sol[y])
+
+    def test_infeasible_relaxation_status(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constr(x >= 2)
+        m.minimize(x)
+        assert m.solve_relaxation().status is Status.INFEASIBLE
+
+    def test_matrix_lp_bound_override_infeasible(self):
+        m, _, _ = _lp_model()
+        form = m.to_matrix_form()
+        import numpy as np
+
+        res = solve_matrix_lp(form, lb=np.array([5.0, 0.0]), ub=np.array([4.0, 4.0]))
+        assert res.status == "infeasible"
+
+    def test_matrix_lp_rejects_unknown_method(self):
+        m, _, _ = _lp_model()
+        with pytest.raises(ValueError):
+            solve_matrix_lp(m.to_matrix_form(), method="barrier")
+
+
+class TestScipyBackend:
+    def test_optimal(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(4)]
+        m.add_constr(quicksum(xs) <= 2)
+        m.maximize(quicksum((i + 1) * x for i, x in enumerate(xs)))
+        sol = solve_with_scipy(m)
+        assert sol.status is Status.OPTIMAL
+        assert sol.objective == pytest.approx(7.0)
+        assert sol.backend == "scipy"
+
+    def test_infeasible(self):
+        m = Model()
+        a = m.add_binary("a")
+        m.add_constr(a >= 2)
+        m.minimize(a)
+        assert solve_with_scipy(m).status is Status.INFEASIBLE
+
+    def test_unbounded(self):
+        from repro.ilp import INTEGER
+
+        m = Model()
+        x = m.add_var("x", vartype=INTEGER)
+        m.maximize(x)
+        assert solve_with_scipy(m).status is Status.UNBOUNDED
+
+    def test_objective_constant_preserved(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.maximize(x + 10)
+        assert solve_with_scipy(m).objective == pytest.approx(11.0)
+
+    def test_rounded_snaps_near_integers(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.maximize(x)
+        sol = solve_with_scipy(m)
+        values = sol.rounded()
+        assert values[x] in (0.0, 1.0)
+
+
+def test_solution_repr_mentions_status():
+    m = Model()
+    x = m.add_binary("x")
+    m.maximize(x)
+    text = repr(m.solve())
+    assert "optimal" in text

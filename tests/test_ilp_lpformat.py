@@ -1,0 +1,154 @@
+"""Tests for LP file format export/import (round-trip + re-solve)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import BINARY, INTEGER, Model, quicksum
+from repro.ilp.lpformat import load_lp, parse_lp, save_lp, write_lp
+from repro.util.errors import ValidationError
+
+
+def knapsack():
+    m = Model("ks")
+    xs = [m.add_binary(f"x{i}") for i in range(5)]
+    weights = [4, 3, 2, 5, 1]
+    profits = [5, 4, 3, 6, 1]
+    m.add_constr(quicksum(w * x for w, x in zip(weights, xs)) <= 9, name="cap")
+    m.maximize(quicksum(p * x for p, x in zip(profits, xs)))
+    return m
+
+
+class TestWriter:
+    def test_sections_present(self):
+        text = write_lp(knapsack())
+        for section in ("Maximize", "Subject To", "Binaries", "End"):
+            assert section in text
+
+    def test_constraint_names_kept(self):
+        assert "cap:" in write_lp(knapsack())
+
+    def test_minimize_model(self):
+        m = Model()
+        x = m.add_var("x", lb=2, ub=7)
+        m.add_constr(x >= 3)
+        m.minimize(x)
+        text = write_lp(m)
+        assert "Minimize" in text
+        assert "2 <= x <= 7" in text
+
+    def test_free_variable_bound(self):
+        m = Model()
+        m.add_var("f", lb=-math.inf)
+        m.minimize(quicksum([]))
+        assert "f free" in write_lp(m)
+
+    def test_integer_section(self):
+        m = Model()
+        m.add_var("n", ub=9, vartype=INTEGER)
+        m.minimize(quicksum([]))
+        assert "Generals" in write_lp(m)
+
+    def test_unsafe_name_rejected(self):
+        m = Model()
+        m.add_var("bad name")
+        with pytest.raises(ValidationError):
+            write_lp(m)
+
+
+class TestRoundTrip:
+    def _assert_same_optimum(self, model):
+        original = model.solve(backend="scipy")
+        parsed = parse_lp(write_lp(model))
+        again = parsed.solve(backend="scipy")
+        assert again.status == original.status
+        if original.is_feasible:
+            assert again.objective == pytest.approx(
+                original.objective - model.objective.constant
+            )
+
+    def test_knapsack_roundtrip(self):
+        self._assert_same_optimum(knapsack())
+
+    def test_dimensions_preserved(self):
+        model = knapsack()
+        parsed = parse_lp(write_lp(model))
+        assert parsed.num_vars == model.num_vars
+        assert parsed.num_constraints == model.num_constraints
+        assert parsed.num_integer_vars == model.num_integer_vars
+
+    def test_tam_ilp_roundtrip(self, s1, arch3):
+        from repro.core import DesignProblem, build_assignment_ilp
+
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial", power_budget=150.0)
+        model = build_assignment_ilp(problem).model
+        self._assert_same_optimum(model)
+
+    def test_file_roundtrip(self, tmp_path):
+        model = knapsack()
+        path = tmp_path / "model.lp"
+        save_lp(model, path)
+        loaded = load_lp(path)
+        assert loaded.solve(backend="scipy").objective == pytest.approx(
+            model.solve(backend="scipy").objective
+        )
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_random_milps_roundtrip(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = Model("rand")
+        xs = [m.add_binary(f"b{i}") for i in range(n)]
+        y = m.add_var("y", ub=float(rng.integers(2, 8)))
+        rows = int(rng.integers(1, 4))
+        for r in range(rows):
+            coefs = rng.integers(-4, 6, size=n)
+            m.add_constr(
+                quicksum(int(c) * x for c, x in zip(coefs, xs)) + y <= int(rng.integers(2, 12)),
+                name=f"r{r}",
+            )
+        m.maximize(quicksum(xs) + 0.5 * y)
+        self._assert_same_optimum(m)
+
+
+class TestParserEdgeCases:
+    def test_parse_ge_and_eq(self):
+        text = """Minimize
+ obj: x + y
+Subject To
+ a: x >= 1
+ b: x + y = 3
+End
+"""
+        model = parse_lp(text)
+        solution = model.solve(backend="scipy")
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_comments_stripped(self):
+        text = "\\ header\nMinimize\n obj: x \\ trailing\nSubject To\n c: x >= 2\nEnd\n"
+        model = parse_lp(text)
+        assert model.solve(backend="scipy").objective == pytest.approx(2.0)
+
+    def test_implicit_coefficients(self):
+        # min 2x + y with x + y >= 4: the optimum leaves x at 0 and pays y=4.
+        text = "Minimize\n obj: 2x + y\nSubject To\n c: x + y >= 4\nBounds\n x <= 1\nEnd\n"
+        model = parse_lp(text)
+        assert model.solve(backend="scipy").objective == pytest.approx(4.0)
+
+    def test_malformed_constraint_raises(self):
+        with pytest.raises(ValidationError):
+            parse_lp("Minimize\n obj: x\nSubject To\n c: x ! 3\nEnd\n")
+
+    def test_malformed_bound_raises(self):
+        with pytest.raises(ValidationError):
+            parse_lp("Minimize\n obj: x\nSubject To\n c: x >= 1\nBounds\n x ~ 3\nEnd\n")
+
+    def test_binaries_clamp_bounds(self):
+        text = "Maximize\n obj: x\nSubject To\n c: x <= 5\nBinaries\n x\nEnd\n"
+        model = parse_lp(text)
+        assert model.solve(backend="scipy").objective == pytest.approx(1.0)

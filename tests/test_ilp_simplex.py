@@ -1,0 +1,145 @@
+"""Tests for the two-phase simplex, including randomized cross-checks vs HiGHS."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.ilp.simplex import solve_lp_simplex
+
+INF = math.inf
+
+
+def _solve(c, a_ub=(), b_ub=(), a_eq=(), b_eq=(), lb=None, ub=None):
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    lb = np.zeros(n) if lb is None else np.asarray(lb, dtype=float)
+    ub = np.full(n, INF) if ub is None else np.asarray(ub, dtype=float)
+    return solve_lp_simplex(
+        c,
+        np.asarray(a_ub, dtype=float).reshape(-1, n) if len(a_ub) else np.zeros((0, n)),
+        np.asarray(b_ub, dtype=float),
+        np.asarray(a_eq, dtype=float).reshape(-1, n) if len(a_eq) else np.zeros((0, n)),
+        np.asarray(b_eq, dtype=float),
+        lb,
+        ub,
+    )
+
+
+class TestHandCases:
+    def test_textbook_maximization(self):
+        # max 3x + 2y s.t. x + 2y <= 6, x <= 4, y <= 4  ->  x=4, y=1, obj 14
+        res = _solve([-3, -2], a_ub=[[1, 2]], b_ub=[6], ub=[4, 4])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-14.0)
+        np.testing.assert_allclose(res.x, [4.0, 1.0], atol=1e-8)
+
+    def test_equality_constraint(self):
+        res = _solve([1, 1], a_eq=[[1, 1]], b_eq=[3], ub=[2, 2])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        res = _solve([1], a_ub=[[1]], b_ub=[1], a_eq=[[1]], b_eq=[5], ub=[2])
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        res = _solve([-1])  # min -x, x >= 0, no ceiling
+        assert res.status == "unbounded"
+
+    def test_crossed_bounds_infeasible(self):
+        res = _solve([1], lb=[2], ub=[1])
+        assert res.status == "infeasible"
+
+    def test_free_variable_split(self):
+        # min x with x free and x >= -5 via a_ub: -x <= 5
+        res = _solve([1], a_ub=[[-1]], b_ub=[5], lb=[-INF])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-5.0)
+
+    def test_shifted_lower_bound(self):
+        res = _solve([1], lb=[3], ub=[10])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(3.0)
+
+    def test_degenerate_assignment_lp(self):
+        # Fractional assignment polytope: min over doubly-stochastic 2x2.
+        c = [1, 2, 2, 1]
+        a_eq = [
+            [1, 1, 0, 0],
+            [0, 0, 1, 1],
+            [1, 0, 1, 0],
+            [0, 1, 0, 1],
+        ]
+        res = _solve(c, a_eq=a_eq, b_eq=[1, 1, 1, 1], ub=[1] * 4)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(2.0)
+
+    def test_redundant_rows_handled(self):
+        # Duplicate equality row exercises the artificial-stays-basic path.
+        res = _solve([1, 1], a_eq=[[1, 1], [1, 1]], b_eq=[2, 2], ub=[2, 2])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(2.0)
+
+    def test_negative_rhs_normalized(self):
+        # -x <= -1  (i.e. x >= 1)
+        res = _solve([1], a_ub=[[-1]], b_ub=[-1], ub=[5])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1.0)
+
+
+@st.composite
+def random_lp(draw):
+    """Small random bounded LPs; bounded boxes keep them never unbounded."""
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(0, 4))
+    coef = st.integers(-5, 5)
+    c = [draw(coef) for _ in range(n)]
+    a_ub = [[draw(coef) for _ in range(n)] for _ in range(m)]
+    b_ub = [draw(st.integers(-3, 10)) for _ in range(m)]
+    ub = [draw(st.integers(1, 6)) for _ in range(n)]
+    return c, a_ub, b_ub, ub
+
+
+class TestAgainstScipy:
+    @given(random_lp())
+    @settings(max_examples=60)
+    def test_matches_highs_on_random_boxes(self, lp):
+        c, a_ub, b_ub, ub = lp
+        n = len(c)
+        ours = _solve(c, a_ub=a_ub, b_ub=b_ub, ub=ub)
+        ref = linprog(
+            c,
+            A_ub=np.array(a_ub).reshape(-1, n) if a_ub else None,
+            b_ub=b_ub if a_ub else None,
+            bounds=[(0, u) for u in ub],
+            method="highs",
+        )
+        if ref.status == 0:
+            assert ours.status == "optimal"
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+            # our x must be feasible too
+            x = ours.x
+            assert np.all(x >= -1e-9) and np.all(x <= np.array(ub) + 1e-9)
+            if a_ub:
+                assert np.all(np.array(a_ub) @ x <= np.array(b_ub) + 1e-7)
+        elif ref.status == 2:
+            assert ours.status == "infeasible"
+
+    @given(st.integers(2, 6), st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_random_equality_systems(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a_eq = rng.integers(-3, 4, size=(2, n)).astype(float)
+        x_feas = rng.uniform(0, 2, size=n)
+        b_eq = a_eq @ x_feas  # feasible by construction
+        c = rng.integers(-4, 5, size=n).astype(float)
+        ub = np.full(n, 3.0)
+        ours = _solve(c, a_eq=a_eq, b_eq=b_eq, ub=ub)
+        ref = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=[(0, 3)] * n, method="highs")
+        assert ours.status == "optimal"
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

@@ -1,0 +1,139 @@
+"""End-to-end integration tests: the full user-facing flow.
+
+These mirror what the README tells a user to do: build (or load) an SOC,
+place it, state budgets, design the architecture exactly, materialize the
+schedule, and verify every promise independently of the solver that made it.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    DesignProblem,
+    InfeasibleError,
+    TamArchitecture,
+    build_s1,
+    build_schedule,
+    design,
+    design_best_architecture,
+    exhaustive_optimal,
+    grid_place,
+    load_soc,
+    run_all_baselines,
+    save_soc,
+    tam_wirelength,
+)
+from repro.power import power_groups
+
+
+class TestFullFlowS1:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        soc = build_s1()
+        floorplan = grid_place(soc)
+        problem = DesignProblem(
+            soc=soc,
+            arch=TamArchitecture([16, 16, 16]),
+            timing="serial",
+            power_budget=150.0,
+            floorplan=floorplan,
+            max_pair_distance=7.0,
+        )
+        result = design(problem)
+        schedule = build_schedule(problem, result.assignment)
+        return soc, floorplan, problem, result, schedule
+
+    def test_design_is_certified_optimal(self, flow):
+        soc, _, problem, result, _ = flow
+        oracle = exhaustive_optimal(
+            soc, problem.arch, problem.timing,
+            forbidden_pairs=problem.forbidden_pairs,
+            forced_pairs=problem.forced_pairs,
+        )
+        assert result.makespan == pytest.approx(oracle.makespan)
+
+    def test_constraints_verified_independently(self, flow):
+        _, _, problem, result, _ = flow
+        assert problem.validate(result.assignment) == []
+
+    def test_schedule_realizes_makespan(self, flow):
+        _, _, _, result, schedule = flow
+        assert schedule.makespan == pytest.approx(result.makespan)
+
+    def test_schedule_power_never_pairs_over_budget(self, flow):
+        import itertools
+
+        _, _, problem, _, schedule = flow
+        for a, b in itertools.combinations(schedule.sessions, 2):
+            overlap = a.bus != b.bus and a.start < b.end and b.start < a.end
+            if overlap:
+                assert a.power + b.power <= problem.power_budget + 1e-9
+
+    def test_wirelength_reported_and_consistent(self, flow):
+        _, floorplan, _, result, _ = flow
+        assert result.wirelength == pytest.approx(
+            tam_wirelength(floorplan, result.assignment)
+        )
+
+    def test_heuristics_never_beat_certified_optimum(self, flow):
+        _, _, problem, result, _ = flow
+        for baseline in run_all_baselines(problem, seed=1):
+            assert baseline.makespan >= result.makespan - 1e-9
+
+
+class TestFileDrivenFlow:
+    def test_design_from_soc_file(self, tmp_path):
+        soc = build_s1()
+        path = tmp_path / "s1.soc"
+        save_soc(soc, path)
+        loaded = load_soc(path)
+        problem = DesignProblem(
+            soc=loaded, arch=TamArchitecture([16, 16, 16]), timing="serial"
+        )
+        from_file = design(problem).makespan
+        from_builder = design(
+            DesignProblem(soc=soc, arch=TamArchitecture([16, 16, 16]), timing="serial")
+        ).makespan
+        assert from_file == pytest.approx(from_builder)
+
+
+class TestBudgetInteractions:
+    def test_tight_power_serializes_heavy_cores(self):
+        soc = build_s1()
+        budget = 100.0
+        groups = power_groups(soc, budget)
+        assert groups  # something must merge at this budget
+        problem = DesignProblem(
+            soc=soc, arch=TamArchitecture([16, 16, 16]), timing="serial",
+            power_budget=budget,
+        )
+        result = design(problem)
+        for group in groups:
+            buses = {result.assignment.bus_of[i] for i in group}
+            assert len(buses) == 1
+
+    def test_width_budget_dominates_constraints(self):
+        """A certified chain: optimum(W=48) <= optimum(W=32) under same constraints."""
+        soc = build_s1()
+        wide = design_best_architecture(soc, 48, 3, timing="serial", power_budget=150.0)
+        narrow = design_best_architecture(soc, 32, 3, timing="serial", power_budget=150.0)
+        assert wide.best_makespan <= narrow.best_makespan + 1e-9
+
+    def test_infeasible_region_reported_cleanly(self):
+        soc = build_s1()
+        floorplan = grid_place(soc)
+        with pytest.raises(InfeasibleError):
+            design(
+                DesignProblem(
+                    soc=soc, arch=TamArchitecture([16, 16]), timing="serial",
+                    floorplan=floorplan, max_pair_distance=floorplan.spread() * 0.2,
+                )
+            )
+
+    def test_makespan_is_integer_cycles(self):
+        soc = build_s1()
+        problem = DesignProblem(soc=soc, arch=TamArchitecture([16, 16, 16]), timing="serial")
+        makespan = design(problem).makespan
+        assert makespan == pytest.approx(round(makespan))
+        assert math.isfinite(makespan)

@@ -1,0 +1,213 @@
+"""Tests for floorplans, placers, wirelength estimators, and constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout import (
+    Block,
+    Floorplan,
+    anneal_place,
+    bounding_box_length,
+    bus_wirelength,
+    chain_tour_length,
+    distance_sweep_points,
+    forbidden_pairs_by_distance,
+    grid_place,
+    min_workable_distance,
+    rectilinear_mst_length,
+    tam_wirelength,
+)
+from repro.layout.floorplan import block_dimensions
+from repro.soc import build_s1, build_s2, generate_synthetic_soc
+from repro.tam import Assignment, TamArchitecture
+from repro.util.errors import ValidationError
+
+
+class TestBlock:
+    def test_bounds_and_area(self):
+        block = Block("b", 2.0, 3.0, 1.0, 2.0)
+        assert block.bounds == (1.5, 2.0, 2.5, 4.0)
+        assert block.area == pytest.approx(2.0)
+
+    def test_overlap_detection(self):
+        a = Block("a", 0, 0, 2, 2)
+        assert a.overlaps(Block("b", 1, 1, 2, 2))
+        assert not a.overlaps(Block("c", 3, 0, 2, 2))  # abutting edges don't overlap
+
+    def test_block_dimensions_aspect(self):
+        w, h = block_dimensions(4.0, aspect=4.0)
+        assert w == pytest.approx(4.0) and h == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            block_dimensions(0)
+        with pytest.raises(ValidationError):
+            block_dimensions(1, aspect=0)
+
+
+class TestFloorplan:
+    def test_block_count_must_match(self, s1):
+        with pytest.raises(ValidationError):
+            Floorplan(s1, [])
+
+    def test_block_order_must_match(self, s1):
+        blocks = [Block(c.name, 1, 1, 0.1, 0.1) for c in s1]
+        blocks[0], blocks[1] = blocks[1], blocks[0]
+        with pytest.raises(ValidationError):
+            Floorplan(s1, blocks)
+
+    def test_distance_matrix_properties(self, s1_floorplan):
+        matrix = s1_floorplan.distance_matrix()
+        assert matrix.shape == (6, 6)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert s1_floorplan.distance(0, 2) == pytest.approx(matrix[0, 2])
+        assert s1_floorplan.spread() == pytest.approx(matrix.max())
+
+    def test_out_of_die_detection(self, s1):
+        blocks = [Block(c.name, 100.0, 1.0, 0.1, 0.1) for c in s1]
+        plan = Floorplan(s1, blocks)
+        assert set(plan.out_of_die()) == {c.name for c in s1}
+        assert not plan.is_legal()
+
+    def test_describe_mentions_every_core(self, s1_floorplan, s1):
+        text = s1_floorplan.describe()
+        for core in s1:
+            assert core.name in text
+
+
+class TestPlacers:
+    @pytest.mark.parametrize("builder", [build_s1, build_s2])
+    def test_grid_place_is_legal(self, builder):
+        plan = grid_place(builder())
+        assert plan.is_legal()
+        assert plan.overlapping_pairs() == []
+
+    def test_grid_place_deterministic(self, s1):
+        a, b = grid_place(s1), grid_place(s1)
+        assert [blk.x for blk in a.blocks] == [blk.x for blk in b.blocks]
+
+    def test_anneal_place_legal_and_deterministic(self, s1):
+        one = anneal_place(s1, seed=2, iterations=150)
+        two = anneal_place(s1, seed=2, iterations=150)
+        assert one.is_legal()
+        assert [b.x for b in one.blocks] == [b.x for b in two.blocks]
+
+    def test_anneal_rejects_negative_iterations(self, s1):
+        with pytest.raises(ValidationError):
+            anneal_place(s1, iterations=-1)
+
+    def test_anneal_zero_iterations_is_grid_like(self, s1):
+        plan = anneal_place(s1, seed=0, iterations=0)
+        assert plan.is_legal()
+
+    def test_anneal_improves_or_matches_proxy(self, s1):
+        from repro.layout.placers import _wirelength_proxy
+
+        start = _wirelength_proxy(s1, grid_place(s1))
+        final = _wirelength_proxy(s1, anneal_place(s1, seed=3, iterations=500))
+        assert final <= start + 1e-9
+
+    def test_large_soc_placeable(self):
+        soc = generate_synthetic_soc(17, seed=8)
+        assert grid_place(soc).is_legal()
+
+
+class TestWirelength:
+    def test_bounding_box(self):
+        assert bounding_box_length([(0, 0), (3, 4)]) == pytest.approx(7.0)
+        assert bounding_box_length([]) == 0.0
+        assert bounding_box_length([(2, 2)]) == 0.0
+
+    def test_chain_tour_simple_line(self):
+        # source (0,0) -> (1,0) -> (2,0) -> sink (3,0)
+        assert chain_tour_length((0, 0), [(2, 0), (1, 0)], (3, 0)) == pytest.approx(3.0)
+
+    def test_chain_tour_empty_stops(self):
+        assert chain_tour_length((0, 0), [], (3, 4)) == pytest.approx(7.0)
+
+    def test_mst_triangle(self):
+        points = [(0, 0), (2, 0), (0, 2)]
+        assert rectilinear_mst_length(points) == pytest.approx(4.0)
+        assert rectilinear_mst_length([(1, 1)]) == 0.0
+
+    def test_mst_never_longer_than_chain(self, s1_floorplan):
+        indices = [0, 2, 4]
+        chain = bus_wirelength(s1_floorplan, indices, method="chain")
+        mst = bus_wirelength(s1_floorplan, indices, method="mst")
+        assert mst <= chain + 1e-9
+
+    def test_bbox_never_longer_than_mst(self, s1_floorplan):
+        indices = [0, 1, 2, 3]
+        assert bus_wirelength(s1_floorplan, indices, "bbox") <= bus_wirelength(
+            s1_floorplan, indices, "mst"
+        ) + 1e-9
+
+    def test_unknown_method_rejected(self, s1_floorplan):
+        with pytest.raises(ValidationError):
+            bus_wirelength(s1_floorplan, [0], method="astar")
+
+    def test_tam_wirelength_width_weighting(self, s1, s1_floorplan):
+        arch = TamArchitecture([16, 8])
+        assignment = Assignment(s1, arch, (0, 0, 0, 1, 1, 1))
+        weighted = tam_wirelength(s1_floorplan, assignment)
+        raw = tam_wirelength(s1_floorplan, assignment, width_weighted=False)
+        assert weighted > raw  # widths 16 and 8 scale both buses up
+        lengths = [
+            bus_wirelength(s1_floorplan, assignment.cores_on_bus(b)) for b in range(2)
+        ]
+        assert weighted == pytest.approx(16 * lengths[0] + 8 * lengths[1])
+
+    def test_empty_bus_costs_nothing(self, s1, s1_floorplan):
+        arch = TamArchitecture([16, 8])
+        all_on_zero = Assignment(s1, arch, (0,) * 6)
+        only = tam_wirelength(s1_floorplan, all_on_zero)
+        assert only == pytest.approx(
+            16 * bus_wirelength(s1_floorplan, list(range(6)))
+        )
+
+
+class TestDistanceConstraints:
+    def test_forbidden_pairs_threshold_semantics(self, s1_floorplan):
+        spread = s1_floorplan.spread()
+        assert forbidden_pairs_by_distance(s1_floorplan, spread) == []
+        everything = forbidden_pairs_by_distance(s1_floorplan, 0.0)
+        n = len(s1_floorplan.blocks)
+        assert len(everything) == n * (n - 1) // 2
+
+    def test_negative_delta_rejected(self, s1_floorplan):
+        with pytest.raises(ValidationError):
+            forbidden_pairs_by_distance(s1_floorplan, -1.0)
+
+    def test_sweep_points_descending_unique(self, s1_floorplan):
+        points = distance_sweep_points(s1_floorplan)
+        assert all(a > b for a, b in zip(points, points[1:]))
+        assert points[0] == pytest.approx(s1_floorplan.spread())
+
+    def test_sweep_points_change_constraint_set(self, s1_floorplan):
+        points = distance_sweep_points(s1_floorplan)
+        sizes = [len(forbidden_pairs_by_distance(s1_floorplan, d - 1e-7)) for d in points]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_min_workable_distance(self, s1_floorplan):
+        delta = min_workable_distance(s1_floorplan, 3)
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(6))
+        graph.add_edges_from(forbidden_pairs_by_distance(s1_floorplan, delta))
+        coloring = nx.greedy_color(graph, strategy="largest_first")
+        assert max(coloring.values()) + 1 <= 3
+
+    def test_min_workable_rejects_bad_count(self, s1_floorplan):
+        with pytest.raises(ValidationError):
+            min_workable_distance(s1_floorplan, 0)
+
+    @given(st.integers(0, 40))
+    def test_forbidden_pairs_monotone_in_delta(self, seed):
+        soc = generate_synthetic_soc(6, seed=seed)
+        plan = grid_place(soc)
+        spread = plan.spread()
+        loose = set(forbidden_pairs_by_distance(plan, spread * 0.7))
+        tight = set(forbidden_pairs_by_distance(plan, spread * 0.3))
+        assert loose <= tight

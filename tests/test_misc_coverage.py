@@ -1,0 +1,112 @@
+"""Assorted coverage: doctests, charts in figures, CLI on d695, solver edges."""
+
+import doctest
+
+import pytest
+
+import repro.util.combinatorics
+import repro.util.tables
+from repro.cli import main
+from repro.ilp.simplex import solve_lp_simplex
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module", [repro.util.combinatorics, repro.util.tables], ids=lambda m: m.__name__
+    )
+    def test_module_doctests(self, module):
+        failures, tests = doctest.testmod(module, verbose=False).failed, doctest.testmod(module).attempted
+        assert tests > 0
+        assert failures == 0
+
+
+class TestFigureCharts:
+    def test_f1_attaches_chart(self, s1):
+        from repro.experiments import f1_width
+
+        result = f1_width.run(soc=s1, bus_counts=(2,), total_widths=[8, 16, 24])
+        assert result.charts, "F1 must render its staircase chart"
+        assert "total TAM width" in result.charts[0]
+
+    def test_f2_staircase_chart(self, s1):
+        from repro.experiments import f2_power_curve
+
+        result = f2_power_curve.run(soc=s1)
+        assert any("P_max" in chart for chart in result.charts)
+        assert "legend:" in result.charts[0]
+
+    def test_charts_render_in_output(self, s1):
+        from repro.experiments import f2_power_curve
+
+        result = f2_power_curve.run(soc=s1)
+        assert result.charts[0] in result.render()
+
+
+class TestCliMore:
+    def test_describe_d695(self, capsys):
+        assert main(["describe", "d695"]) == 0
+        out = capsys.readouterr().out
+        assert "d695" in out and "s38417" in out
+
+    def test_design_d695_flexible(self, capsys):
+        code = main(["design", "d695", "--widths", "16,8,8", "--timing", "flexible"])
+        assert code == 0
+        assert "TAM design report" in capsys.readouterr().out
+
+    def test_sweep_infeasible_exit_code(self, capsys):
+        # Fixed timing with an 8-wire budget cannot host S1's 16-wide cores.
+        code = main(["sweep", "S1", "--total-width", "8", "--buses", "2",
+                     "--timing", "fixed"])
+        assert code == 1
+        assert "no feasible width distribution" in capsys.readouterr().out
+
+    def test_synthetic_spec_in_design(self, capsys):
+        assert main(["design", "SYN4:3", "--widths", "16,16"]) == 0
+        assert "SYN4" in capsys.readouterr().out
+
+
+class TestSimplexEdges:
+    def test_iteration_limit_status(self):
+        import numpy as np
+
+        # A nontrivial LP with a 1-iteration budget cannot finish.
+        rng = np.random.default_rng(0)
+        n = 6
+        c = -np.ones(n)
+        a_ub = rng.uniform(0.5, 2.0, size=(4, n))
+        b_ub = np.full(4, 10.0)
+        result = solve_lp_simplex(
+            c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0),
+            np.zeros(n), np.full(n, np.inf), max_iter=1,
+        )
+        assert result.status == "iteration_limit"
+
+    def test_zero_variable_free_problem(self):
+        import numpy as np
+
+        result = solve_lp_simplex(
+            np.zeros(1), np.zeros((0, 1)), np.zeros(0),
+            np.zeros((0, 1)), np.zeros(0), np.zeros(1), np.ones(1),
+        )
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(0.0)
+
+
+class TestDesignerOptions:
+    def test_sweep_with_warm_start(self, s1):
+        from repro.core import design_best_architecture
+
+        plain = design_best_architecture(s1, 16, 2, timing="serial")
+        warm = design_best_architecture(
+            s1, 16, 2, timing="serial", warm_start_heuristic=True
+        )
+        assert warm.best_makespan == pytest.approx(plain.best_makespan)
+
+    def test_report_gantt_width_parameter(self, s1, arch3):
+        from repro.core import DesignProblem, design
+        from repro.core.report import design_report
+
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        text = design_report(design(problem), gantt_width=30)
+        gantt_rows = [l for l in text.splitlines() if l.strip().startswith("bus ") and ":" in l and "." in l]
+        assert gantt_rows

@@ -1,0 +1,162 @@
+"""Tests for power compatibility analysis and power profiles."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.power import (
+    budget_sweep_points,
+    conflict_graph,
+    conflict_pairs,
+    max_clique_power,
+    max_meaningful_budget,
+    min_meaningful_budget,
+    power_groups,
+    profile_from_intervals,
+)
+from repro.soc import Core, Soc
+from repro.util.errors import ValidationError
+
+
+def soc_with_powers(powers):
+    cores = [
+        Core(
+            name=f"p{i}",
+            num_inputs=4,
+            num_outputs=4,
+            num_flipflops=10,
+            num_gates=100,
+            num_patterns=5,
+            test_width=4,
+            test_power=float(p),
+        )
+        for i, p in enumerate(powers)
+    ]
+    return Soc("P", cores)
+
+
+class TestConflictAnalysis:
+    def test_pairs_by_threshold(self):
+        soc = soc_with_powers([10, 20, 30])
+        assert conflict_pairs(soc, 100) == []
+        assert conflict_pairs(soc, 45) == [(1, 2)]
+        assert conflict_pairs(soc, 25) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            conflict_pairs(soc_with_powers([1]), 0)
+
+    def test_graph_nodes_cover_all_cores(self):
+        soc = soc_with_powers([10, 20, 30])
+        graph = conflict_graph(soc, 45)
+        assert set(graph.nodes) == {0, 1, 2}
+        assert set(graph.edges) == {(1, 2)}
+
+    def test_groups_merge_transitively(self):
+        soc = soc_with_powers([30, 30, 30, 1])
+        groups = power_groups(soc, 55)
+        assert groups == [{0, 1, 2}]
+
+    def test_groups_empty_when_budget_loose(self):
+        assert power_groups(soc_with_powers([1, 2, 3]), 100) == []
+
+    def test_meaningful_budget_bounds(self):
+        soc = soc_with_powers([10, 40, 25])
+        assert min_meaningful_budget(soc) == 40
+        assert max_meaningful_budget(soc) == 65
+
+    def test_single_core_budgets(self):
+        soc = soc_with_powers([17])
+        assert min_meaningful_budget(soc) == max_meaningful_budget(soc) == 17
+
+    def test_sweep_points_are_change_points(self):
+        soc = soc_with_powers([10, 20, 30])
+        points = budget_sweep_points(soc)
+        assert points == [30, 40, 50]
+        # At each point the pair with that exact sum has just become allowed.
+        for point in points:
+            allowed_now = set(conflict_pairs(soc, point))
+            just_below = set(conflict_pairs(soc, point - 1e-9))
+            assert allowed_now <= just_below
+
+    def test_sweep_points_without_endpoint_filter(self):
+        soc = soc_with_powers([10, 20, 30])
+        raw = budget_sweep_points(soc, include_endpoints=False)
+        assert raw == [30, 40, 50]
+
+    def test_clique_power_exceeds_pairwise(self):
+        # Three cores of 30 each: all pairs fit a 65 budget, the triple doesn't.
+        soc = soc_with_powers([30, 30, 30])
+        assert conflict_pairs(soc, 65) == []
+        assert max_clique_power(soc, 65) == pytest.approx(90)
+
+    def test_clique_power_respects_conflicts(self):
+        soc = soc_with_powers([30, 30, 30])
+        # At budget 55 every pair conflicts -> cliques are singletons.
+        assert max_clique_power(soc, 55) == pytest.approx(30)
+
+    @given(st.lists(st.floats(1, 100), min_size=2, max_size=7), st.floats(5, 250))
+    def test_forced_pairs_exactly_exceed_budget(self, powers, budget):
+        soc = soc_with_powers([round(p, 2) for p in powers])
+        pairs = set(conflict_pairs(soc, budget))
+        for i, j in itertools.combinations(range(len(soc)), 2):
+            joint = soc.cores[i].test_power + soc.cores[j].test_power
+            assert ((i, j) in pairs) == (joint > budget)
+
+
+class TestPowerProfile:
+    def test_two_overlapping_intervals(self):
+        profile = profile_from_intervals([("a", 0, 10, 5.0), ("b", 5, 15, 7.0)])
+        assert profile.peak == pytest.approx(12.0)
+        assert profile.power_at(2) == pytest.approx(5.0)
+        assert profile.power_at(7) == pytest.approx(12.0)
+        assert profile.power_at(12) == pytest.approx(7.0)
+        assert profile.power_at(20) == pytest.approx(0.0)
+
+    def test_energy_is_integral(self):
+        profile = profile_from_intervals([("a", 0, 10, 5.0), ("b", 5, 15, 7.0)])
+        assert profile.energy() == pytest.approx(5 * 10 + 7 * 10)
+
+    def test_violations_and_respects(self):
+        profile = profile_from_intervals([("a", 0, 4, 3.0), ("b", 2, 6, 3.0)])
+        assert profile.respects(6.0)
+        assert not profile.respects(5.9)
+        assert profile.violations(5.0) == [(2, 6.0)]
+
+    def test_zero_length_ignored(self):
+        assert profile_from_intervals([("a", 3, 3, 9.0)]).steps == ()
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_from_intervals([("a", 5, 3, 1.0)])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_from_intervals([("a", 0, 1, -1.0)])
+
+    def test_empty_profile(self):
+        profile = profile_from_intervals([])
+        assert profile.peak == 0.0 and profile.end_time == 0.0
+
+    def test_profile_ends_at_zero(self):
+        profile = profile_from_intervals([("a", 0, 5, 2.5), ("b", 1, 4, 1.3)])
+        assert profile.steps[-1][1] == pytest.approx(0.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(1, 20), st.floats(0.5, 20)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_peak_bounds(self, raw):
+        intervals = [(f"i{k}", s, s + d, round(p, 3)) for k, (s, d, p) in enumerate(raw)]
+        profile = profile_from_intervals(intervals)
+        max_single = max(p for _, _, _, p in intervals)
+        total = sum(p for _, _, _, p in intervals)
+        assert max_single - 1e-9 <= profile.peak <= total + 1e-9
+        assert profile.energy() == pytest.approx(
+            sum((e - s) * p for _, s, e, p in intervals), rel=1e-9
+        )

@@ -1,0 +1,76 @@
+"""Tests for the ISCAS catalog and the academic SOC builders."""
+
+import pytest
+
+from repro.soc import CATALOG, build_s1, build_s2, build_s3, build_soc, catalog_core, catalog_names
+from repro.soc.catalog import POWER_SCALE, _derive_test_width
+from repro.util.errors import ValidationError
+
+
+class TestCatalog:
+    def test_all_entries_valid_cores(self):
+        for name, core in CATALOG.items():
+            assert core.name == name
+            assert core.num_patterns > 0
+            assert 4 <= core.test_width <= 32
+            assert core.test_width % 4 == 0
+
+    def test_known_structural_stats(self):
+        s5378 = CATALOG["s5378"]
+        assert (s5378.num_inputs, s5378.num_outputs) == (35, 49)
+        assert s5378.num_flipflops == 179
+        assert s5378.num_gates == 2779
+        c6288 = CATALOG["c6288"]
+        assert c6288.num_flipflops == 0
+
+    def test_power_derivation_rule(self):
+        for core in CATALOG.values():
+            assert core.test_power == pytest.approx(
+                round(core.num_gates * core.activity * POWER_SCALE, 1)
+            )
+
+    def test_width_rule_monotone_in_bits(self):
+        assert _derive_test_width(10, 10, 0) <= _derive_test_width(10, 10, 600)
+        assert _derive_test_width(2000, 2000, 2000) == 32  # capped
+
+    def test_catalog_names_sorted_by_family_then_size(self):
+        names = catalog_names()
+        comb = [n for n in names if n.startswith("c")]
+        seq = [n for n in names if n.startswith("s")]
+        assert names == comb + seq
+        gates = [CATALOG[n].num_gates for n in comb]
+        assert gates == sorted(gates)
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValidationError):
+            catalog_core("s99999")
+
+    def test_rename_does_not_mutate_catalog(self):
+        renamed = catalog_core("c880", rename="my_c880")
+        assert renamed.name == "my_c880"
+        assert CATALOG["c880"].name == "c880"
+
+
+class TestBuilders:
+    def test_s1_composition(self):
+        s1 = build_s1()
+        assert s1.name == "S1"
+        assert s1.core_names == ["c880", "c2670", "c7552", "s953", "s5378", "s1196"]
+
+    def test_s2_has_ten_cores(self):
+        assert len(build_s2()) == 10
+
+    def test_s3_merges_s1_and_s2(self):
+        s3 = build_s3()
+        assert len(s3) == 18
+        assert set(build_s1().core_names) <= set(s3.core_names)
+
+    def test_duplicate_instances_renamed(self):
+        soc = build_soc("D", ["c880", "c880", "c880"], die_width=5, die_height=5)
+        assert soc.core_names == ["c880", "c880_2", "c880_3"]
+
+    def test_builders_are_fresh_objects(self):
+        assert build_s1() is not build_s1()
+
+    def test_die_scales_with_system(self):
+        assert build_s2().die_width > build_s1().die_width

@@ -1,0 +1,134 @@
+"""Tests for the Core and Soc data records."""
+
+import pytest
+
+from repro.soc import Core, Soc
+from repro.util.errors import ValidationError
+
+
+def make_core(**overrides):
+    fields = dict(
+        name="demo",
+        num_inputs=10,
+        num_outputs=8,
+        num_flipflops=100,
+        num_gates=2000,
+        num_patterns=50,
+        test_width=8,
+        test_power=60.0,
+    )
+    fields.update(overrides)
+    return Core(**fields)
+
+
+class TestCoreValidation:
+    def test_valid_core(self):
+        core = make_core()
+        assert core.is_sequential
+        assert core.scan_in_bits == 110
+        assert core.scan_out_bits == 108
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_core(name="")
+
+    @pytest.mark.parametrize("field", ["num_inputs", "num_outputs", "num_flipflops", "num_gates"])
+    def test_negative_counts_rejected(self, field):
+        with pytest.raises(ValidationError):
+            make_core(**{field: -1})
+
+    def test_zero_patterns_rejected(self):
+        with pytest.raises(ValidationError):
+            make_core(num_patterns=0)
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValidationError):
+            make_core(test_width=0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValidationError):
+            make_core(test_power=-1.0)
+
+    def test_activity_range(self):
+        with pytest.raises(ValidationError):
+            make_core(activity=0.0)
+        with pytest.raises(ValidationError):
+            make_core(activity=1.5)
+
+    def test_non_int_count_rejected(self):
+        with pytest.raises(ValidationError):
+            make_core(num_gates=2.5)
+
+
+class TestCoreDerived:
+    def test_combinational(self):
+        core = make_core(num_flipflops=0)
+        assert not core.is_sequential
+        assert core.scan_in_bits == core.num_inputs
+
+    def test_scan_length_balanced(self):
+        core = make_core(num_flipflops=100, num_inputs=0, num_outputs=0)
+        assert core.scan_length(4) == 25
+        assert core.scan_length(3) == 34
+
+    def test_scan_length_rejects_bad_width(self):
+        with pytest.raises(ValidationError):
+            make_core().scan_length(0)
+
+    def test_area_grows_with_gates(self):
+        assert make_core(num_gates=4000).area_mm2 > make_core(num_gates=1000).area_mm2
+
+    def test_with_patterns_copy(self):
+        core = make_core()
+        bigger = core.with_patterns(99)
+        assert bigger.num_patterns == 99 and core.num_patterns == 50
+
+    def test_renamed_copy(self):
+        assert make_core().renamed("other").name == "other"
+
+    def test_str_mentions_kind(self):
+        assert "seq" in str(make_core())
+        assert "comb" in str(make_core(num_flipflops=0))
+
+
+class TestSoc:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("bad", [make_core(), make_core()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("bad", [])
+
+    def test_bad_die_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("bad", [make_core()], die_width=0)
+
+    def test_bad_power_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("bad", [make_core()], power_budget=-5)
+
+    def test_indexing_by_name_and_position(self):
+        soc = Soc("S", [make_core(name="a"), make_core(name="b")])
+        assert soc["b"].name == "b"
+        assert soc[0].name == "a"
+        assert soc.index_of("b") == 1
+        with pytest.raises(KeyError):
+            soc.index_of("zz")
+
+    def test_aggregates(self):
+        soc = Soc("S", [make_core(name="a"), make_core(name="b", num_gates=3000)])
+        assert soc.total_gates == 5000
+        assert soc.total_flipflops == 200
+        assert soc.total_test_power == pytest.approx(120.0)
+        assert soc.max_test_width == 8
+        assert len(soc) == 2
+
+    def test_describe_lists_cores(self):
+        soc = Soc("S", [make_core(name="a")])
+        assert "a" in soc.describe()
+        assert "Soc" in repr(soc)
+
+    def test_iteration_order_stable(self):
+        soc = Soc("S", [make_core(name=f"c{i}") for i in range(4)])
+        assert [c.name for c in soc] == ["c0", "c1", "c2", "c3"]

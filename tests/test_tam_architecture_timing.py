@@ -1,0 +1,165 @@
+"""Tests for TAM architectures and the three timing models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc import Core, Soc, build_s1
+from repro.tam import (
+    INFEASIBLE_TIME,
+    FixedWidthTiming,
+    FlexibleWidthTiming,
+    SerializationTiming,
+    TamArchitecture,
+    make_timing_model,
+)
+from repro.util.combinatorics import num_compositions, partitions
+from repro.util.errors import ValidationError
+from repro.wrapper import application_time
+
+
+def make_core(width=16, name="t"):
+    return Core(
+        name=name,
+        num_inputs=12,
+        num_outputs=10,
+        num_flipflops=90,
+        num_gates=900,
+        num_patterns=25,
+        test_width=width,
+        test_power=20.0,
+    )
+
+
+class TestTamArchitecture:
+    def test_basic_properties(self):
+        arch = TamArchitecture([8, 16, 4])
+        assert arch.num_buses == 3
+        assert arch.total_width == 28
+        assert arch.width_of(1) == 16
+        assert list(arch) == [8, 16, 4]
+        assert "TAM[8+16+4]" == str(arch)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TamArchitecture([])
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValidationError):
+            TamArchitecture([8, 0])
+
+    def test_width_of_out_of_range(self):
+        with pytest.raises(ValidationError):
+            TamArchitecture([8]).width_of(1)
+
+    def test_canonical_sorts_descending(self):
+        assert TamArchitecture([4, 16, 8]).canonical().widths == (16, 8, 4)
+
+    def test_even_split(self):
+        assert TamArchitecture.even_split(10, 3).widths == (4, 3, 3)
+
+    def test_even_split_validates(self):
+        with pytest.raises(ValidationError):
+            TamArchitecture.even_split(2, 3)
+        with pytest.raises(ValidationError):
+            TamArchitecture.even_split(4, 0)
+
+    def test_hashable_and_equal(self):
+        assert TamArchitecture([4, 8]) == TamArchitecture([4, 8])
+        assert len({TamArchitecture([4, 8]), TamArchitecture([4, 8])}) == 1
+
+    @given(st.integers(2, 14), st.integers(1, 4))
+    def test_enumeration_counts(self, total, buses):
+        ordered = list(TamArchitecture.enumerate_distributions(total, buses, distinct_buses=True))
+        assert len(ordered) == num_compositions(total, buses)
+        deduped = list(TamArchitecture.enumerate_distributions(total, buses))
+        expected = sum(1 for p in partitions(total, buses) if len(p) == buses)
+        assert len(deduped) == expected
+
+
+class TestFixedWidthTiming:
+    def test_narrow_bus_infeasible(self):
+        timing = FixedWidthTiming()
+        assert timing.time_on_bus(make_core(width=16), 8) == INFEASIBLE_TIME
+
+    def test_wide_bus_no_speedup(self):
+        timing = FixedWidthTiming()
+        core = make_core(width=16)
+        assert timing.time_on_bus(core, 16) == timing.time_on_bus(core, 32)
+
+    def test_base_time_is_wrapper_time(self):
+        core = make_core(width=16)
+        assert FixedWidthTiming().base_time(core) == application_time(core, 16)
+
+    def test_feasibility_matrix(self):
+        soc = Soc("T", [make_core(width=16, name="a"), make_core(width=4, name="b")])
+        timing = FixedWidthTiming()
+        arch = TamArchitecture([8, 8])
+        matrix = timing.matrix(soc, arch)
+        assert not np.isfinite(matrix[0]).any()
+        assert np.isfinite(matrix[1]).all()
+        assert not timing.feasible(soc, arch)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValidationError):
+            FixedWidthTiming().time_on_bus(make_core(), 0)
+
+
+class TestSerializationTiming:
+    def test_stretch_factor(self):
+        timing = SerializationTiming()
+        core = make_core(width=16)
+        base = timing.base_time(core)
+        assert timing.time_on_bus(core, 8) == base * 2
+        assert timing.time_on_bus(core, 5) == base * 4  # ceil(16/5) = 4
+        assert timing.time_on_bus(core, 16) == base
+        assert timing.time_on_bus(core, 64) == base
+
+    def test_always_feasible(self):
+        soc = Soc("T", [make_core(width=32, name="a")])
+        assert SerializationTiming().feasible(soc, TamArchitecture([1]))
+
+    @given(st.integers(1, 64))
+    def test_never_faster_than_base(self, bus_width):
+        timing = SerializationTiming()
+        core = make_core(width=16)
+        assert timing.time_on_bus(core, bus_width) >= timing.base_time(core)
+
+
+class TestFlexibleTiming:
+    def test_equals_wrapper_curve(self):
+        timing = FlexibleWidthTiming()
+        core = make_core()
+        for width in (1, 3, 8, 20):
+            assert timing.time_on_bus(core, width) == application_time(core, width)
+
+    def test_monotone_in_width(self):
+        timing = FlexibleWidthTiming()
+        core = make_core()
+        times = [timing.time_on_bus(core, w) for w in range(1, 24)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_faster_than_serialization_on_narrow_bus(self):
+        core = make_core(width=16)
+        serial = SerializationTiming().time_on_bus(core, 8)
+        flexible = FlexibleWidthTiming().time_on_bus(core, 8)
+        assert flexible <= serial
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("fixed", FixedWidthTiming), ("serial", SerializationTiming), ("flexible", FlexibleWidthTiming)])
+    def test_by_name(self, name, cls):
+        assert isinstance(make_timing_model(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            make_timing_model("warp")
+
+    def test_matrix_shape_on_s1(self):
+        s1 = build_s1()
+        matrix = make_timing_model("serial").matrix(s1, TamArchitecture([8, 16]))
+        assert matrix.shape == (len(s1), 2)
+        assert np.isfinite(matrix).all()

@@ -1,0 +1,176 @@
+"""Tests for assignments, makespan evaluation, and the exhaustive oracle."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc import Soc, build_s1, generate_synthetic_soc
+from repro.soc.core import Core
+from repro.tam import (
+    Assignment,
+    TamArchitecture,
+    evaluate_makespan,
+    exhaustive_optimal,
+    make_timing_model,
+)
+from repro.util.errors import InfeasibleError, ValidationError
+
+
+def small_soc(n=4):
+    cores = [
+        Core(
+            name=f"c{i}",
+            num_inputs=5 + i,
+            num_outputs=4,
+            num_flipflops=20 * (i + 1),
+            num_gates=500,
+            num_patterns=10 + 5 * i,
+            test_width=4,
+            test_power=10.0 * (i + 1),
+        )
+        for i in range(n)
+    ]
+    return Soc("small", cores)
+
+
+class TestAssignment:
+    def test_wrong_length_rejected(self, s1, arch3):
+        with pytest.raises(ValidationError):
+            Assignment(s1, arch3, (0, 1))
+
+    def test_out_of_range_bus_rejected(self, s1, arch3):
+        with pytest.raises(ValidationError):
+            Assignment(s1, arch3, (0, 1, 2, 0, 1, 3))
+
+    def test_structure_queries(self, s1, arch3):
+        assignment = Assignment(s1, arch3, (0, 0, 1, 1, 2, 2))
+        assert assignment.cores_on_bus(0) == [0, 1]
+        assert assignment.buses_used() == [0, 1, 2]
+        assert assignment.shares_bus(0, 1)
+        assert not assignment.shares_bus(0, 2)
+        groups = assignment.groups()
+        assert groups[2] == ["s5378", "s1196"]
+
+    def test_bus_times_and_makespan(self, s1, arch3, serial_timing):
+        assignment = Assignment(s1, arch3, (0, 0, 1, 1, 2, 2))
+        times = assignment.bus_times(serial_timing)
+        assert assignment.makespan(serial_timing) == max(times)
+        total = sum(
+            serial_timing.time_on_bus(core, 16) for core in s1
+        )
+        assert sum(times) == pytest.approx(total)
+
+    def test_timing_feasibility(self, s1, fixed_timing):
+        narrow = TamArchitecture([4, 4])
+        assignment = Assignment(s1, narrow, (0,) * 6)
+        assert not assignment.is_timing_feasible(fixed_timing)
+        assert "INFEASIBLE" in assignment.describe(fixed_timing)
+
+    @given(st.integers(0, 300))
+    def test_evaluate_makespan_matches_assignment(self, seed):
+        rng = np.random.default_rng(seed)
+        soc = small_soc(5)
+        arch = TamArchitecture([8, 8, 4])
+        timing = make_timing_model("serial")
+        bus_of = tuple(int(b) for b in rng.integers(0, 3, size=5))
+        assignment = Assignment(soc, arch, bus_of)
+        matrix = timing.matrix(soc, arch)
+        assert evaluate_makespan(matrix, bus_of, 3) == pytest.approx(
+            assignment.makespan(timing)
+        )
+
+
+class TestExhaustive:
+    def _brute_force(self, soc, arch, timing, forbidden=(), forced=()):
+        matrix = timing.matrix(soc, arch)
+        best = math.inf
+        for combo in itertools.product(range(arch.num_buses), repeat=len(soc)):
+            if any(combo[a] == combo[b] for a, b in forbidden):
+                continue
+            if any(combo[a] != combo[b] for a, b in forced):
+                continue
+            span = evaluate_makespan(matrix, combo, arch.num_buses)
+            best = min(best, span)
+        return best
+
+    def test_matches_plain_product_enumeration(self):
+        soc = small_soc(5)
+        arch = TamArchitecture([8, 6, 4])
+        timing = make_timing_model("serial")
+        expected = self._brute_force(soc, arch, timing)
+        result = exhaustive_optimal(soc, arch, timing)
+        assert result.makespan == pytest.approx(expected)
+
+    def test_with_forbidden_pairs(self):
+        soc = small_soc(5)
+        arch = TamArchitecture([8, 8])
+        timing = make_timing_model("serial")
+        forbidden = [(0, 1), (2, 3)]
+        expected = self._brute_force(soc, arch, timing, forbidden=forbidden)
+        result = exhaustive_optimal(soc, arch, timing, forbidden_pairs=forbidden)
+        assert result.makespan == pytest.approx(expected)
+        for a, b in forbidden:
+            assert not result.assignment.shares_bus(a, b)
+
+    def test_with_forced_pairs(self):
+        soc = small_soc(5)
+        arch = TamArchitecture([8, 8, 8])
+        timing = make_timing_model("serial")
+        forced = [(0, 4), (1, 2)]
+        expected = self._brute_force(soc, arch, timing, forced=forced)
+        result = exhaustive_optimal(soc, arch, timing, forced_pairs=forced)
+        assert result.makespan == pytest.approx(expected)
+        for a, b in forced:
+            assert result.assignment.shares_bus(a, b)
+
+    def test_forced_chain_transitive(self):
+        soc = small_soc(4)
+        arch = TamArchitecture([8, 8])
+        timing = make_timing_model("serial")
+        result = exhaustive_optimal(soc, arch, timing, forced_pairs=[(0, 1), (1, 2)])
+        assert result.assignment.shares_bus(0, 2)
+
+    def test_contradictory_constraints_infeasible(self):
+        soc = small_soc(3)
+        arch = TamArchitecture([8, 8])
+        timing = make_timing_model("serial")
+        with pytest.raises(InfeasibleError):
+            exhaustive_optimal(
+                soc, arch, timing, forbidden_pairs=[(0, 1)], forced_pairs=[(0, 1)]
+            )
+
+    def test_too_many_forbidden_for_bus_count(self):
+        soc = small_soc(3)
+        arch = TamArchitecture([8, 8])
+        timing = make_timing_model("serial")
+        all_pairs = [(0, 1), (0, 2), (1, 2)]  # needs 3 buses
+        with pytest.raises(InfeasibleError):
+            exhaustive_optimal(soc, arch, timing, forbidden_pairs=all_pairs)
+
+    def test_size_guard(self):
+        soc = generate_synthetic_soc(20, seed=0)
+        with pytest.raises(InfeasibleError):
+            exhaustive_optimal(
+                soc, TamArchitecture([16, 16]), make_timing_model("serial")
+            )
+
+    def test_s1_known_optimum(self, s1, arch3, serial_timing):
+        result = exhaustive_optimal(s1, arch3, serial_timing)
+        assert result.makespan == pytest.approx(5363.0)
+        assert result.nodes_explored > 0
+
+    @given(st.integers(0, 50))
+    def test_random_instances_match_product_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 6))
+        soc = generate_synthetic_soc(n, seed=seed, mode="parametric")
+        widths = [int(w) for w in rng.choice([4, 8, 16], size=2)]
+        arch = TamArchitecture(widths)
+        timing = make_timing_model("serial")
+        expected = self._brute_force(soc, arch, timing)
+        result = exhaustive_optimal(soc, arch, timing)
+        assert result.makespan == pytest.approx(expected)

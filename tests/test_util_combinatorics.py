@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.util.combinatorics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.combinatorics import (
+    bounded_compositions,
+    compositions,
+    num_compositions,
+    partitions,
+    set_partitions,
+    stirling2,
+)
+
+
+class TestCompositions:
+    def test_small_case_exact(self):
+        assert sorted(compositions(4, 2)) == [(1, 3), (2, 2), (3, 1)]
+
+    def test_single_part(self):
+        assert list(compositions(7, 1)) == [(7,)]
+
+    def test_impossible_when_total_below_parts(self):
+        assert list(compositions(2, 3)) == []
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            list(compositions(4, 0))
+
+    @given(st.integers(1, 14), st.integers(1, 6))
+    def test_count_matches_closed_form(self, total, parts):
+        generated = list(compositions(total, parts))
+        assert len(generated) == num_compositions(total, parts)
+
+    @given(st.integers(1, 14), st.integers(1, 6))
+    def test_every_composition_is_valid(self, total, parts):
+        for combo in compositions(total, parts):
+            assert len(combo) == parts
+            assert sum(combo) == total
+            assert all(part >= 1 for part in combo)
+
+    @given(st.integers(1, 12), st.integers(1, 5))
+    def test_no_duplicates(self, total, parts):
+        generated = list(compositions(total, parts))
+        assert len(generated) == len(set(generated))
+
+
+class TestBoundedCompositions:
+    def test_upper_bound_filters(self):
+        assert sorted(bounded_compositions(6, 2, upper=4)) == [(2, 4), (3, 3), (4, 2)]
+
+    def test_lower_bound_filters(self):
+        assert sorted(bounded_compositions(6, 2, lower=3)) == [(3, 3)]
+
+    def test_zero_lower_allows_empty_parts(self):
+        assert (0, 3) in set(bounded_compositions(3, 2, lower=0))
+
+    @given(st.integers(1, 12), st.integers(1, 4), st.integers(1, 3), st.integers(3, 8))
+    def test_agrees_with_filtered_unbounded(self, total, parts, lower, upper):
+        expected = {
+            c
+            for c in compositions(total, parts)
+            if all(lower <= part <= upper for part in c)
+        }
+        assert set(bounded_compositions(total, parts, lower, upper)) == expected
+
+    def test_rejects_negative_lower(self):
+        with pytest.raises(ValueError):
+            list(bounded_compositions(4, 2, lower=-1))
+
+
+class TestPartitions:
+    def test_small_case_exact(self):
+        assert sorted(partitions(4)) == [
+            (1, 1, 1, 1),
+            (2, 1, 1),
+            (2, 2),
+            (3, 1),
+            (4,),
+        ]
+
+    def test_max_parts_limits(self):
+        assert sorted(partitions(4, max_parts=2)) == [(2, 2), (3, 1), (4,)]
+
+    def test_zero_total(self):
+        assert list(partitions(0)) == [()]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(partitions(-1))
+
+    @given(st.integers(0, 20))
+    def test_parts_non_increasing_and_sum(self, total):
+        for p in partitions(total):
+            assert sum(p) == total
+            assert all(a >= b for a, b in zip(p, p[1:]))
+
+    @given(st.integers(1, 15), st.integers(1, 5))
+    def test_partitions_are_deduped_compositions(self, total, parts):
+        from_compositions = {
+            tuple(sorted(c, reverse=True))
+            for c in compositions(total, parts)
+        }
+        exact = {p for p in partitions(total, parts) if len(p) == parts}
+        assert exact == from_compositions
+
+
+class TestSetPartitions:
+    def test_three_items_two_blocks(self):
+        blocks = [
+            tuple(tuple(b) for b in p) for p in set_partitions("abc", 2)
+        ]
+        assert len(blocks) == stirling2(3, 1) + stirling2(3, 2)
+
+    def test_empty_items(self):
+        assert list(set_partitions([], 3)) == [[]]
+
+    def test_rejects_nonpositive_blocks(self):
+        with pytest.raises(ValueError):
+            list(set_partitions([1], 0))
+
+    @given(st.integers(1, 7), st.integers(1, 4))
+    def test_count_matches_stirling_sum(self, n, k):
+        items = list(range(n))
+        count = sum(1 for _ in set_partitions(items, k))
+        assert count == sum(stirling2(n, j) for j in range(1, k + 1))
+
+    @given(st.integers(1, 6), st.integers(1, 3))
+    def test_blocks_cover_items_exactly(self, n, k):
+        items = list(range(n))
+        for partition in set_partitions(items, k):
+            flat = [x for block in partition for x in block]
+            assert sorted(flat) == items
+            assert all(block for block in partition)
+
+
+class TestStirling2:
+    @pytest.mark.parametrize(
+        "n,k,expected", [(0, 0, 1), (1, 1, 1), (4, 2, 7), (5, 3, 25), (6, 6, 1), (3, 5, 0)]
+    )
+    def test_known_values(self, n, k, expected):
+        assert stirling2(n, k) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 2)
+
+    @given(st.integers(1, 10))
+    def test_row_sums_to_bell_recurrence(self, n):
+        # Bell(n) via the triangle equals sum over k of S(n, k).
+        bell = [1]
+        for _ in range(n):
+            row = [bell[-1]]
+            for value in bell:
+                row.append(row[-1] + value)
+            bell = row
+        assert sum(stirling2(n, k) for k in range(n + 1)) == bell[0]
+
+
+def test_num_compositions_is_binomial():
+    assert num_compositions(10, 4) == math.comb(9, 3)
+    assert num_compositions(3, 5) == 0

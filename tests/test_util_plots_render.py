@@ -1,0 +1,96 @@
+"""Tests for ASCII charts and the floorplan renderer."""
+
+import pytest
+
+from repro.layout import grid_place, render_floorplan
+from repro.soc import generate_synthetic_soc
+from repro.util.errors import ValidationError
+from repro.util.plots import ascii_chart, staircase
+
+
+class TestAsciiChart:
+    def test_single_series_renders(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1), (2, 4)]})
+        lines = chart.splitlines()
+        assert lines[0].startswith("y:")
+        assert lines[-1].startswith("x:")
+        assert any("o" in line for line in lines)
+
+    def test_multi_series_legend_distinct_marks(self):
+        chart = ascii_chart({"TAM[16+16]": [(0, 1)], "TAM[16+16+16]": [(1, 2)]})
+        assert "o = TAM[16+16]" in chart
+        assert "x = TAM[16+16+16]" in chart
+
+    def test_overlap_marked_star(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 0), (1, 0)]})
+        assert "*" in chart
+
+    def test_constant_series_padded(self):
+        chart = ascii_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "o" in chart  # does not crash on zero y-range
+
+    def test_empty_series(self):
+        assert ascii_chart({"a": []}) == "(no data)"
+
+    def test_labels_used(self):
+        chart = ascii_chart({"a": [(0, 1)]}, x_label="width", y_label="cycles")
+        assert "width:" in chart and "cycles:" in chart
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_chart({"a": [(0, 1)]}, width=5)
+        with pytest.raises(ValidationError):
+            ascii_chart({"a": [(0, 1)]}, height=2)
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart({"a": [(0, 0), (9, 9)]}, width=20, height=6)
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(rows) == 6
+        assert all(len(row) == 21 for row in rows)
+
+
+class TestStaircase:
+    def test_inserts_corner_points(self):
+        steps = staircase([(0, 10), (2, 5), (4, 1)])
+        assert (2, 10) in steps  # value 10 holds until x=2
+        assert (4, 5) in steps
+        assert steps[-1] == (4, 1)
+
+    def test_single_point_passthrough(self):
+        assert staircase([(1, 2)]) == [(1, 2)]
+
+    def test_empty(self):
+        assert staircase([]) == []
+
+    def test_sorts_input(self):
+        steps = staircase([(4, 1), (0, 10)])
+        assert steps[0] == (0, 10)
+
+
+class TestRenderFloorplan:
+    def test_renders_all_blocks_and_pads(self, s1, s1_floorplan):
+        art = render_floorplan(s1_floorplan, width=48)
+        for mark in "abcdef":
+            assert mark in art
+        assert ">" in art and "<" in art
+        for core in s1:
+            assert core.name in art  # legend
+
+    def test_width_respected(self, s1_floorplan):
+        art = render_floorplan(s1_floorplan, width=32)
+        body = [l for l in art.splitlines() if not l.startswith(("S1", "legend"))]
+        assert all(len(line) == 32 for line in body)
+
+    def test_too_narrow_rejected(self, s1_floorplan):
+        with pytest.raises(ValidationError):
+            render_floorplan(s1_floorplan, width=8)
+
+    def test_too_many_blocks_rejected(self):
+        soc = generate_synthetic_soc(53, seed=0)
+        with pytest.raises(ValidationError):
+            render_floorplan(grid_place(soc))
+
+    def test_large_soc_renders(self):
+        soc = generate_synthetic_soc(20, seed=1)
+        art = render_floorplan(grid_place(soc), width=60)
+        assert "legend:" in art

@@ -1,0 +1,43 @@
+"""Tests for rng plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+
+    def test_distinct_seeds_differ(self):
+        draws_a = make_rng(1).integers(1 << 30, size=4)
+        draws_b = make_rng(2).integers(1 << 30, size=4)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        parent = make_rng(3)
+        children = spawn(parent, 3)
+        streams = [tuple(child.integers(1 << 30, size=4)) for child in children]
+        assert len(set(streams)) == 3
+
+    def test_spawn_is_deterministic_given_seed(self):
+        one = [tuple(c.integers(100, size=3)) for c in spawn(make_rng(9), 2)]
+        two = [tuple(c.integers(100, size=3)) for c in spawn(make_rng(9), 2)]
+        assert one == two
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+    def test_zero_count(self):
+        assert spawn(make_rng(0), 0) == []

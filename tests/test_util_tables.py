@@ -1,0 +1,65 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "a   | bb"
+        assert lines[1] == "----+---"
+        assert lines[2] == "  1 |  2"
+        assert lines[3] == "333 |  4"
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_none_renders_dash(self):
+        assert "-" in format_table(["x"], [[None]]).splitlines()[-1]
+
+    def test_bool_renders_yes_no(self):
+        text = format_table(["x", "y"], [[True, False]])
+        assert "yes" in text and "no" in text
+
+    def test_integral_float_rendered_as_int(self):
+        assert format_table(["x"], [[5363.0]]).splitlines()[-1].strip() == "5363"
+
+    def test_fractional_float_two_decimals(self):
+        assert format_table(["x"], [[3.14159]]).splitlines()[-1].strip() == "3.14"
+
+    def test_nan_rendered(self):
+        assert "nan" in format_table(["x"], [[float("nan")]])
+
+    def test_wrong_row_width_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(["W", "time"], title="Fig")
+        table.add_row([16, 1200])
+        table.add_row([32, 800])
+        assert len(table) == 2
+        rendered = table.render()
+        assert "Fig" in rendered and "1200" in rendered
+
+    def test_add_row_validates_width(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row([1, 2])
+
+    def test_column_extraction(self):
+        table = Table(["a", "b"])
+        table.add_row([1, "x"])
+        table.add_row([2, "y"])
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_column_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Table(["a"]).column("zz")
