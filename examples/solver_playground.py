@@ -12,7 +12,7 @@ a model object.
 """
 
 from repro import DesignProblem, TamArchitecture, build_s1, build_assignment_ilp
-from repro.ilp import BINARY, Model, quicksum
+from repro.ilp import Model, quicksum
 
 def knapsack() -> None:
     weights = [12, 7, 11, 8, 9]

@@ -1,0 +1,41 @@
+"""Static analysis over ILP models and over the repo's own source.
+
+Two complementary passes guard the reproduction's correctness:
+
+- **model lint** (:mod:`repro.analysis.model_lint`, rules ``M0xx``) — given
+  any built :class:`repro.ilp.Model` or its matrix export, detect structural
+  formulation bugs (unbounded integers, dead variables, contradictory
+  forced/forbidden pair encodings, bad scaling) *without solving*;
+- **problem lint** (:mod:`repro.analysis.problem_lint`, rules ``P0xx``) —
+  the same idea one level up, on a :class:`~repro.core.problem.DesignProblem`
+  before the ILP is even built;
+- **code lint** (:mod:`repro.analysis.code_lint`, rules ``C0xx``) — an
+  AST pass enforcing repo invariants (RNG discipline, no mutable default
+  arguments, no exact equality on solver objectives, no bare ``except``).
+
+Entry points: ``repro lint model``/``repro lint code`` on the command line,
+``model.solve(lint="warn"|"error")`` as an opt-in solve gate, and
+``DesignProblem.lint()`` pre-formulation. DESIGN.md carries the full rule
+catalog with rationale.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity, load_baseline
+from repro.analysis.code_lint import CODE_RULES, CodeRule, lint_paths, lint_source
+from repro.analysis.model_lint import MODEL_RULES, ModelRule, ModelView, lint_model
+from repro.analysis.problem_lint import check_problem
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "load_baseline",
+    "CODE_RULES",
+    "CodeRule",
+    "lint_paths",
+    "lint_source",
+    "MODEL_RULES",
+    "ModelRule",
+    "ModelView",
+    "lint_model",
+    "check_problem",
+]

@@ -1,0 +1,280 @@
+"""AST-based repo-invariant lint over the ``repro`` source tree.
+
+The library has a handful of invariants that no general-purpose linter
+knows about — randomness must flow through :mod:`repro.util.rng` so
+experiments stay reproducible, solver objectives are floats and must never
+be compared with bare ``==`` — plus two classic Python footguns (mutable
+default arguments, bare ``except``) that have bitten numerical code before.
+This pass walks each file's AST once and dispatches nodes to a registry of
+rule objects, so adding a rule is one class and one registry entry.
+
+Waivers:
+
+- inline — append ``# lint: ignore[C003]`` (or ``# lint: ignore`` for all
+  rules) to the offending line;
+- baseline — a checked-in ``.lint-baseline.json`` listing findings the team
+  has explicitly accepted (see :func:`repro.analysis.diagnostics.load_baseline`).
+
+Rule index:
+
+====  ========  ===========================================================
+id    severity  finding
+====  ========  ===========================================================
+C001  error     direct ``random`` / ``numpy.random`` use outside util/rng
+C002  error     mutable default argument
+C003  error     ``==`` / ``!=`` against a solver objective float
+C004  error     bare ``except:``
+====  ========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+#: Files allowed to touch the raw RNG APIs (posix path suffixes).
+RNG_EXEMPT_SUFFIXES = ("util/rng.py",)
+
+#: Attribute names that hold solver-produced floats (C003).
+OBJECTIVE_ATTRS = frozenset(
+    {"objective", "makespan", "best_makespan", "best_bound", "gap", "wirelength"}
+)
+
+#: Method names returning solver-produced floats (C003).
+OBJECTIVE_CALLS = frozenset({"objective_value"})
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass
+class FileContext:
+    """Per-file state handed to every rule."""
+
+    path: str
+    lines: list[str]
+
+    @property
+    def is_rng_module(self) -> bool:
+        normalized = self.path.replace("\\", "/")
+        return any(normalized.endswith(suffix) for suffix in RNG_EXEMPT_SUFFIXES)
+
+    def ignored_rules(self, lineno: int) -> set[str] | None:
+        """Rules waived on ``lineno`` (1-based); None means "waive all"."""
+        if not 1 <= lineno <= len(self.lines):
+            return set()
+        match = _IGNORE_RE.search(self.lines[lineno - 1])
+        if match is None:
+            return set()
+        rules = match.group("rules")
+        if rules is None:
+            return None
+        return {r.strip() for r in rules.split(",") if r.strip()}
+
+
+class CodeRule:
+    """One AST check. ``node_types`` routes dispatch; ``check`` yields
+    diagnostics for a matching node."""
+
+    rule_id: str = "C000"
+    title: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, node: ast.AST, ctx: FileContext, message: str, hint: str = "") -> Diagnostic:
+        location = f"{ctx.path}:{getattr(node, 'lineno', 0)}"
+        return Diagnostic(self.rule_id, Severity.ERROR, location, message, hint)
+
+
+class RngDiscipline(CodeRule):
+    rule_id = "C001"
+    title = "direct random / numpy.random use outside util/rng"
+    node_types = (ast.Import, ast.ImportFrom, ast.Attribute)
+
+    _HINT = (
+        "thread a numpy Generator from repro.util.rng.make_rng/spawn instead; "
+        "ad-hoc RNG breaks experiment reproducibility"
+    )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.is_rng_module:
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith(("random.", "numpy.random")):
+                    yield self.diag(node, ctx, f"direct import of {alias.name!r}", self._HINT)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                yield self.diag(node, ctx, f"import from {module!r}", self._HINT)
+            elif module == "numpy" and any(alias.name == "random" for alias in node.names):
+                yield self.diag(node, ctx, "import of numpy's random submodule", self._HINT)
+        elif isinstance(node, ast.Attribute):
+            if (
+                node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("np", "numpy")
+            ):
+                yield self.diag(node, ctx, f"use of {node.value.id}.random", self._HINT)
+
+
+class MutableDefaultArgument(CodeRule):
+    rule_id = "C002"
+    title = "mutable default argument"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, default: ast.AST) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in self._MUTABLE_CALLS
+        )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        defaults = list(node.args.defaults) + [d for d in node.args.kw_defaults if d is not None]
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if self._is_mutable(default):
+                yield self.diag(
+                    default,
+                    ctx,
+                    f"mutable default argument in {name!r}",
+                    "the default is shared across calls; use None and "
+                    "construct the container inside the function",
+                )
+
+
+class ObjectiveFloatEquality(CodeRule):
+    rule_id = "C003"
+    title = "== / != against a solver objective float"
+    node_types = (ast.Compare,)
+
+    def _is_objective(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Attribute) and expr.attr in OBJECTIVE_ATTRS:
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            return expr.func.attr in OBJECTIVE_CALLS
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side, other in ((left, right), (right, left)):
+                if not self._is_objective(side):
+                    continue
+                if isinstance(other, ast.Constant) and other.value is None:
+                    continue  # a None-ness check, not a float comparison
+                yield self.diag(
+                    side,
+                    ctx,
+                    "exact equality against a solver objective float",
+                    "LP round-off makes exact comparison flaky; use "
+                    "math.isclose or an explicit tolerance",
+                )
+                break
+
+
+class BareExcept(CodeRule):
+    rule_id = "C004"
+    title = "bare except:"
+    node_types = (ast.ExceptHandler,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.diag(
+                node,
+                ctx,
+                "bare except swallows KeyboardInterrupt and SystemExit",
+                "catch ReproError (or the narrowest concrete exception) instead",
+            )
+
+
+#: The default rule set, in reporting order.
+CODE_RULES: tuple[CodeRule, ...] = (
+    RngDiscipline(),
+    MutableDefaultArgument(),
+    ObjectiveFloatEquality(),
+    BareExcept(),
+)
+
+
+class _Dispatcher(ast.NodeVisitor):
+    def __init__(self, rules: Iterable[CodeRule], ctx: FileContext, report: LintReport):
+        self._by_type: dict[type, list[CodeRule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._by_type.setdefault(node_type, []).append(rule)
+        self._ctx = ctx
+        self._report = report
+
+    def visit(self, node: ast.AST) -> None:
+        for rule in self._by_type.get(type(node), ()):
+            for diagnostic in rule.check(node, self._ctx):
+                lineno = getattr(node, "lineno", 0)
+                ignored = self._ctx.ignored_rules(lineno)
+                if ignored is None or diagnostic.rule in ignored:
+                    self._report.waived.append(diagnostic)
+                else:
+                    self._report.add(diagnostic)
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Iterable[CodeRule] | None = None
+) -> LintReport:
+    """Lint one file's source text; ``path`` only labels the diagnostics."""
+    report = LintReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.add(
+            Diagnostic(
+                "C000",
+                Severity.ERROR,
+                f"{path}:{exc.lineno or 0}",
+                f"file does not parse: {exc.msg}",
+                "fix the syntax error before linting",
+            )
+        )
+        return report
+    ctx = FileContext(path, source.splitlines())
+    _Dispatcher(rules if rules is not None else CODE_RULES, ctx, report).visit(tree)
+    return report
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Iterable[CodeRule] | None = None
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.extend(lint_source(source, str(file_path), rules=rules))
+    return report

@@ -1,0 +1,177 @@
+"""Structured lint diagnostics shared by every analysis pass.
+
+A :class:`Diagnostic` is one finding: a stable rule id (``M005``, ``C001``,
+...), a :class:`Severity`, a human-readable location (``constraint
+pow_3_5_b1`` or ``src/repro/foo.py:12``), the message, and a remediation
+hint. Passes collect them into a :class:`LintReport`, which knows how to
+render text, serialize to JSON, and subtract a checked-in waiver baseline.
+
+Severity semantics follow compiler convention:
+
+- ``ERROR`` — the model/code is wrong; solving or merging should stop;
+- ``WARNING`` — almost certainly a mistake, but not provably fatal;
+- ``INFO`` — notable but legitimate (e.g. a provably redundant constraint
+  kept for readability).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orderable via :attr:`rank`."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``location`` is pass-specific: model lint uses ``variable <name>`` /
+    ``constraint <name>``, code lint uses ``<path>:<line>``. ``hint`` tells
+    the reader what to do about it.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.severity.value.upper():7s} {self.rule} [{self.location}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics from one or more passes."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    waived: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, other: LintReport) -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.waived.extend(other.waived)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for diag in self.diagnostics:
+            counts[diag.severity.value] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -------------------------------------------------------------- rendering
+    def render(self, title: str | None = None) -> str:
+        """Multi-line text report, most severe findings first."""
+        lines = []
+        if title:
+            lines.append(title)
+        ordered = sorted(
+            self.diagnostics, key=lambda d: (-d.severity.rank, d.rule, d.location)
+        )
+        lines.extend(diag.render() for diag in ordered)
+        counts = self.counts()
+        summary = ", ".join(f"{counts[k]} {k}(s)" for k in ("error", "warning", "info"))
+        if self.waived:
+            summary += f", {len(self.waived)} waived by baseline"
+        lines.append(summary if self.diagnostics else f"clean ({summary})")
+        return "\n".join(lines)
+
+    def to_json(self, **extra) -> str:
+        payload = {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": self.counts(),
+            "waived": len(self.waived),
+            "clean": not self.has_errors,
+        }
+        payload.update(extra)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    # --------------------------------------------------------------- baseline
+    def apply_baseline(self, waivers: list[dict]) -> None:
+        """Move findings matched by ``waivers`` into :attr:`waived`.
+
+        Each waiver is ``{"rule": ..., "file": ..., "line": ..., "reason":
+        ...}``; ``line`` is optional (omit to waive the rule for the whole
+        file). ``file`` matches any location whose path component ends with
+        the given posix path, so baselines survive checkouts at different
+        roots.
+        """
+        kept, waived = [], []
+        for diag in self.diagnostics:
+            if any(_waiver_matches(w, diag) for w in waivers):
+                waived.append(diag)
+            else:
+                kept.append(diag)
+        self.diagnostics = kept
+        self.waived.extend(waived)
+
+
+def _waiver_matches(waiver: dict, diag: Diagnostic) -> bool:
+    if waiver.get("rule") not in (None, diag.rule):
+        return False
+    path, _, line = diag.location.partition(":")
+    wanted = waiver.get("file")
+    if wanted is not None:
+        suffix = PurePosixPath(wanted)
+        actual = PurePosixPath(path.replace("\\", "/"))
+        if actual != suffix and not str(actual).endswith("/" + str(suffix)):
+            return False
+    if waiver.get("line") is not None:
+        if not line or int(line.split(":")[0]) != int(waiver["line"]):
+            return False
+    return True
+
+
+def load_baseline(path) -> list[dict]:
+    """Read a waiver baseline file (``{"waivers": [...]}``); [] if empty."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    waivers = data.get("waivers", [])
+    if not isinstance(waivers, list):
+        raise ValueError(f"baseline {path}: 'waivers' must be a list")
+    return waivers

@@ -1,0 +1,445 @@
+"""Static analysis of ILP models — catch bad formulations *before* solving.
+
+A hand-built formulation that is subtly wrong rarely crashes: an unbounded
+integer variable sends branch & bound into an infinite dive, a variable that
+fell out of every constraint silently stops constraining the answer, and a
+forced-pair equality chain colliding with a forbidden-pair inequality turns
+"optimal" into "vacuously infeasible" three layers away from the bug. Every
+rule here is a pure structural check over the model — no LP is solved.
+
+Rules operate on a :class:`ModelView`, a normalized read-only projection
+that both :class:`repro.ilp.Model` and :class:`repro.ilp.model.MatrixForm`
+convert into, so ``lint_model`` accepts either. Each rule is one class;
+registering a new rule means subclassing :class:`ModelRule` and adding it to
+``MODEL_RULES``.
+
+Rule index (see DESIGN.md appendix for rationale):
+
+====  ========  ===========================================================
+id    severity  finding
+====  ========  ===========================================================
+M001  warning   integer variable with an infinite bound
+M002  warning   variable in no constraint and with no objective coefficient
+M003  warn/err  constraint with no variables (trivially true / false)
+M004  warning   duplicate constraint rows
+M005  error     constraint infeasible under interval bound propagation
+M006  info      constraint redundant under interval bound propagation
+M007  error     forced-pair equality chain contradicts forbidden-pair row
+M008  warning   coefficient magnitude spread beyond stability threshold
+====  ========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.ilp.expr import EQ, GE, LE
+from repro.ilp.model import MatrixForm, Model
+
+_INF = math.inf
+
+#: Ratio of largest to smallest nonzero |coefficient| above which M008 fires.
+DEFAULT_COEFF_SPREAD = 1e8
+
+#: Slack used when deciding interval-propagation verdicts.
+PROPAGATION_TOL = 1e-9
+
+
+# --------------------------------------------------------------------- views
+@dataclass(frozen=True)
+class VarView:
+    """Normalized variable: name, bounds, integrality."""
+
+    index: int
+    name: str
+    lb: float
+    ub: float
+    is_integer: bool
+
+    @property
+    def is_binary(self) -> bool:
+        return self.is_integer and self.lb >= 0.0 and self.ub <= 1.0
+
+
+@dataclass(frozen=True)
+class RowView:
+    """Normalized constraint row: sparse terms over variable indices."""
+
+    index: int
+    name: str
+    terms: dict[int, float]
+    sense: str
+    rhs: float
+
+    @property
+    def label(self) -> str:
+        return f"constraint {self.name}"
+
+
+@dataclass
+class ModelView:
+    """Read-only projection of a model that every rule consumes."""
+
+    name: str
+    variables: list[VarView]
+    rows: list[RowView]
+    objective: dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_model(cls, model: Model) -> ModelView:
+        variables = [
+            VarView(v.index, v.name, v.lb, v.ub, v.is_integer) for v in model.variables
+        ]
+        rows = []
+        for i, constr in enumerate(model.constraints):
+            terms = {
+                var.index: coef for var, coef in constr.terms.items() if coef != 0.0
+            }
+            rows.append(RowView(i, constr.name or f"#{i}", terms, constr.sense, constr.rhs))
+        objective = {
+            var.index: coef for var, coef in model.objective.terms.items() if coef != 0.0
+        }
+        return cls(model.name, variables, rows, objective)
+
+    @classmethod
+    def from_matrix(cls, form: MatrixForm) -> ModelView:
+        variables = [
+            VarView(j, f"x{j}", float(form.lb[j]), float(form.ub[j]), bool(form.integer_mask[j]))
+            for j in range(form.num_vars)
+        ]
+        rows = []
+        for i in range(form.a_ub.shape[0]):
+            terms = {j: float(c) for j, c in enumerate(form.a_ub[i]) if c != 0.0}
+            rows.append(RowView(len(rows), f"ub[{i}]", terms, LE, float(form.b_ub[i])))
+        for i in range(form.a_eq.shape[0]):
+            terms = {j: float(c) for j, c in enumerate(form.a_eq[i]) if c != 0.0}
+            rows.append(RowView(len(rows), f"eq[{i}]", terms, EQ, float(form.b_eq[i])))
+        objective = {j: float(c) for j, c in enumerate(form.c) if c != 0.0}
+        return cls("matrix", variables, rows, objective)
+
+    def var_name(self, index: int) -> str:
+        return self.variables[index].name
+
+
+def _row_interval(view: ModelView, row: RowView) -> tuple[float, float]:
+    """[min, max] achievable value of the row's LHS under variable bounds."""
+    lo = hi = 0.0
+    for j, coef in row.terms.items():
+        var = view.variables[j]
+        lo += coef * var.lb if coef > 0 else coef * var.ub
+        hi += coef * var.ub if coef > 0 else coef * var.lb
+    return lo, hi
+
+
+# --------------------------------------------------------------------- rules
+class ModelRule:
+    """One structural check. Subclass, set the class attributes, implement
+    :meth:`check`, and append an instance to ``MODEL_RULES``."""
+
+    rule_id: str = "M000"
+    title: str = ""
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, severity: Severity, location: str, message: str, hint: str = "") -> Diagnostic:
+        return Diagnostic(self.rule_id, severity, location, message, hint)
+
+
+class UnboundedIntegerVariable(ModelRule):
+    rule_id = "M001"
+    title = "integer variable with an infinite bound"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        for var in view.variables:
+            if not var.is_integer:
+                continue
+            sides = [s for s, b in (("lower", var.lb), ("upper", var.ub)) if math.isinf(b)]
+            if sides:
+                yield self.diag(
+                    Severity.WARNING,
+                    f"variable {var.name}",
+                    f"integer variable has an infinite {' and '.join(sides)} bound",
+                    "branch & bound may dive forever on an unbounded integer "
+                    "domain; give the variable explicit finite bounds",
+                )
+
+
+class UnusedVariable(ModelRule):
+    rule_id = "M002"
+    title = "variable in no constraint and with no objective coefficient"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        used = set(view.objective)
+        for row in view.rows:
+            used.update(row.terms)
+        for var in view.variables:
+            if var.index not in used:
+                yield self.diag(
+                    Severity.WARNING,
+                    f"variable {var.name}",
+                    "variable appears in no constraint and carries no "
+                    "objective coefficient; it cannot affect the solution",
+                    "remove it, or check whether a constraint was meant to "
+                    "reference it (a typo here is invisible at solve time)",
+                )
+
+
+class ConstantConstraint(ModelRule):
+    rule_id = "M003"
+    title = "constraint with no variables"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        for row in view.rows:
+            if row.terms:
+                continue
+            holds = {
+                LE: 0.0 <= row.rhs + PROPAGATION_TOL,
+                GE: 0.0 >= row.rhs - PROPAGATION_TOL,
+                EQ: abs(row.rhs) <= PROPAGATION_TOL,
+            }[row.sense]
+            if holds:
+                yield self.diag(
+                    Severity.WARNING,
+                    row.label,
+                    "constraint contains no variables and is trivially true",
+                    "all coefficients cancelled — likely `x - x` or an "
+                    "empty quicksum; drop the constraint or fix the terms",
+                )
+            else:
+                yield self.diag(
+                    Severity.ERROR,
+                    row.label,
+                    f"constraint contains no variables and reduces to the "
+                    f"false statement 0 {row.sense} {row.rhs:g}",
+                    "the model is infeasible before solving; a term set "
+                    "cancelled to zero or the RHS has the wrong sign",
+                )
+
+
+class DuplicateConstraint(ModelRule):
+    rule_id = "M004"
+    title = "duplicate constraint rows"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        seen: dict[tuple, RowView] = {}
+        for row in view.rows:
+            key = (row.sense, row.rhs, frozenset(row.terms.items()))
+            first = seen.get(key)
+            if first is None:
+                seen[key] = row
+            elif row.terms:  # empty duplicates are M003's business
+                yield self.diag(
+                    Severity.WARNING,
+                    row.label,
+                    f"row is an exact duplicate of constraint {first.name}",
+                    "duplicate rows bloat the LP basis and usually signal a "
+                    "double-registered constraint family",
+                )
+
+
+class InfeasibleByPropagation(ModelRule):
+    rule_id = "M005"
+    title = "constraint infeasible under interval bound propagation"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        for row in view.rows:
+            if not row.terms:
+                continue
+            lo, hi = _row_interval(view, row)
+            dead = (
+                (row.sense == LE and lo > row.rhs + PROPAGATION_TOL)
+                or (row.sense == GE and hi < row.rhs - PROPAGATION_TOL)
+                or (row.sense == EQ and (lo > row.rhs + PROPAGATION_TOL or hi < row.rhs - PROPAGATION_TOL))
+            )
+            if dead:
+                yield self.diag(
+                    Severity.ERROR,
+                    row.label,
+                    f"unsatisfiable for every point in the variable bounds: "
+                    f"LHS ranges over [{lo:g}, {hi:g}] but must be "
+                    f"{row.sense} {row.rhs:g}",
+                    "the model is infeasible before solving; check bound "
+                    "directions and the RHS sign",
+                )
+
+
+class RedundantByPropagation(ModelRule):
+    rule_id = "M006"
+    title = "constraint redundant under interval bound propagation"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        for row in view.rows:
+            if not row.terms:
+                continue
+            lo, hi = _row_interval(view, row)
+            always = (
+                (row.sense == LE and hi <= row.rhs + PROPAGATION_TOL)
+                or (row.sense == GE and lo >= row.rhs - PROPAGATION_TOL)
+                or (row.sense == EQ and abs(hi - lo) <= PROPAGATION_TOL and abs(lo - row.rhs) <= PROPAGATION_TOL)
+            )
+            if always:
+                yield self.diag(
+                    Severity.INFO,
+                    row.label,
+                    f"satisfied by every point in the variable bounds "
+                    f"(LHS range [{lo:g}, {hi:g}] vs {row.sense} {row.rhs:g}); "
+                    "it can never bind",
+                    "harmless but dead weight; either drop it or tighten it "
+                    "if it was meant to constrain",
+                )
+
+
+class PairContradiction(ModelRule):
+    """The paper's two constraint encodings colliding.
+
+    Power forces ``x[a,j] == x[b,j]`` (equality chain: a and b share every
+    bus decision); place-and-route forbids ``x[a,j] + x[b,j] <= 1``. Both at
+    once fix the pair to 0 on that bus, and when this happens on every bus a
+    core's assignment row ``sum_j x[a,j] == 1`` becomes unsatisfiable. The
+    rule detects the collision structurally: union equality-linked binaries,
+    then look for at-most-one rows inside one equality class, then for
+    partition rows whose variables are all forced to zero.
+    """
+
+    rule_id = "M007"
+    title = "forced-pair equality chain contradicts forbidden-pair inequality"
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        parent = list(range(len(view.variables)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        # Pass 1: equality links x == y (any scaling of x - y == 0).
+        for row in view.rows:
+            if row.sense == EQ and len(row.terms) == 2 and abs(row.rhs) <= PROPAGATION_TOL:
+                (a, ca), (b, cb) = row.terms.items()
+                if abs(ca + cb) <= PROPAGATION_TOL:
+                    union(a, b)
+
+        # Direct zero-fixes: x == 0 rows and ub == 0 bounds.
+        fixed_zero: set[int] = set()
+        for row in view.rows:
+            if row.sense == EQ and len(row.terms) == 1 and abs(row.rhs) <= PROPAGATION_TOL:
+                fixed_zero.add(next(iter(row.terms)))
+        for var in view.variables:
+            if var.lb == 0.0 and var.ub == 0.0:
+                fixed_zero.add(var.index)
+
+        # Pass 2: at-most-one rows whose two members sit in one equality
+        # class — the collision itself. Both variables become 0.
+        zero_classes: set[int] = {find(i) for i in fixed_zero}
+        for row in view.rows:
+            if row.sense != LE or len(row.terms) != 2:
+                continue
+            (a, ca), (b, cb) = row.terms.items()
+            if ca <= 0 or abs(ca - cb) > PROPAGATION_TOL:
+                continue
+            if abs(row.rhs - ca) > PROPAGATION_TOL:  # normalized: x + y <= 1
+                continue
+            if not (view.variables[a].is_binary and view.variables[b].is_binary):
+                continue
+            if find(a) == find(b):
+                zero_classes.add(find(a))
+                yield self.diag(
+                    Severity.ERROR,
+                    row.label,
+                    f"variables {view.var_name(a)} and {view.var_name(b)} are "
+                    "chained equal by equality constraints but this row "
+                    "forbids them from both being 1; together they force "
+                    "both to 0",
+                    "a forced (power) pair and a forbidden (place-and-route) "
+                    "pair overlap; the instance budgets contradict — check "
+                    "DesignProblem.contradictions()",
+                )
+
+        # Pass 3: partition rows fully inside zero-forced classes.
+        for row in view.rows:
+            if row.sense != EQ or not row.terms or abs(row.rhs - 1.0) > PROPAGATION_TOL:
+                continue
+            if any(abs(c - 1.0) > PROPAGATION_TOL for c in row.terms.values()):
+                continue
+            if all(view.variables[j].is_binary for j in row.terms) and all(
+                find(j) in zero_classes for j in row.terms
+            ):
+                members = ", ".join(view.var_name(j) for j in sorted(row.terms))
+                yield self.diag(
+                    Severity.ERROR,
+                    row.label,
+                    f"every variable of this partition row ({members}) is "
+                    "forced to 0 by equality chains colliding with "
+                    "at-most-one rows; the row cannot reach 1",
+                    "the constraint families jointly admit no assignment; "
+                    "relax the power or the layout budget",
+                )
+
+
+class CoefficientSpread(ModelRule):
+    rule_id = "M008"
+    title = "coefficient magnitude spread beyond stability threshold"
+
+    def __init__(self, threshold: float = DEFAULT_COEFF_SPREAD):
+        self.threshold = threshold
+
+    def check(self, view: ModelView) -> Iterable[Diagnostic]:
+        smallest = largest = None
+        where_small = where_large = ""
+        for row in view.rows:
+            for j, coef in row.terms.items():
+                mag = abs(coef)
+                if smallest is None or mag < smallest:
+                    smallest, where_small = mag, f"{row.name}:{view.var_name(j)}"
+                if largest is None or mag > largest:
+                    largest, where_large = mag, f"{row.name}:{view.var_name(j)}"
+        if smallest and largest and largest / smallest > self.threshold:
+            yield self.diag(
+                Severity.WARNING,
+                "constraint matrix",
+                f"coefficient magnitudes span {largest / smallest:.1e} "
+                f"(smallest {smallest:g} at {where_small}, largest "
+                f"{largest:g} at {where_large}), beyond the "
+                f"{self.threshold:.0e} stability threshold",
+                "rescale units (e.g. cycles -> kilocycles) so the simplex "
+                "basis stays well-conditioned",
+            )
+
+
+#: The default rule set, in reporting order.
+MODEL_RULES: tuple[ModelRule, ...] = (
+    UnboundedIntegerVariable(),
+    UnusedVariable(),
+    ConstantConstraint(),
+    DuplicateConstraint(),
+    InfeasibleByPropagation(),
+    RedundantByPropagation(),
+    PairContradiction(),
+    CoefficientSpread(),
+)
+
+
+def lint_model(
+    target: Union[Model, MatrixForm, ModelView],
+    rules: Iterable[ModelRule] | None = None,
+) -> LintReport:
+    """Run every model-lint rule over a model, matrix export, or view."""
+    if isinstance(target, Model):
+        view = ModelView.from_model(target)
+    elif isinstance(target, MatrixForm):
+        view = ModelView.from_matrix(target)
+    else:
+        view = target
+    report = LintReport()
+    for rule in rules if rules is not None else MODEL_RULES:
+        for diagnostic in rule.check(view):
+            report.add(diagnostic)
+    return report

@@ -1,0 +1,105 @@
+"""Pre-formulation checks on a :class:`~repro.core.problem.DesignProblem`.
+
+These run *before* the ILP is built: they inspect the resolved constraint
+pair sets, the timing matrix, and the power profile, and report instance
+pathologies at the vocabulary of the paper (cores, buses, budgets) rather
+than at the vocabulary of rows and columns. ``DesignProblem.lint()``
+delegates here; the ``repro lint model`` CLI runs this pass first and the
+model-lint pass second.
+
+Rule index:
+
+====  ========  ===========================================================
+id    severity  finding
+====  ========  ===========================================================
+P001  error     a core pair is simultaneously forced and forbidden
+P002  error     a core fits no bus of the architecture
+P003  warning   a single core's test power exceeds the power budget
+P004  error     a forced pair has no common width-feasible bus
+====  ========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us lazily)
+    from repro.core.problem import DesignProblem
+
+
+def check_problem(problem: "DesignProblem") -> LintReport:
+    """Run every problem-level rule; returns a :class:`LintReport`."""
+    report = LintReport()
+    names = problem.soc.core_names
+    times = problem.times
+
+    # P001 — the power encoding and the layout encoding collide outright.
+    for a, b in problem.contradictions():
+        report.add(
+            Diagnostic(
+                "P001",
+                Severity.ERROR,
+                f"pair ({names[a]}, {names[b]})",
+                "pair is forced to share a bus by the power budget (after "
+                "transitive closure) and forbidden from sharing one by the "
+                "layout budget; no assignment can satisfy both",
+                "relax P_max or the distance budget delta for this pair",
+            )
+        )
+
+    # P002 — a core that fits no bus makes every assignment row unsatisfiable.
+    feasible = np.isfinite(times)
+    for i, core in enumerate(problem.soc):
+        if not feasible[i].any():
+            report.add(
+                Diagnostic(
+                    "P002",
+                    Severity.ERROR,
+                    f"core {core.name}",
+                    f"core (test width {core.test_width}) fits no bus of "
+                    f"{problem.arch} under the {problem.timing.name} timing model",
+                    "widen a bus to at least the core's interface width or "
+                    "switch to a width-adaptive timing model",
+                )
+            )
+
+    # P003 — the pairwise power encoding cannot see a single hot core.
+    if problem.power_budget is not None:
+        for core in problem.soc:
+            if core.test_power > problem.power_budget:
+                report.add(
+                    Diagnostic(
+                        "P003",
+                        Severity.WARNING,
+                        f"core {core.name}",
+                        f"core alone dissipates {core.test_power:g} mW, above "
+                        f"the {problem.power_budget:g} mW budget; the paper's "
+                        "pairwise encoding keeps the model feasible but the "
+                        "physical budget is unmeetable",
+                        "raise P_max above the hottest single core or gate "
+                        "the core's test into a dedicated low-power session",
+                    )
+                )
+
+    # P004 — a forced pair whose cores share no feasible bus zeroes both
+    # cores' variables on every bus (detected later by M007, but the cause
+    # lives here and reads better in core/bus vocabulary).
+    for a, b in problem.forced_pairs:
+        if not (feasible[a] & feasible[b]).any():
+            report.add(
+                Diagnostic(
+                    "P004",
+                    Severity.ERROR,
+                    f"pair ({names[a]}, {names[b]})",
+                    "pair must share a bus (power budget) but no bus is "
+                    "width-feasible for both cores",
+                    "widen a bus so the pair has a common home, or relax "
+                    "P_max so the pair is no longer forced",
+                )
+            )
+
+    return report

@@ -7,6 +7,9 @@ Commands:
 - ``sweep`` — find the best width distribution for a (W, NB) pin budget;
 - ``minwidth`` — smallest TAM width meeting a testing-time budget;
 - ``buscount`` — testing time per bus count at a fixed total width;
+- ``lint`` — static analysis: ``lint model`` checks one instance's ILP
+  formulation without solving, ``lint code`` enforces repo invariants over
+  the source tree (both support ``--json``; exit 1 on error findings);
 - ``experiments`` — run the evaluation harnesses (same as
   ``python -m repro.experiments``).
 
@@ -155,6 +158,76 @@ def cmd_buscount(args) -> int:
     return 0
 
 
+def cmd_lint_model(args) -> int:
+    from repro.analysis import lint_model
+    from repro.core.formulation import build_assignment_ilp
+    from repro.util.errors import InfeasibleError
+
+    soc = resolve_soc(args.soc)
+    problem = _problem_from_args(soc, _parse_widths(args.widths), args)
+    report = problem.lint()
+    model_summary = None
+    try:
+        formulation = build_assignment_ilp(problem)
+    except InfeasibleError:
+        # Unbuildable instances (e.g. a width-infeasible core) are already
+        # reported by the problem-level pass; there is no model to lint.
+        pass
+    else:
+        model_summary = formulation.model.summary()
+        report.extend(lint_model(formulation.model))
+    if args.json:
+        print(report.to_json(target="model", instance=problem.constraint_summary(),
+                             model=model_summary))
+    else:
+        print(report.render(f"lint model: {problem.constraint_summary()}"))
+    return 1 if report.has_errors else 0
+
+
+def cmd_lint_code(args) -> int:
+    import pathlib
+
+    from repro.analysis import lint_paths, load_baseline
+
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        # Default to the installed package tree so the command works from
+        # any working directory.
+        paths = [pathlib.Path(__file__).resolve().parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro lint code: no such path: {p}", file=sys.stderr)
+        return 2
+    report = lint_paths(paths)
+    baseline_path = pathlib.Path(args.baseline) if args.baseline else _find_baseline(paths)
+    if baseline_path is not None and baseline_path.exists():
+        report.apply_baseline(load_baseline(baseline_path))
+    if args.json:
+        print(report.to_json(target="code",
+                             files=[str(p) for p in paths],
+                             baseline=str(baseline_path) if baseline_path else None))
+    else:
+        scanned = ", ".join(str(p) for p in paths)
+        print(report.render(f"lint code: {scanned}"))
+    return 1 if report.has_errors else 0
+
+
+def _find_baseline(paths) -> "object | None":
+    """Locate ``.lint-baseline.json`` beside/above the scanned paths or cwd."""
+    import pathlib
+
+    candidates = [pathlib.Path.cwd()]
+    candidates.extend(p if p.is_dir() else p.parent for p in paths)
+    for start in candidates:
+        for directory in [start, *start.resolve().parents]:
+            candidate = directory / ".lint-baseline.json"
+            if candidate.exists():
+                return candidate
+    return None
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -199,6 +272,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-buses", type=int, default=4)
     _add_common_constraints(p)
     p.set_defaults(func=cmd_buscount)
+
+    p = sub.add_parser("lint", help="static analysis over models or source code")
+    lint_sub = p.add_subparsers(dest="target", required=True)
+
+    pm = lint_sub.add_parser("model", help="lint one instance's ILP formulation (no solve)")
+    pm.add_argument("soc", help="S1 | S2 | S3 | d695 | SYN<n>[:seed] | path/to/file.soc")
+    pm.add_argument("--widths", required=True, metavar="W1,W2,...",
+                    help="bus widths, e.g. 16,16,32")
+    _add_common_constraints(pm)
+    pm.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    pm.set_defaults(func=cmd_lint_model)
+
+    pc = lint_sub.add_parser("code", help="AST lint of the repro source tree")
+    pc.add_argument("paths", nargs="*",
+                    help="files/directories to scan (default: the installed repro package)")
+    pc.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    pc.add_argument("--baseline", default=None, metavar="FILE",
+                    help="waiver baseline (default: nearest .lint-baseline.json)")
+    pc.set_defaults(func=cmd_lint_code)
 
     p = sub.add_parser("experiments", help="run evaluation harnesses (T1..T5, F1..F4, all)")
     p.add_argument("id", nargs="?", default="all")

@@ -116,15 +116,20 @@ def build_assignment_ilp(problem: DesignProblem) -> IlpFormulation:
 
     # Power: incompatible cores must serialize on a common bus. Where one
     # core of the pair cannot use bus j at all, the other must avoid j too.
+    # Zero-fixes are deduplicated: two forced pairs sharing a core would
+    # otherwise emit identical x == 0 rows (flagged by model-lint M004).
+    zero_fixed: set[tuple[int, int]] = set()
     for a, b in problem.forced_pairs:
         for j in range(num_buses):
             a_has = (a, j) in x
             b_has = (b, j) in x
             if a_has and b_has:
                 model.add_constr(x[a, j] == x[b, j], name=f"pow_{a}_{b}_b{j}")
-            elif a_has:
+            elif a_has and (a, j) not in zero_fixed:
+                zero_fixed.add((a, j))
                 model.add_constr(x[a, j] == 0, name=f"pow_{a}_{b}_b{j}")
-            elif b_has:
+            elif b_has and (b, j) not in zero_fixed:
+                zero_fixed.add((b, j))
                 model.add_constr(x[b, j] == 0, name=f"pow_{a}_{b}_b{j}")
 
     model.minimize(makespan)

@@ -134,6 +134,18 @@ class DesignProblem:
                     closure.add((a, b))
         return sorted(closure & set(self.forbidden_pairs))
 
+    def lint(self):
+        """Static pre-formulation checks (rules ``P0xx``); returns a
+        :class:`~repro.analysis.diagnostics.LintReport`.
+
+        Catches instance pathologies — contradictory pair budgets, cores
+        that fit no bus, single cores hotter than the power budget — in
+        core/bus vocabulary before an ILP row is ever built.
+        """
+        from repro.analysis.problem_lint import check_problem
+
+        return check_problem(self)
+
     # ------------------------------------------------------------ validation
     def validate(self, assignment: Assignment) -> list[str]:
         """Return human-readable violations of ``assignment`` (empty = valid)."""

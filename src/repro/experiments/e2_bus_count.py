@@ -50,9 +50,8 @@ def run(socs=None, total_width: int = 32, max_buses: int = 5, timing: str = "ser
             and abs(points[0].makespan - serial_total) < 1e-6,
             f"{soc.name}: NB=1 equals full serialization ({serial_total:.0f} cycles)",
         )
-        feasible = [p.makespan for p in points if p.makespan is not None]
-        best = min(feasible)
-        best_nb = next(p.num_buses for p in points if p.makespan == best)
+        feasible = [p for p in points if p.makespan is not None]
+        best_nb = min(feasible, key=lambda p: p.makespan).num_buses
         result.check(best_nb > 1, f"{soc.name}: concurrency helps (knee at NB={best_nb})")
         result.note(f"{soc.name}: best bus count at W={total_width} is NB={best_nb}")
     return result

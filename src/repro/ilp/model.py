@@ -222,14 +222,43 @@ class Model:
         )
 
     # ---------------------------------------------------------------- solving
-    def solve(self, backend: str = "bnb", **options) -> Solution:
+    def lint(self):
+        """Run the structural model linter (no solve); returns a LintReport."""
+        from repro.analysis.model_lint import lint_model
+
+        return lint_model(self)
+
+    def solve(self, backend: str = "bnb", lint: str = "off", **options) -> Solution:
         """Solve the model to optimality.
 
         ``backend="bnb"`` uses :class:`~repro.ilp.branch_and_bound.
         BranchAndBoundSolver`; ``backend="scipy"`` uses HiGHS via
         ``scipy.optimize.milp``. Options are forwarded to the backend
         (``node_limit``, ``gap_tol``, ``time_limit`` for bnb).
+
+        ``lint`` gates the solve on the static model linter
+        (:mod:`repro.analysis.model_lint`): ``"warn"`` prints findings to
+        stderr and proceeds, ``"error"`` additionally raises
+        :class:`~repro.util.errors.LintError` when any error-severity
+        finding exists, ``"off"`` (default) skips the pass entirely.
         """
+        if lint not in ("off", "warn", "error"):
+            raise ValueError(f"lint must be 'off', 'warn' or 'error', got {lint!r}")
+        if lint != "off":
+            report = self.lint()
+            if len(report):
+                import sys
+
+                print(report.render(f"lint: model {self.name!r}"), file=sys.stderr)
+            if lint == "error" and report.has_errors:
+                from repro.util.errors import LintError
+
+                raise LintError(
+                    f"model {self.name!r} failed lint with "
+                    f"{len(report.errors)} error(s); first: "
+                    f"{report.errors[0].render()}",
+                    report=report,
+                )
         if backend == "bnb":
             from repro.ilp.branch_and_bound import BranchAndBoundSolver
 

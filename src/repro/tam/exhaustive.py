@@ -70,7 +70,12 @@ def exhaustive_optimal(
         force[b].add(a)
 
     # Largest-first order makes pruning bite early.
-    order = sorted(range(n), key=lambda i: -np.nanmin(np.where(np.isfinite(times[i]), times[i], np.nan)) if np.isfinite(times[i]).any() else 0)
+    def _best_time(i: int) -> float:
+        row = times[i]
+        finite = row[np.isfinite(row)]
+        return float(finite.min()) if finite.size else 0.0
+
+    order = sorted(range(n), key=lambda i: -_best_time(i))
 
     best_span = math.inf
     best_vector: list[int] | None = None

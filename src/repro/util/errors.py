@@ -31,6 +31,20 @@ class InfeasibleError(ReproError):
         self.reason = reason
 
 
+class LintError(ReproError):
+    """Raised when a lint gate finds error-severity diagnostics.
+
+    ``model.solve(lint="error")`` raises this instead of handing a broken
+    formulation to the solver. Carries the full :class:`~repro.analysis.
+    diagnostics.LintReport` on ``report`` so callers can render or
+    serialize the findings.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class SolverError(ReproError):
     """Raised when a solver fails for a reason other than infeasibility.
 

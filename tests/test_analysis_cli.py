@@ -1,0 +1,95 @@
+"""CLI tests for the ``repro lint`` subcommand (text, JSON, exit codes)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintModelCli:
+    def test_clean_instance_exits_zero(self, capsys):
+        code = main(["lint", "model", "S1", "--widths", "16,16,16",
+                     "--power-budget", "150"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_contradictory_instance_exits_nonzero(self, capsys):
+        code = main(["lint", "model", "S1", "--widths", "16,16,16",
+                     "--power-budget", "100", "--max-distance", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "P001" in out
+        assert "M007" in out
+
+    def test_json_output(self, capsys):
+        code = main(["lint", "model", "S1", "--widths", "16,16,16", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["target"] == "model"
+        assert payload["clean"] is True
+        assert payload["model"]  # the built model's summary line
+        assert payload["counts"] == {"error": 0, "warning": 0, "info": 0}
+
+    def test_unbuildable_instance_reports_problem_rules(self, capsys):
+        # Width 1 under fixed timing: no core fits, the ILP cannot be built,
+        # but the problem-level pass still explains why.
+        code = main(["lint", "model", "S1", "--widths", "1", "--timing", "fixed",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["model"] is None
+        assert {d["rule"] for d in payload["diagnostics"]} >= {"P002"}
+
+
+class TestLintCodeCli:
+    def test_real_tree_clean_exits_zero(self, capsys):
+        code = main(["lint", "code"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_rng_violation_fixture_exits_nonzero(self, tmp_path, capsys):
+        fixture = tmp_path / "rogue.py"
+        fixture.write_text("import random\nchoice = random.choice([1, 2])\n")
+        code = main(["lint", "code", str(fixture)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "C001" in out
+
+    def test_json_output_lists_diagnostics(self, tmp_path, capsys):
+        fixture = tmp_path / "rogue.py"
+        fixture.write_text("def f(x=[]):\n    try:\n        pass\n    except:\n        pass\n")
+        code = main(["lint", "code", str(fixture), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["clean"] is False
+        assert {d["rule"] for d in payload["diagnostics"]} == {"C002", "C004"}
+        assert all(d["severity"] == "error" for d in payload["diagnostics"])
+
+    def test_explicit_baseline_waives_findings(self, tmp_path, capsys):
+        fixture = tmp_path / "legacy.py"
+        fixture.write_text("import random\n")
+        baseline = tmp_path / "waivers.json"
+        baseline.write_text(json.dumps(
+            {"waivers": [{"rule": "C001", "file": "legacy.py", "reason": "grandfathered"}]}
+        ))
+        code = main(["lint", "code", str(fixture), "--baseline", str(baseline), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["clean"] is True
+        assert payload["waived"] == 1
+
+    def test_checked_in_baseline_discovered(self, capsys, monkeypatch):
+        # Running from the repo root should find .lint-baseline.json.
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        if not (repo_root / ".lint-baseline.json").exists():
+            pytest.skip("baseline not present in this checkout")
+        monkeypatch.chdir(repo_root)
+        code = main(["lint", "code", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["baseline"].endswith(".lint-baseline.json")

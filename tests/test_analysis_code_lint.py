@@ -1,0 +1,160 @@
+"""Unit tests for the AST code-lint rules (C001-C004) on synthetic fixtures."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.diagnostics import load_baseline
+
+
+def lint(src, path="fixture.py"):
+    return lint_source(textwrap.dedent(src), path)
+
+
+def rules_of(report):
+    return sorted(d.rule for d in report)
+
+
+class TestC001RngDiscipline:
+    def test_import_random(self):
+        assert rules_of(lint("import random\n")) == ["C001"]
+
+    def test_from_random_import(self):
+        assert rules_of(lint("from random import shuffle\n")) == ["C001"]
+
+    def test_import_numpy_random(self):
+        assert rules_of(lint("import numpy.random\n")) == ["C001"]
+
+    def test_from_numpy_import_random(self):
+        assert rules_of(lint("from numpy import random\n")) == ["C001"]
+
+    def test_np_random_attribute(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(0)
+        """
+        assert rules_of(lint(src)) == ["C001"]
+
+    def test_rng_module_is_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert not lint_source(src, "src/repro/util/rng.py").diagnostics
+
+    def test_unrelated_random_attribute_ok(self):
+        # A .random attribute on something that is not the numpy module.
+        src = "rng = make_rng(0)\nvalue = rng.random()\n"
+        assert not lint(src).diagnostics
+
+    def test_seeded_generator_through_helper_ok(self):
+        src = """
+        from repro.util.rng import make_rng
+        rng = make_rng(42)
+        """
+        assert not lint(src).diagnostics
+
+
+class TestC002MutableDefault:
+    def test_list_literal(self):
+        assert rules_of(lint("def f(x=[]):\n    return x\n")) == ["C002"]
+
+    def test_dict_and_set_literals(self):
+        assert rules_of(lint("def f(a={}, b=set()):\n    return a, b\n")) == ["C002", "C002"]
+
+    def test_keyword_only_default(self):
+        assert rules_of(lint("def f(*, x=[]):\n    return x\n")) == ["C002"]
+
+    def test_constructor_call(self):
+        assert rules_of(lint("def f(x=list()):\n    return x\n")) == ["C002"]
+
+    def test_none_and_tuple_ok(self):
+        assert not lint("def f(x=None, y=(), z=1):\n    return x, y, z\n").diagnostics
+
+
+class TestC003ObjectiveEquality:
+    def test_objective_attribute(self):
+        assert rules_of(lint("assert sol.objective == 42\n")) == ["C003"]
+
+    def test_makespan_on_either_side(self):
+        assert rules_of(lint("ok = 100 == result.makespan\n")) == ["C003"]
+
+    def test_not_equals_flagged(self):
+        assert rules_of(lint("bad = sol.objective != best\n")) == ["C003"]
+
+    def test_objective_value_call(self):
+        assert rules_of(lint("same = model.objective_value(vals) == 7\n")) == ["C003"]
+
+    def test_none_check_not_flagged(self):
+        assert not lint("missing = sol.objective == None\n").diagnostics
+
+    def test_tolerance_comparison_ok(self):
+        assert not lint("close = abs(sol.objective - 42) < 1e-6\n").diagnostics
+
+    def test_inline_waiver(self):
+        report = lint("assert sol.objective == 42  # lint: ignore[C003]\n")
+        assert not report.diagnostics
+        assert [d.rule for d in report.waived] == ["C003"]
+
+    def test_blanket_inline_waiver(self):
+        report = lint("assert sol.objective == 42  # lint: ignore\n")
+        assert not report.diagnostics
+
+
+class TestC004BareExcept:
+    def test_flagged(self):
+        src = """
+        try:
+            risky()
+        except:
+            pass
+        """
+        assert rules_of(lint(src)) == ["C004"]
+
+    def test_typed_except_ok(self):
+        src = """
+        try:
+            risky()
+        except ValueError:
+            pass
+        """
+        assert not lint(src).diagnostics
+
+
+class TestFrameworkPlumbing:
+    def test_syntax_error_reported_not_raised(self):
+        report = lint("def broken(:\n")
+        assert rules_of(report) == ["C000"]
+        assert report.has_errors
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text("import random\n")
+        (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("import random\n")
+        report = lint_paths([tmp_path])
+        assert [d.rule for d in report] == ["C001"]
+        assert "bad.py" in report.diagnostics[0].location
+
+    def test_baseline_waives_by_rule_file_and_line(self, tmp_path):
+        target = tmp_path / "legacy.py"
+        target.write_text("import random\n\ndef f(x=[]):\n    return x\n")
+        report = lint_paths([target])
+        assert len(report) == 2
+        report.apply_baseline(
+            [{"rule": "C001", "file": "legacy.py", "line": 1, "reason": "grandfathered"}]
+        )
+        assert [d.rule for d in report] == ["C002"]
+        assert [d.rule for d in report.waived] == ["C001"]
+
+    def test_baseline_file_roundtrip(self, tmp_path):
+        baseline = tmp_path / ".lint-baseline.json"
+        baseline.write_text('{"waivers": [{"rule": "C002", "file": "legacy.py"}]}')
+        assert load_baseline(baseline) == [{"rule": "C002", "file": "legacy.py"}]
+
+
+class TestRealTreeIsClean:
+    def test_src_repro_passes(self):
+        package_root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        assert package_root.is_dir()
+        report = lint_paths([package_root])
+        offenders = [d.render() for d in report]
+        assert not offenders, "\n".join(offenders)

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.core import DesignProblem, design, design_best_architecture
 from repro.ilp import Status
 from repro.layout import grid_place
-from repro.soc import build_s1, generate_synthetic_soc
+from repro.soc import generate_synthetic_soc
 from repro.tam import TamArchitecture, exhaustive_optimal
 from repro.util.errors import InfeasibleError, SolverError
 

@@ -1,7 +1,5 @@
 """Tests for the dual problems: width minimization and bus-count exploration."""
 
-import math
-
 import pytest
 
 from repro.core import (

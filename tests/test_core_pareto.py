@@ -1,10 +1,7 @@
 """Tests for the sweep drivers and Pareto extraction."""
 
-import pytest
-
 from repro.core import distance_budget_sweep, power_budget_sweep, width_sweep
 from repro.core.pareto import SweepPoint, pareto_front
-from repro.tam import TamArchitecture
 
 
 class TestWidthSweep:

@@ -5,8 +5,6 @@ import pytest
 
 from repro.core import DesignProblem, build_assignment_ilp
 from repro.ilp import Status
-from repro.layout import grid_place
-from repro.soc import build_s1
 from repro.tam import Assignment, TamArchitecture
 from repro.util.errors import InfeasibleError, ValidationError
 

@@ -5,7 +5,6 @@ import itertools
 import pytest
 
 from repro.core import DesignProblem, build_schedule, design
-from repro.tam import Assignment, TamArchitecture
 from repro.util.errors import ValidationError
 
 

@@ -20,7 +20,6 @@ from repro.experiments import (
     t4_layout,
     t5_combined,
 )
-from repro.soc import build_s1
 from repro.tam import TamArchitecture
 
 

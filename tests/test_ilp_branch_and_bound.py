@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ilp import BINARY, INTEGER, BranchAndBoundSolver, Model, Status, quicksum
+from repro.ilp import INTEGER, BranchAndBoundSolver, Model, Status, quicksum
 
 
 def knapsack_model(weights, profits, capacity):

@@ -1,7 +1,5 @@
 """Tests for the LP relaxation front-end and the scipy MILP backend."""
 
-import math
-
 import pytest
 
 from repro.ilp import Model, Status, quicksum, solve_with_scipy

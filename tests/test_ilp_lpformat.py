@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ilp import BINARY, INTEGER, Model, quicksum
+from repro.ilp import INTEGER, Model, quicksum
 from repro.ilp.lpformat import load_lp, parse_lp, save_lp, write_lp
 from repro.util.errors import ValidationError
 

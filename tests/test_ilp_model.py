@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.ilp import BINARY, INTEGER, Model, quicksum
+from repro.ilp import INTEGER, Model, quicksum
 from repro.util.errors import ValidationError
 
 

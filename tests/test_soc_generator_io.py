@@ -81,7 +81,8 @@ class TestSocFormat:
         assert parse_soc(text)["a"].num_gates == 10
 
     def test_power_budget_field(self):
-        text = "soc T\ndie 5 5\npowerbudget 123.5\ncore a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n"
+        text = ("soc T\ndie 5 5\npowerbudget 123.5\n"
+                "core a inputs=1 outputs=1 flipflops=0 gates=10 patterns=2 width=4 power=1\n")
         assert parse_soc(text).power_budget == pytest.approx(123.5)
 
     def test_activity_optional(self):

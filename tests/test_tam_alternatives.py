@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.soc import build_s1, generate_synthetic_soc
+from repro.soc import generate_synthetic_soc
 from repro.tam import (
     compare_architectures,
     daisychain_time,

@@ -1,7 +1,5 @@
 """Tests for TAM architectures and the three timing models."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given
@@ -150,7 +148,10 @@ class TestFlexibleTiming:
 
 
 class TestFactory:
-    @pytest.mark.parametrize("name,cls", [("fixed", FixedWidthTiming), ("serial", SerializationTiming), ("flexible", FlexibleWidthTiming)])
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("fixed", FixedWidthTiming), ("serial", SerializationTiming), ("flexible", FlexibleWidthTiming)],
+    )
     def test_by_name(self, name, cls):
         assert isinstance(make_timing_model(name), cls)
 

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.soc import Soc, build_s1, generate_synthetic_soc
+from repro.soc import Soc, generate_synthetic_soc
 from repro.soc.core import Core
 from repro.tam import (
     Assignment,
