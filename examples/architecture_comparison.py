@@ -10,16 +10,18 @@ d695 benchmark SOC, then breaks down the winning design's resource usage —
 testing time, ATE vector memory, TAM utilization, and wrapper hardware cost.
 """
 
-from repro import DesignProblem, TamArchitecture, design
-from repro.soc import build_d695
-from repro.tam import (
+from repro.api import (
+    DesignProblem,
+    TamArchitecture,
     ate_vector_memory,
+    build_d695,
     compare_architectures,
+    design,
     distribution_allocation,
     soc_test_data_volume,
+    soc_wrapper_overhead,
     tam_utilization,
 )
-from repro.wrapper.overhead import soc_wrapper_overhead
 
 def main() -> None:
     soc = build_d695()

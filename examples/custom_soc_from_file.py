@@ -13,7 +13,7 @@ three timing models — and report the best design per model.
 import tempfile
 from pathlib import Path
 
-from repro import design_best_architecture, load_soc
+from repro.api import design_best_architecture, load_soc
 
 SOC_TEXT = """\
 # A hypothetical set-top-box SOC: CPU, DSP, two memories, peripherals.

@@ -12,10 +12,17 @@ annealing placement), tightens the distance budget step by step, and prints
 the wirelength/testing-time tradeoff plus its Pareto frontier.
 """
 
-from repro import DesignProblem, TamArchitecture, build_s1, design, grid_place, anneal_place
-from repro.core import distance_budget_sweep
-from repro.core.pareto import pareto_front
-from repro.layout import tam_wirelength
+from repro.api import (
+    DesignProblem,
+    TamArchitecture,
+    anneal_place,
+    build_s1,
+    design,
+    distance_budget_sweep,
+    grid_place,
+    pareto_front,
+    tam_wirelength,
+)
 
 def main() -> None:
     soc = build_s1()
@@ -55,7 +62,7 @@ def main() -> None:
     for bus in range(arch.num_buses):
         members = result.assignment.cores_on_bus(bus)
         names = ", ".join(soc.cores[i].name for i in members) or "(empty)"
-        from repro.layout import bus_wirelength
+        from repro.api import bus_wirelength
 
         length = bus_wirelength(floorplan, members) if members else 0.0
         print(f"  bus {bus}: {length:6.2f} mm  [{names}]")

@@ -11,8 +11,13 @@ minimum width and the architecture that achieves it, and shows the knee
 where extra pins stop helping (so over-asking is provably wasted).
 """
 
-from repro import build_s1, design_best_architecture, explore_bus_counts, minimize_width
-from repro.util.errors import InfeasibleError
+from repro.api import (
+    InfeasibleError,
+    build_s1,
+    bus_count_curve,
+    design_best_architecture,
+    min_width,
+)
 
 def main() -> None:
     soc = build_s1()
@@ -30,7 +35,7 @@ def main() -> None:
     for factor in (3.0, 2.0, 1.5, 1.2, 1.0):
         budget = floor * factor
         try:
-            plan = minimize_width(
+            plan = min_width(
                 soc, num_buses, budget, timing="serial", max_width=64, backend="scipy"
             )
         except InfeasibleError:
@@ -40,7 +45,7 @@ def main() -> None:
               f"{str(plan.design.arch):>14} | {plan.design.makespan:>11.0f}")
 
     print("\nand if the bus count itself is negotiable (W = 32):")
-    for point in explore_bus_counts(soc, 32, 5, timing="serial", backend="scipy"):
+    for point in bus_count_curve(soc, 32, 5, timing="serial", backend="scipy"):
         widths = "+".join(str(w) for w in point.arch_widths) if point.arch_widths else "-"
         time = f"{point.makespan:.0f}" if point.makespan is not None else "infeasible"
         print(f"  NB={point.num_buses}: {time:>10} cycles  (widths {widths})")

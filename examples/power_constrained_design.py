@@ -15,9 +15,16 @@ optimal design, its Gantt chart, and an independent verification of the
 schedule's instantaneous power.
 """
 
-from repro import DesignProblem, TamArchitecture, build_s1, build_schedule, design
-from repro.core import power_budget_sweep
-from repro.power import budget_sweep_points, power_groups
+from repro.api import (
+    DesignProblem,
+    TamArchitecture,
+    budget_sweep_points,
+    build_s1,
+    build_schedule,
+    design,
+    power_budget_sweep,
+    power_groups,
+)
 
 def main() -> None:
     soc = build_s1()

@@ -9,7 +9,7 @@ architecture and timing model, solve to proven optimality, and inspect the
 result (per-bus core lists, makespan, solver effort).
 """
 
-from repro import DesignProblem, TamArchitecture, build_s1, design, run_all_baselines
+from repro.api import DesignProblem, TamArchitecture, build_s1, design, run_all_baselines
 
 def main() -> None:
     # The six-core academic SOC used throughout the paper's evaluation.

@@ -11,8 +11,14 @@ classic problems, then shows what the TAM formulation itself looks like as
 a model object.
 """
 
-from repro import DesignProblem, TamArchitecture, build_s1, build_assignment_ilp
-from repro.ilp import Model, quicksum
+from repro.api import (
+    DesignProblem,
+    Model,
+    TamArchitecture,
+    build_assignment_ilp,
+    build_s1,
+    quicksum,
+)
 
 def knapsack() -> None:
     weights = [12, 7, 11, 8, 9]

@@ -24,6 +24,7 @@ C001  error     direct ``random`` / ``numpy.random`` use outside util/rng
 C002  error     mutable default argument
 C003  error     ``==`` / ``!=`` against a solver objective float
 C004  error     bare ``except:``
+C005  error     example code importing ``repro.*`` internals, not ``repro.api``
 ====  ========  ===========================================================
 """
 
@@ -204,12 +205,53 @@ class BareExcept(CodeRule):
             )
 
 
+class ExampleFacadeImports(CodeRule):
+    """Examples are the library's public-API showcase: they must import
+    from the stable :mod:`repro.api` facade, never from the internal
+    submodule layout (which is free to move between releases)."""
+
+    rule_id = "C005"
+    title = "example code importing repro internals instead of repro.api"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    _HINT = (
+        "examples must demonstrate the supported surface: import the name "
+        "from repro.api (every blessed name is exported there)"
+    )
+
+    def _applies(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.path.replace("\\", "/")).parts
+        return "examples" in parts
+
+    def _is_internal(self, module: str) -> bool:
+        if module == "repro.api":
+            return False
+        return module == "repro" or module.startswith("repro.")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not self._applies(ctx):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if self._is_internal(alias.name):
+                    yield self.diag(
+                        node, ctx, f"example imports internal module {alias.name!r}", self._HINT
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if self._is_internal(module):
+                yield self.diag(
+                    node, ctx, f"example imports from internal module {module!r}", self._HINT
+                )
+
+
 #: The default rule set, in reporting order.
 CODE_RULES: tuple[CodeRule, ...] = (
     RngDiscipline(),
     MutableDefaultArgument(),
     ObjectiveFloatEquality(),
     BareExcept(),
+    ExampleFacadeImports(),
 )
 
 

@@ -1,0 +1,204 @@
+"""repro.api — the stable, single-import surface of this library.
+
+Everything a script, notebook, example, or the CLI needs lives here; the
+submodule layout underneath (``repro.core``, ``repro.ilp``, ``repro.tam``,
+…) is an implementation detail free to move between releases. Downstream
+code should import from ``repro.api`` only — the repo's own examples are
+held to that rule by lint rule C005.
+
+The surface groups into:
+
+- **data model** — :func:`load_soc`/:func:`save_soc`, the builtin systems
+  (:func:`build_s1` …), :class:`Soc`, :class:`Core`,
+  :class:`TamArchitecture`, :class:`DesignProblem`;
+- **exact design flow** — :func:`design`, :func:`design_best_architecture`,
+  the sweeps (:func:`sweep_widths`, :func:`power_budget_sweep`,
+  :func:`distance_budget_sweep`), the duals (:func:`min_width`,
+  :func:`bus_count_curve`), baselines and schedules;
+- **runtime** — :func:`solve_cached`, :class:`SolutionCache`,
+  :func:`use_cache`, :func:`run_parallel`, :class:`RunTelemetry`;
+- **experiments** — :func:`run_experiment`/:func:`run_all` with
+  :class:`ExperimentConfig`;
+- **reporting** — :func:`design_report`, :class:`Table`,
+  :func:`format_table`, :func:`format_objective`;
+- **static analysis** — :func:`lint_model`, :func:`lint_paths`;
+- **errors** — :class:`ReproError` and its subclasses.
+
+``sweep_widths``, ``min_width``, and ``bus_count_curve`` are the blessed
+names for :func:`repro.core.width_sweep`,
+:func:`repro.core.minimize_width`, and
+:func:`repro.core.explore_bus_counts` respectively.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import lint_model, lint_paths, load_baseline
+from repro.core import (
+    DesignProblem,
+    TamDesign,
+    build_assignment_ilp,
+    build_schedule,
+    design,
+    design_best_architecture,
+    design_report,
+    distance_budget_sweep,
+    explore_bus_counts,
+    lpt_assignment,
+    local_search,
+    minimize_width,
+    pareto_front,
+    power_budget_sweep,
+    random_assignment,
+    run_all_baselines,
+    schedule_with_power_cap,
+    simulated_annealing,
+    width_sweep,
+)
+from repro.core.designer import ArchitectureSweepResult
+from repro.core.dual import BusCountPoint, WidthMinimization
+from repro.core.pareto import SweepPoint
+from repro.experiments import (
+    REGISTRY as EXPERIMENTS,
+    ExperimentConfig,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.ilp import Model, quicksum
+from repro.ilp.solution import Solution, SolveStats, Status
+from repro.layout import Floorplan, anneal_place, bus_wirelength, grid_place, tam_wirelength
+from repro.power import budget_sweep_points, max_clique_power, power_groups
+from repro.runtime import (
+    DEFAULT_CACHE_DIR,
+    RunTelemetry,
+    SolutionCache,
+    run_parallel,
+    solve_cached,
+    use_cache,
+)
+from repro.soc import (
+    Core,
+    Soc,
+    build_d695,
+    build_s1,
+    build_s2,
+    build_s3,
+    build_soc,
+    generate_synthetic_soc,
+    load_soc,
+    save_soc,
+)
+from repro.tam import (
+    Assignment,
+    TamArchitecture,
+    ate_vector_memory,
+    compare_architectures,
+    distribution_allocation,
+    exhaustive_optimal,
+    make_timing_model,
+    soc_test_data_volume,
+    tam_utilization,
+)
+from repro.util.errors import InfeasibleError, ReproError, SolverError, ValidationError
+from repro.util.tables import Table, format_objective, format_table
+from repro.wrapper import pareto_widths
+from repro.wrapper.overhead import soc_wrapper_overhead
+
+#: Blessed aliases: the API names the facade documents for the three
+#: sweep/dual drivers (the originals stay exported for continuity).
+sweep_widths = width_sweep
+min_width = minimize_width
+bus_count_curve = explore_bus_counts
+
+__all__ = [
+    # data model
+    "Core",
+    "Soc",
+    "DesignProblem",
+    "TamArchitecture",
+    "Assignment",
+    "Floorplan",
+    "build_s1",
+    "build_s2",
+    "build_s3",
+    "build_d695",
+    "build_soc",
+    "generate_synthetic_soc",
+    "load_soc",
+    "save_soc",
+    # exact design flow + typed results
+    "design",
+    "design_best_architecture",
+    "TamDesign",
+    "ArchitectureSweepResult",
+    "sweep_widths",
+    "width_sweep",
+    "SweepPoint",
+    "power_budget_sweep",
+    "distance_budget_sweep",
+    "pareto_front",
+    "min_width",
+    "minimize_width",
+    "WidthMinimization",
+    "bus_count_curve",
+    "explore_bus_counts",
+    "BusCountPoint",
+    "build_assignment_ilp",
+    "build_schedule",
+    "schedule_with_power_cap",
+    "exhaustive_optimal",
+    "make_timing_model",
+    "lpt_assignment",
+    "local_search",
+    "random_assignment",
+    "simulated_annealing",
+    "run_all_baselines",
+    # accounting / comparisons
+    "ate_vector_memory",
+    "compare_architectures",
+    "distribution_allocation",
+    "soc_test_data_volume",
+    "tam_utilization",
+    "soc_wrapper_overhead",
+    "pareto_widths",
+    "budget_sweep_points",
+    "max_clique_power",
+    "power_groups",
+    "grid_place",
+    "anneal_place",
+    "tam_wirelength",
+    "bus_wirelength",
+    # MILP substrate
+    "Model",
+    "quicksum",
+    "Solution",
+    "SolveStats",
+    "Status",
+    # runtime: caching, parallelism, telemetry
+    "solve_cached",
+    "SolutionCache",
+    "use_cache",
+    "run_parallel",
+    "RunTelemetry",
+    "DEFAULT_CACHE_DIR",
+    # experiments
+    "run_experiment",
+    "run_all",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    # reporting
+    "design_report",
+    "Table",
+    "format_table",
+    "format_objective",
+    # static analysis
+    "lint_model",
+    "lint_paths",
+    "load_baseline",
+    # errors
+    "ReproError",
+    "InfeasibleError",
+    "SolverError",
+    "ValidationError",
+]

@@ -3,7 +3,8 @@
 Commands:
 
 - ``describe`` — print an SOC's inventory (builtin name or ``.soc`` file);
-- ``design`` — solve one constrained instance and print the full report;
+- ``design`` — solve one constrained instance and print the full report
+  (``--json`` emits the result with full solver telemetry);
 - ``sweep`` — find the best width distribution for a (W, NB) pin budget;
 - ``minwidth`` — smallest TAM width meeting a testing-time budget;
 - ``buscount`` — testing time per bus count at a fixed total width;
@@ -13,29 +14,46 @@ Commands:
 - ``experiments`` — run the evaluation harnesses (same as
   ``python -m repro.experiments``).
 
+The solver commands share the runtime flags ``--jobs N`` (parallel sweep
+fan-out), ``--cache [DIR]`` (memoize solved instances, in memory or on
+disk), and ``--no-cache``.
+
 The SOC argument accepts the builtin names ``S1``/``S2``/``S3``,
 ``SYN<n>[:seed]`` for a synthetic system, or a path to a ``.soc`` file.
+
+Everything here goes through :mod:`repro.api` — the CLI is a consumer of
+the public facade, not of the internal layering.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 
-from repro.core import (
+from repro.api import (
+    DEFAULT_CACHE_DIR,
     DesignProblem,
+    ReproError,
+    Soc,
+    SolutionCache,
+    TamArchitecture,
+    build_d695,
+    build_s1,
+    build_s2,
+    build_s3,
+    bus_count_curve,
     design,
     design_best_architecture,
-    explore_bus_counts,
-    minimize_width,
+    design_report,
+    format_table,
+    generate_synthetic_soc,
+    grid_place,
+    load_soc,
+    min_width,
+    use_cache,
 )
-from repro.core.report import design_report
-from repro.layout import grid_place
-from repro.soc import build_d695, build_s1, build_s2, build_s3, generate_synthetic_soc, load_soc
-from repro.soc.system import Soc
-from repro.tam import TamArchitecture
-from repro.util.errors import ReproError
-from repro.util.tables import format_table
 
 
 def resolve_soc(spec: str) -> Soc:
@@ -66,6 +84,24 @@ def _add_common_constraints(parser: argparse.ArgumentParser) -> None:
                         help="exact solver backend (default: our branch & bound)")
 
 
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep fan-out (default: 1, serial)")
+    parser.add_argument("--cache", nargs="?", const="", default=None, metavar="DIR",
+                        help="memoize solved instances; with DIR, persist them on disk "
+                             f"(bare --cache stores under {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the solve cache entirely")
+
+
+def _runtime_scope(args):
+    """Context manager installing the solve cache the flags ask for."""
+    if getattr(args, "no_cache", False) or getattr(args, "cache", None) is None:
+        return contextlib.nullcontext()
+    directory = args.cache if args.cache else DEFAULT_CACHE_DIR
+    return use_cache(SolutionCache(directory=directory))
+
+
 def _problem_from_args(soc: Soc, arch: TamArchitecture, args) -> DesignProblem:
     floorplan = grid_place(soc) if args.max_distance is not None else None
     return DesignProblem(
@@ -87,24 +123,45 @@ def cmd_describe(args) -> int:
 def cmd_design(args) -> int:
     soc = resolve_soc(args.soc)
     problem = _problem_from_args(soc, _parse_widths(args.widths), args)
-    result = design(problem, backend=args.backend)
-    print(design_report(result))
+    with _runtime_scope(args):
+        result = design(problem, backend=args.backend)
+    if args.json:
+        payload = {
+            "soc": soc.name,
+            "widths": list(result.arch.widths),
+            "timing": args.timing,
+            "constraints": problem.constraint_summary(),
+            "status": result.status.value,
+            "makespan": result.makespan,
+            "bus_times": result.bus_times,
+            "wirelength": result.wirelength,
+            "backend": result.backend,
+            "assignment": {
+                core.name: int(bus)
+                for core, bus in zip(soc.cores, result.assignment.bus_of)
+            },
+            "stats": result.stats.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(design_report(result))
     return 0
 
 
 def cmd_sweep(args) -> int:
     soc = resolve_soc(args.soc)
     floorplan = grid_place(soc) if args.max_distance is not None else None
-    sweep = design_best_architecture(
-        soc,
-        args.total_width,
-        args.buses,
-        timing=args.timing,
-        power_budget=args.power_budget,
-        floorplan=floorplan,
-        max_pair_distance=args.max_distance,
-        backend=args.backend,
-    )
+    with _runtime_scope(args):
+        sweep = design_best_architecture(
+            soc,
+            args.total_width,
+            args.buses,
+            timing=args.timing,
+            power_budget=args.power_budget,
+            floorplan=floorplan,
+            max_pair_distance=args.max_distance,
+            backend=args.backend,
+        )
     rows = [
         ["+".join(str(w) for w in arch.widths), makespan]
         for arch, makespan in sweep.per_architecture
@@ -116,7 +173,7 @@ def cmd_sweep(args) -> int:
         return 1
     print(f"\nbest: {sweep.best.arch} at {sweep.best.makespan:.0f} cycles "
           f"({sweep.evaluated} distributions, {sweep.infeasible} infeasible, "
-          f"{sweep.wall_time:.1f}s)")
+          f"{sweep.wall_time:.1f}s; {sweep.telemetry.render()})")
     print(design_report(sweep.best))
     return 0
 
@@ -124,16 +181,17 @@ def cmd_sweep(args) -> int:
 def cmd_minwidth(args) -> int:
     soc = resolve_soc(args.soc)
     floorplan = grid_place(soc) if args.max_distance is not None else None
-    result = minimize_width(
-        soc,
-        args.buses,
-        args.time_budget,
-        timing=args.timing,
-        power_budget=args.power_budget,
-        floorplan=floorplan,
-        max_pair_distance=args.max_distance,
-        backend=args.backend,
-    )
+    with _runtime_scope(args):
+        result = min_width(
+            soc,
+            args.buses,
+            args.time_budget,
+            timing=args.timing,
+            power_budget=args.power_budget,
+            floorplan=floorplan,
+            max_pair_distance=args.max_distance,
+            backend=args.backend,
+        )
     print(result.describe())
     print(format_table(
         ["probed W", "T* (cycles)"],
@@ -145,10 +203,12 @@ def cmd_minwidth(args) -> int:
 
 def cmd_buscount(args) -> int:
     soc = resolve_soc(args.soc)
-    points = explore_bus_counts(
-        soc, args.total_width, args.max_buses,
-        timing=args.timing, power_budget=args.power_budget, backend=args.backend,
-    )
+    with _runtime_scope(args):
+        points = bus_count_curve(
+            soc, args.total_width, args.max_buses,
+            timing=args.timing, power_budget=args.power_budget, backend=args.backend,
+            jobs=args.jobs,
+        )
     rows = [
         [p.num_buses, p.makespan, "+".join(str(w) for w in p.arch_widths) if p.arch_widths else None]
         for p in points
@@ -159,9 +219,7 @@ def cmd_buscount(args) -> int:
 
 
 def cmd_lint_model(args) -> int:
-    from repro.analysis import lint_model
-    from repro.core.formulation import build_assignment_ilp
-    from repro.util.errors import InfeasibleError
+    from repro.api import InfeasibleError, build_assignment_ilp, lint_model
 
     soc = resolve_soc(args.soc)
     problem = _problem_from_args(soc, _parse_widths(args.widths), args)
@@ -187,7 +245,7 @@ def cmd_lint_model(args) -> int:
 def cmd_lint_code(args) -> int:
     import pathlib
 
-    from repro.analysis import lint_paths, load_baseline
+    from repro.api import lint_paths, load_baseline
 
     if args.paths:
         paths = [pathlib.Path(p) for p in args.paths]
@@ -231,7 +289,14 @@ def _find_baseline(paths) -> "object | None":
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main([args.id])
+    forwarded = [args.id, "--jobs", str(args.jobs)]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    elif args.cache is not None:
+        forwarded.append("--cache")
+        if args.cache:
+            forwarded.append(args.cache)
+    return experiments_main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,7 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("soc")
     p.add_argument("--widths", required=True, metavar="W1,W2,...",
                    help="bus widths, e.g. 16,16,32")
+    p.add_argument("--json", action="store_true",
+                   help="emit the design + solver telemetry as JSON")
     _add_common_constraints(p)
+    _add_runtime_flags(p)
     p.set_defaults(func=cmd_design)
 
     p = sub.add_parser("sweep", help="best width distribution for a pin budget")
@@ -257,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--total-width", type=int, required=True)
     p.add_argument("--buses", type=int, required=True)
     _add_common_constraints(p)
+    _add_runtime_flags(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("minwidth", help="smallest TAM width meeting a time budget")
@@ -264,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buses", type=int, required=True)
     p.add_argument("--time-budget", type=float, required=True, metavar="CYCLES")
     _add_common_constraints(p)
+    _add_runtime_flags(p)
     p.set_defaults(func=cmd_minwidth)
 
     p = sub.add_parser("buscount", help="testing time per bus count at fixed W")
@@ -271,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--total-width", type=int, required=True)
     p.add_argument("--max-buses", type=int, default=4)
     _add_common_constraints(p)
+    _add_runtime_flags(p)
     p.set_defaults(func=cmd_buscount)
 
     p = sub.add_parser("lint", help="static analysis over models or source code")
@@ -294,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="run evaluation harnesses (T1..T5, F1..F4, all)")
     p.add_argument("id", nargs="?", default="all")
+    _add_runtime_flags(p)
     p.set_defaults(func=cmd_experiments)
 
     return parser

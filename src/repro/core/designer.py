@@ -25,6 +25,7 @@ from repro.core.problem import DesignProblem
 from repro.ilp.solution import SolveStats, Status
 from repro.layout.floorplan import Floorplan
 from repro.layout.routing import tam_wirelength
+from repro.runtime.telemetry import RunTelemetry
 from repro.soc.system import Soc
 from repro.tam.architecture import TamArchitecture
 from repro.tam.assignment import Assignment
@@ -60,10 +61,11 @@ class TamDesign:
         ]
         if self.wirelength is not None:
             lines.append(f"  TAM wirelength: {self.wirelength:.1f} wire-mm")
+        cached = ", cached" if self.stats.cache_hit else ""
         lines.append(
             f"  solver: {self.backend}, status={self.status.value}, "
             f"nodes={self.stats.nodes}, LPs={self.stats.lp_solves}, "
-            f"{self.stats.wall_time * 1000:.0f} ms"
+            f"{self.stats.wall_time * 1000:.0f} ms{cached}"
         )
         return "\n".join(lines)
 
@@ -73,6 +75,7 @@ def design(
     backend: str = "bnb",
     wirelength_method: str = "chain",
     warm_start_heuristic: bool = False,
+    cache: "object | bool | None" = None,
     **solver_options,
 ) -> TamDesign:
     """Solve ``problem`` to proven optimality.
@@ -85,6 +88,10 @@ def design(
     ``warm_start_heuristic`` feeds the LPT greedy solution to the branch &
     bound as its initial incumbent (bnb backend only): the optimum is
     unchanged, pruning just starts earlier.
+
+    ``cache`` is forwarded to :meth:`Model.solve`: a
+    :class:`~repro.runtime.cache.SolutionCache` memoizes this solve, ``None``
+    defers to the active context cache, ``False`` bypasses caching.
     """
     contradictions = problem.contradictions()
     if contradictions:
@@ -114,7 +121,7 @@ def design(
             }
             values[formulation.makespan_var] = baseline.makespan
             solver_options["warm_start"] = values
-    solution = formulation.model.solve(backend=backend, **solver_options)
+    solution = formulation.model.solve(backend=backend, cache=cache, **solver_options)
 
     if solution.status is Status.INFEASIBLE:
         raise InfeasibleError(
@@ -157,7 +164,8 @@ class ArchitectureSweepResult:
 
     ``pruned`` counts distributions skipped because a cheap certified lower
     bound already matched or exceeded the incumbent best — they cannot
-    improve the sweep and are not solved.
+    improve the sweep and are not solved. ``telemetry`` aggregates the
+    solver work (and cache hits) over every distribution actually solved.
     """
 
     soc_name: str
@@ -169,6 +177,7 @@ class ArchitectureSweepResult:
     infeasible: int = 0
     pruned: int = 0
     wall_time: float = 0.0
+    telemetry: RunTelemetry = field(default_factory=RunTelemetry)
 
     @property
     def best_makespan(self) -> float:
@@ -245,6 +254,7 @@ def design_best_architecture(
             result.infeasible += 1
             result.per_architecture.append((arch, None))
             continue
+        result.telemetry.record(candidate.stats)
         result.per_architecture.append((arch, candidate.makespan))
         if result.best is None or candidate.makespan < result.best.makespan:
             result.best = candidate

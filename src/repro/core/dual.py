@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 from repro.core.designer import ArchitectureSweepResult, TamDesign, design_best_architecture
 from repro.layout.floorplan import Floorplan
+from repro.runtime.parallel import run_parallel
+from repro.runtime.telemetry import RunTelemetry
 from repro.soc.system import Soc
 from repro.tam.timing import TimingModel
 from repro.util.errors import InfeasibleError, ValidationError
@@ -120,11 +122,39 @@ def minimize_width(
 
 @dataclass
 class BusCountPoint:
-    """One row of :func:`explore_bus_counts`."""
+    """One row of :func:`explore_bus_counts`.
+
+    ``telemetry`` carries the solver work behind the point (None when the
+    point was rejected before any solve, e.g. ``W < NB``).
+    """
 
     num_buses: int
     makespan: float | None
     arch_widths: tuple[int, ...] | None
+    telemetry: "RunTelemetry | None" = None
+
+
+def _bus_count_point(payload: tuple) -> BusCountPoint:
+    """Worker: one bus count of :func:`explore_bus_counts`."""
+    (soc, total_width, num_buses, timing, power_budget, floorplan,
+     max_pair_distance, backend) = payload
+    if total_width < num_buses:
+        return BusCountPoint(num_buses, None, None)
+    sweep = design_best_architecture(
+        soc,
+        total_width,
+        num_buses,
+        timing=timing,
+        power_budget=power_budget,
+        floorplan=floorplan,
+        max_pair_distance=max_pair_distance,
+        backend=backend,
+    )
+    if sweep.best is None:
+        return BusCountPoint(num_buses, None, None, telemetry=sweep.telemetry)
+    return BusCountPoint(
+        num_buses, sweep.best.makespan, sweep.best.arch.widths, telemetry=sweep.telemetry
+    )
 
 
 def explore_bus_counts(
@@ -136,34 +166,20 @@ def explore_bus_counts(
     floorplan: Floorplan | None = None,
     max_pair_distance: float | None = None,
     backend: str = "bnb",
+    jobs: int = 1,
 ) -> list[BusCountPoint]:
     """Optimal testing time for every bus count 1..max_buses at fixed W.
 
     More buses add concurrency but thin each bus's wires — under the
     serialization model the optimum is not monotone in NB, which is exactly
-    why the paper treats NB as a design parameter.
+    why the paper treats NB as a design parameter. ``jobs > 1`` sweeps the
+    bus counts in parallel, preserving NB order.
     """
     if max_buses <= 0:
         raise ValidationError(f"max_buses must be positive, got {max_buses}")
-    points = []
-    for num_buses in range(1, max_buses + 1):
-        if total_width < num_buses:
-            points.append(BusCountPoint(num_buses, None, None))
-            continue
-        sweep = design_best_architecture(
-            soc,
-            total_width,
-            num_buses,
-            timing=timing,
-            power_budget=power_budget,
-            floorplan=floorplan,
-            max_pair_distance=max_pair_distance,
-            backend=backend,
-        )
-        if sweep.best is None:
-            points.append(BusCountPoint(num_buses, None, None))
-        else:
-            points.append(
-                BusCountPoint(num_buses, sweep.best.makespan, sweep.best.arch.widths)
-            )
-    return points
+    payloads = [
+        (soc, total_width, num_buses, timing, power_budget, floorplan,
+         max_pair_distance, backend)
+        for num_buses in range(1, max_buses + 1)
+    ]
+    return run_parallel(_bus_count_point, payloads, max_workers=jobs)

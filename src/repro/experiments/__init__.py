@@ -12,7 +12,7 @@ Run from the command line::
     python -m repro.experiments all      # the full evaluation
 """
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments import (
     e1_power_cap,
     e2_bus_count,
@@ -50,17 +50,26 @@ REGISTRY = {
 }
 
 
-def run_experiment(experiment_id: str, **options) -> ExperimentResult:
-    """Run one experiment by id (T1..T5, F1..F4)."""
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None, **options
+) -> ExperimentResult:
+    """Run one experiment by id (T1..T5, F1..F4).
+
+    ``config`` carries the shared runtime knobs (jobs, cache, seed, backend
+    override, grid overrides); ``options`` are forwarded to the experiment's
+    own ``run()`` signature.
+    """
     key = experiment_id.upper()
     if key not in REGISTRY:
         raise KeyError(f"unknown experiment {experiment_id!r}; have {sorted(REGISTRY)}")
+    if config is not None:
+        options["config"] = config
     return REGISTRY[key].run(**options)
 
 
-def run_all(**options) -> list[ExperimentResult]:
+def run_all(config: ExperimentConfig | None = None, **options) -> list[ExperimentResult]:
     """Run the entire evaluation in order."""
-    return [REGISTRY[key].run(**options) for key in sorted(REGISTRY)]
+    return [run_experiment(key, config=config, **options) for key in sorted(REGISTRY)]
 
 
-__all__ = ["ExperimentResult", "REGISTRY", "run_experiment", "run_all"]
+__all__ = ["ExperimentConfig", "ExperimentResult", "REGISTRY", "run_experiment", "run_all"]

@@ -2,19 +2,50 @@
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
-from repro.experiments import REGISTRY, run_all, run_experiment
+from repro.experiments import ExperimentConfig, REGISTRY, run_all, run_experiment
+from repro.runtime import DEFAULT_CACHE_DIR
+
+
+def build_config(args: argparse.Namespace) -> ExperimentConfig:
+    cache_dir = None if args.no_cache else args.cache
+    return ExperimentConfig(jobs=args.jobs, cache_dir=cache_dir, seed=args.seed)
 
 
 def main(argv: list[str]) -> int:
-    target = argv[0] if argv else "all"
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables/figures (and extensions).",
+    )
+    parser.add_argument(
+        "target", nargs="?", default="all",
+        help=f"experiment id ({', '.join(sorted(REGISTRY))}) or 'all'",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep fan-out (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None, metavar="DIR",
+        help=f"persist solved instances under DIR (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the solve cache entirely"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="seed for stochastic baselines (default: 7)"
+    )
+    args = parser.parse_args(argv)
+
+    config = build_config(args)
     start = time.perf_counter()
-    if target.lower() == "all":
-        results = run_all()
+    if args.target.lower() == "all":
+        results = run_all(config=config)
     else:
-        results = [run_experiment(target)]
+        results = [run_experiment(args.target, config=config)]
     for result in results:
         print(result.render())
         print()

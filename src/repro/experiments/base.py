@@ -1,10 +1,74 @@
-"""Shared result type for experiment harnesses."""
+"""Shared result and configuration types for experiment harnesses."""
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
+from repro.runtime.cache import SolutionCache, use_cache
+from repro.runtime.telemetry import RunTelemetry
 from repro.util.tables import Table
+
+
+@dataclass
+class ExperimentConfig:
+    """One configuration surface shared by every experiment harness.
+
+    The T1–T5 / E1–E5 / F1–F4 ``run()`` functions all accept a ``config``;
+    it carries the runtime knobs that used to be ad-hoc kwargs or
+    module-level constants:
+
+    ``jobs``
+        Worker processes for the sweep fan-out (1 = deterministic serial).
+    ``cache`` / ``cache_dir``
+        The solve cache. Pass a ready :class:`SolutionCache`, or just a
+        directory and one is built on it. None (default) disables caching.
+    ``seed``
+        Seed for the stochastic baselines/heuristics inside experiments.
+    ``backend``
+        Overrides the experiment's default exact backend when set.
+    ``grid``
+        Per-experiment grid overrides by parameter name (e.g.
+        ``{"total_widths": [8, 16]}``); each harness consults the keys it
+        understands via :meth:`override`.
+    """
+
+    jobs: int = 1
+    cache: SolutionCache | None = None
+    cache_dir: str | None = None
+    seed: int = 7
+    backend: str | None = None
+    grid: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def coerce(cls, config: "ExperimentConfig | None") -> "ExperimentConfig":
+        """Normalize an optional config argument (None -> defaults)."""
+        if config is None:
+            return cls()
+        if not isinstance(config, cls):
+            raise TypeError(f"config must be an ExperimentConfig, got {type(config).__name__}")
+        return config
+
+    def resolve_backend(self, default: str) -> str:
+        return self.backend or default
+
+    def resolve_cache(self) -> SolutionCache | None:
+        """The configured cache, building one on ``cache_dir`` if needed."""
+        if self.cache is None and self.cache_dir is not None:
+            self.cache = SolutionCache(directory=self.cache_dir)
+        return self.cache
+
+    def activate(self):
+        """Context manager installing the configured cache for a run body."""
+        cache = self.resolve_cache()
+        if cache is None:
+            return contextlib.nullcontext()
+        return use_cache(cache)
+
+    def override(self, name: str, value):
+        """Grid override for ``name``; falls back to ``value`` when unset."""
+        return self.grid.get(name, value)
 
 
 @dataclass
@@ -13,7 +77,9 @@ class ExperimentResult:
 
     ``checks`` records the shape assertions that were verified while the
     experiment ran (they raise on failure, so their presence in a result
-    certifies they passed).
+    certifies they passed). ``telemetry`` aggregates the solver work behind
+    the result — solves issued, cache hits, B&B nodes, LP count, solver
+    wall time.
     """
 
     experiment_id: str
@@ -22,6 +88,7 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     checks: list[str] = field(default_factory=list)
     charts: list[str] = field(default_factory=list)
+    telemetry: RunTelemetry = field(default_factory=RunTelemetry)
 
     def add_table(self, table: Table) -> Table:
         self.tables.append(table)
@@ -56,4 +123,7 @@ class ExperimentResult:
         if self.checks:
             lines.append("")
             lines.extend(f"check passed: {check}" for check in self.checks)
+        if self.telemetry.solves:
+            lines.append("")
+            lines.append(f"telemetry: {self.telemetry.render()}")
         return "\n".join(lines)

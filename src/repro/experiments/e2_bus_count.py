@@ -12,48 +12,57 @@ optimal; at W < NB the point is infeasible.
 from __future__ import annotations
 
 from repro.core import explore_bus_counts
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import build_d695, build_s1
 from repro.tam import make_timing_model
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 
 def run(socs=None, total_width: int = 32, max_buses: int = 5, timing: str = "serial",
-        backend: str = "scipy") -> ExperimentResult:
+        backend: str = "scipy", config: ExperimentConfig | None = None) -> ExperimentResult:
     # Default backend is HiGHS: this sweep solves hundreds of ILPs and the
     # bnb/scipy equivalence is continuously asserted by the test suite.
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
+    total_width = config.override("total_width", total_width)
+    max_buses = config.override("max_buses", max_buses)
     result = ExperimentResult("E2", "Extension: testing time vs bus count at fixed W")
+    result.telemetry.jobs = config.jobs
     timing_model = make_timing_model(timing) if isinstance(timing, str) else timing
-    for soc in socs or (build_s1(), build_d695()):
-        points = explore_bus_counts(
-            soc, total_width, max_buses, timing=timing_model, backend=backend
-        )
-        table = result.add_table(
-            Table(
-                ["NB", "T* (cycles)", "best widths"],
-                title=f"{soc.name}: bus-count exploration at W={total_width} ({timing} timing)",
+    with config.activate():
+        for soc in socs or (build_s1(), build_d695()):
+            points = explore_bus_counts(
+                soc, total_width, max_buses, timing=timing_model, backend=backend,
+                jobs=config.jobs,
             )
-        )
-        for point in points:
-            table.add_row(
-                [
-                    point.num_buses,
-                    point.makespan,
-                    "+".join(str(w) for w in point.arch_widths) if point.arch_widths else None,
-                ]
+            table = result.add_table(
+                Table(
+                    ["NB", "T* (cycles)", "best widths"],
+                    title=f"{soc.name}: bus-count exploration at W={total_width} ({timing} timing)",
+                )
             )
-        serial_total = sum(
-            timing_model.time_on_bus(core, total_width) for core in soc
-        )
-        result.check(
-            points[0].makespan is not None
-            and abs(points[0].makespan - serial_total) < 1e-6,
-            f"{soc.name}: NB=1 equals full serialization ({serial_total:.0f} cycles)",
-        )
-        feasible = [p for p in points if p.makespan is not None]
-        best_nb = min(feasible, key=lambda p: p.makespan).num_buses
-        result.check(best_nb > 1, f"{soc.name}: concurrency helps (knee at NB={best_nb})")
-        result.note(f"{soc.name}: best bus count at W={total_width} is NB={best_nb}")
+            for point in points:
+                if point.telemetry is not None:
+                    result.telemetry.merge(point.telemetry)
+                table.add_row(
+                    [
+                        point.num_buses,
+                        format_objective(point.makespan),
+                        "+".join(str(w) for w in point.arch_widths) if point.arch_widths else None,
+                    ]
+                )
+            serial_total = sum(
+                timing_model.time_on_bus(core, total_width) for core in soc
+            )
+            result.check(
+                points[0].makespan is not None
+                and abs(points[0].makespan - serial_total) < 1e-6,
+                f"{soc.name}: NB=1 equals full serialization ({serial_total:.0f} cycles)",
+            )
+            feasible = [p for p in points if p.makespan is not None]
+            best_nb = min(feasible, key=lambda p: p.makespan).num_buses
+            result.check(best_nb > 1, f"{soc.name}: concurrency helps (knee at NB={best_nb})")
+            result.note(f"{soc.name}: best bus count at W={total_width} is NB={best_nb}")
     return result
 
 

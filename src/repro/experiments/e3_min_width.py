@@ -13,67 +13,74 @@ search exactness, verified independently).
 from __future__ import annotations
 
 from repro.core import design_best_architecture, minimize_width
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import build_s1
 from repro.util.errors import InfeasibleError
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 
-def run(soc=None, num_buses: int = 2, timing: str = "serial", backend: str = "scipy") -> ExperimentResult:
+def run(soc=None, num_buses: int = 2, timing: str = "serial", backend: str = "scipy",
+        config: ExperimentConfig | None = None) -> ExperimentResult:
     # HiGHS default: the binary search re-solves many width sweeps; bnb/scipy
     # equivalence is asserted by the test suite.
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
     soc = soc or build_s1()
     result = ExperimentResult("E3", "Extension: minimum TAM width per testing-time budget")
-    # Budgets: the achievable times at a few widths (guaranteed reachable).
-    probe_widths = [8, 16, 24, 32]
-    budgets = []
-    for width in probe_widths:
-        sweep = design_best_architecture(
-            soc, width, num_buses, timing=timing, backend=backend, clamp_useless_width=True
-        )
-        if sweep.best is not None:
-            budgets.append(sweep.best.makespan)
-    table = result.add_table(
-        Table(
-            ["time budget (cycles)", "min W", "best widths", "T* (cycles)"],
-            title=f"{soc.name}: width minimization over {num_buses} buses ({timing} timing)",
-        )
-    )
-    previous_width = None
-    for budget in sorted(set(budgets), reverse=True):  # loosest first
-        minimum = minimize_width(
-            soc, num_buses, budget, timing=timing, backend=backend, max_width=64
-        )
-        result.check(
-            minimum.design.makespan <= budget + 1e-9,
-            f"budget {budget:.0f}: returned design meets it",
-        )
-        if minimum.min_width > num_buses:
-            try:
-                below = design_best_architecture(
-                    soc, minimum.min_width - 1, num_buses,
-                    timing=timing, backend=backend, clamp_useless_width=True,
-                )
-                result.check(
-                    below.best is None or below.best.makespan > budget + 1e-9,
-                    f"budget {budget:.0f}: one wire less misses the budget",
-                )
-            except InfeasibleError:
-                pass
-        if previous_width is not None:
-            result.check(
-                minimum.min_width >= previous_width,
-                f"budget {budget:.0f}: tighter budgets need at least as many wires",
+    result.telemetry.jobs = config.jobs
+    with config.activate():
+        # Budgets: the achievable times at a few widths (guaranteed reachable).
+        probe_widths = config.override("probe_widths", [8, 16, 24, 32])
+        budgets = []
+        for width in probe_widths:
+            sweep = design_best_architecture(
+                soc, width, num_buses, timing=timing, backend=backend, clamp_useless_width=True
             )
-        previous_width = minimum.min_width
-        table.add_row(
-            [
-                round(budget),
-                minimum.min_width,
-                "+".join(str(w) for w in minimum.design.arch.widths),
-                minimum.design.makespan,
-            ]
+            result.telemetry.merge(sweep.telemetry)
+            if sweep.best is not None:
+                budgets.append(sweep.best.makespan)
+        table = result.add_table(
+            Table(
+                ["time budget (cycles)", "min W", "best widths", "T* (cycles)"],
+                title=f"{soc.name}: width minimization over {num_buses} buses ({timing} timing)",
+            )
         )
+        previous_width = None
+        for budget in sorted(set(budgets), reverse=True):  # loosest first
+            minimum = minimize_width(
+                soc, num_buses, budget, timing=timing, backend=backend, max_width=64
+            )
+            result.check(
+                minimum.design.makespan <= budget + 1e-9,
+                f"budget {budget:.0f}: returned design meets it",
+            )
+            if minimum.min_width > num_buses:
+                try:
+                    below = design_best_architecture(
+                        soc, minimum.min_width - 1, num_buses,
+                        timing=timing, backend=backend, clamp_useless_width=True,
+                    )
+                    result.telemetry.merge(below.telemetry)
+                    result.check(
+                        below.best is None or below.best.makespan > budget + 1e-9,
+                        f"budget {budget:.0f}: one wire less misses the budget",
+                    )
+                except InfeasibleError:
+                    pass
+            if previous_width is not None:
+                result.check(
+                    minimum.min_width >= previous_width,
+                    f"budget {budget:.0f}: tighter budgets need at least as many wires",
+                )
+            previous_width = minimum.min_width
+            table.add_row(
+                [
+                    round(budget),
+                    minimum.min_width,
+                    "+".join(str(w) for w in minimum.design.arch.widths),
+                    format_objective(minimum.design.makespan),
+                ]
+            )
     return result
 
 

@@ -14,69 +14,74 @@ literature reports.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import build_d695, build_s1
 from repro.tam import compare_architectures
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 DEFAULT_WIDTHS = (8, 16, 24, 32, 48)
 
 
 def run(socs=None, total_widths=DEFAULT_WIDTHS, num_buses: int = 3,
-        backend: str = "scipy") -> ExperimentResult:
+        backend: str = "scipy", config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
+    total_widths = config.override("total_widths", total_widths)
     result = ExperimentResult("E4", "Extension: access architecture styles at equal pin budgets")
-    for soc in socs or (build_s1(), build_d695()):
-        table = result.add_table(
-            Table(
-                ["W", "multiplexed", "daisychain", "distribution", "test bus", "winner"],
-                title=f"{soc.name}: testing time (cycles) per architecture style "
-                      f"(flexible wrappers, {num_buses}-bus test bus)",
+    result.telemetry.jobs = config.jobs
+    with config.activate():
+        for soc in socs or (build_s1(), build_d695()):
+            table = result.add_table(
+                Table(
+                    ["W", "multiplexed", "daisychain", "distribution", "test bus", "winner"],
+                    title=f"{soc.name}: testing time (cycles) per architecture style "
+                          f"(flexible wrappers, {num_buses}-bus test bus)",
+                )
             )
-        )
-        prev_mux = prev_dist = None
-        saw_distribution_win = False
-        saw_bus_win = False
-        for width in total_widths:
-            comparison = compare_architectures(soc, width, num_buses=num_buses, backend=backend)
-            winner = comparison.best_style()
-            saw_distribution_win |= winner == "distribution"
-            saw_bus_win |= winner == "test_bus"
+            prev_mux = prev_dist = None
+            saw_distribution_win = False
+            saw_bus_win = False
+            for width in total_widths:
+                comparison = compare_architectures(soc, width, num_buses=num_buses, backend=backend)
+                winner = comparison.best_style()
+                saw_distribution_win |= winner == "distribution"
+                saw_bus_win |= winner == "test_bus"
+                result.check(
+                    comparison.daisychain >= comparison.multiplexed,
+                    f"{soc.name} W={width}: daisy-chain pays bypass overhead",
+                )
+                if prev_mux is not None:
+                    result.check(
+                        comparison.multiplexed <= prev_mux + 1e-9,
+                        f"{soc.name} W={width}: multiplexed non-increasing in W",
+                    )
+                if prev_dist is not None and comparison.distribution is not None:
+                    result.check(
+                        comparison.distribution <= prev_dist + 1e-9,
+                        f"{soc.name} W={width}: distribution non-increasing in W",
+                    )
+                prev_mux = comparison.multiplexed
+                if comparison.distribution is not None:
+                    prev_dist = comparison.distribution
+                table.add_row(
+                    [
+                        width,
+                        format_objective(comparison.multiplexed),
+                        format_objective(comparison.daisychain),
+                        format_objective(comparison.distribution),
+                        format_objective(comparison.test_bus),
+                        winner,
+                    ]
+                )
             result.check(
-                comparison.daisychain >= comparison.multiplexed,
-                f"{soc.name} W={width}: daisy-chain pays bypass overhead",
+                saw_bus_win or saw_distribution_win,
+                f"{soc.name}: a partitioned style (bus or distribution) wins somewhere",
             )
-            if prev_mux is not None:
-                result.check(
-                    comparison.multiplexed <= prev_mux + 1e-9,
-                    f"{soc.name} W={width}: multiplexed non-increasing in W",
-                )
-            if prev_dist is not None and comparison.distribution is not None:
-                result.check(
-                    comparison.distribution <= prev_dist + 1e-9,
-                    f"{soc.name} W={width}: distribution non-increasing in W",
-                )
-            prev_mux = comparison.multiplexed
-            if comparison.distribution is not None:
-                prev_dist = comparison.distribution
-            table.add_row(
-                [
-                    width,
-                    comparison.multiplexed,
-                    comparison.daisychain,
-                    comparison.distribution,
-                    comparison.test_bus,
-                    winner,
-                ]
+            result.note(
+                f"{soc.name}: shared-medium styles (multiplexed/daisy-chain) lose to "
+                "partitioned styles once the budget affords concurrency — the paper's "
+                "motivation for the test-bus architecture."
             )
-        result.check(
-            saw_bus_win or saw_distribution_win,
-            f"{soc.name}: a partitioned style (bus or distribution) wins somewhere",
-        )
-        result.note(
-            f"{soc.name}: shared-medium styles (multiplexed/daisy-chain) lose to "
-            "partitioned styles once the budget affords concurrency — the paper's "
-            "motivation for the test-bus architecture."
-        )
     return result
 
 

@@ -13,9 +13,9 @@ optimal testing time with its best width distribution. Shape claims:
 from __future__ import annotations
 
 from repro.core import width_sweep
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import build_s1
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 #: Default sweep stops at W=48: the NB=2 series saturates by W=40 and the
 #: partition counts beyond 48 slow the exact sweep without adding shape.
@@ -23,24 +23,35 @@ DEFAULT_WIDTHS = list(range(8, 49, 8))
 
 
 def run(soc=None, bus_counts=(2, 3), total_widths=None, timing: str = "serial",
-        backend: str = "bnb") -> ExperimentResult:
+        backend: str = "bnb", config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
     soc = soc or build_s1()
-    total_widths = total_widths or DEFAULT_WIDTHS
+    bus_counts = config.override("bus_counts", bus_counts)
+    total_widths = config.override("total_widths", total_widths) or DEFAULT_WIDTHS
     result = ExperimentResult("F1", "Testing time vs total TAM width")
+    result.telemetry.jobs = config.jobs
     table = result.add_table(
         Table(
             ["W"] + [f"NB={nb} T*" for nb in bus_counts] + [f"NB={nb} widths" for nb in bus_counts],
             title=f"{soc.name}: optimal testing time per total width ({timing} timing)",
         )
     )
-    series = {}
-    for num_buses in bus_counts:
-        series[num_buses] = width_sweep(soc, num_buses, total_widths, timing=timing, backend=backend)
+    with config.activate():
+        series = {}
+        for num_buses in bus_counts:
+            series[num_buses] = width_sweep(
+                soc, num_buses, total_widths, timing=timing, backend=backend, jobs=config.jobs
+            )
+    for points in series.values():
+        for point in points:
+            if point.telemetry is not None:
+                result.telemetry.merge(point.telemetry)
     for idx, width in enumerate(total_widths):
         row = [width]
         for num_buses in bus_counts:
             point = series[num_buses][idx]
-            row.append(point.makespan)
+            row.append(format_objective(point.makespan))
         for num_buses in bus_counts:
             row.append(series[num_buses][idx].detail)
         table.add_row(row)

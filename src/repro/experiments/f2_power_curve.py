@@ -10,17 +10,29 @@ both saturate at their unconstrained optima.
 from __future__ import annotations
 
 from repro.core import power_budget_sweep
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import build_s1
 from repro.tam import TamArchitecture
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 
-def run(soc=None, archs=None, timing: str = "serial", backend: str = "bnb") -> ExperimentResult:
+def run(soc=None, archs=None, timing: str = "serial", backend: str = "bnb",
+        config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
     soc = soc or build_s1()
     archs = archs or (TamArchitecture([16, 16]), TamArchitecture([16, 16, 16]))
     result = ExperimentResult("F2", "Testing time vs power budget staircase")
-    sweeps = [power_budget_sweep(soc, arch, timing=timing, backend=backend) for arch in archs]
+    result.telemetry.jobs = config.jobs
+    with config.activate():
+        sweeps = [
+            power_budget_sweep(soc, arch, timing=timing, backend=backend, jobs=config.jobs)
+            for arch in archs
+        ]
+    for sweep in sweeps:
+        for point in sweep:
+            if point.telemetry is not None:
+                result.telemetry.merge(point.telemetry)
     budgets = [p.budget for p in sweeps[0]]
     table = result.add_table(
         Table(
@@ -29,7 +41,9 @@ def run(soc=None, archs=None, timing: str = "serial", backend: str = "bnb") -> E
         )
     )
     for idx, budget in enumerate(budgets):
-        table.add_row([round(budget, 1)] + [sweep[idx].makespan for sweep in sweeps])
+        table.add_row(
+            [round(budget, 1)] + [format_objective(sweep[idx].makespan) for sweep in sweeps]
+        )
 
     from repro.util.plots import ascii_chart, staircase
 

@@ -15,28 +15,38 @@ from __future__ import annotations
 
 from repro.core import distance_budget_sweep
 from repro.core.pareto import pareto_front
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.layout import anneal_place, grid_place
 from repro.soc import build_s1
 from repro.tam import TamArchitecture
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 
 def run(soc=None, arch=None, timing: str = "serial", backend: str = "bnb",
-        anneal_iterations: int = 400, seed: int = 11) -> ExperimentResult:
+        anneal_iterations: int = 400, seed: int = 11,
+        config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
     soc = soc or build_s1()
     arch = arch or TamArchitecture([16, 16, 16])
     result = ExperimentResult("F3", "Wirelength / testing-time tradeoff (Pareto frontier)")
+    result.telemetry.jobs = config.jobs
 
     floorplans = {
         "grid": grid_place(soc),
         "anneal": anneal_place(soc, seed=seed, iterations=anneal_iterations),
     }
-    for label, floorplan in floorplans.items():
-        result.check(floorplan.is_legal(), f"{label} floorplan is legal")
-        sweep = distance_budget_sweep(
-            soc, arch, floorplan, timing=timing, backend=backend
-        )
+    with config.activate():
+        sweeps = {}
+        for label, floorplan in floorplans.items():
+            result.check(floorplan.is_legal(), f"{label} floorplan is legal")
+            sweeps[label] = distance_budget_sweep(
+                soc, arch, floorplan, timing=timing, backend=backend, jobs=config.jobs
+            )
+    for label, sweep in sweeps.items():
+        for point in sweep:
+            if point.telemetry is not None:
+                result.telemetry.merge(point.telemetry)
         table = result.add_table(
             Table(
                 ["delta (mm)", "T* (cycles)", "WL (wire-mm)", "constraints"],
@@ -47,7 +57,7 @@ def run(soc=None, arch=None, timing: str = "serial", backend: str = "bnb",
             table.add_row(
                 [
                     round(point.budget, 2),
-                    point.makespan,
+                    format_objective(point.makespan),
                     None if point.wirelength is None else round(point.wirelength, 1),
                     point.detail,
                 ]
@@ -57,7 +67,7 @@ def run(soc=None, arch=None, timing: str = "serial", backend: str = "bnb",
             Table(["T* (cycles)", "WL (wire-mm)"], title=f"{label} Pareto frontier")
         )
         for point in sorted(front, key=lambda p: p.makespan):
-            front_table.add_row([point.makespan, round(point.wirelength, 1)])
+            front_table.add_row([format_objective(point.makespan), round(point.wirelength, 1)])
         from repro.util.plots import ascii_chart
 
         feasible = [p for p in sweep if p.feasible and p.wirelength is not None]

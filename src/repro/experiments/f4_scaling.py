@@ -17,18 +17,22 @@ from __future__ import annotations
 import time
 
 from repro.core import DesignProblem, design, lpt_assignment
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import generate_synthetic_soc
 from repro.tam import TamArchitecture, exhaustive_optimal
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 DEFAULT_SIZES = (4, 6, 8, 10, 12, 14)
 
 
 def run(sizes=DEFAULT_SIZES, seed: int = 5, timing: str = "serial",
-        arch: TamArchitecture | None = None) -> ExperimentResult:
+        arch: TamArchitecture | None = None,
+        config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    sizes = config.override("sizes", sizes)
     arch = arch or TamArchitecture([32, 16, 16])
     result = ExperimentResult("F4", "ILP scalability: solver effort vs core count")
+    result.telemetry.jobs = config.jobs
     table = result.add_table(
         Table(
             [
@@ -46,17 +50,21 @@ def run(sizes=DEFAULT_SIZES, seed: int = 5, timing: str = "serial",
     )
     node_counts = []
     any_lpt_gap = False
+    # Deliberately uncached even when the config carries a cache: this
+    # experiment *measures* solver effort, so every solve must be real.
     for size in sizes:
         soc = generate_synthetic_soc(size, seed=seed + size)
         problem = DesignProblem(soc=soc, arch=arch, timing=timing)
 
         start = time.perf_counter()
-        ours = design(problem, backend="bnb")
+        ours = design(problem, backend="bnb", cache=False)
         bnb_time = time.perf_counter() - start
+        result.telemetry.record(ours.stats)
 
         start = time.perf_counter()
-        reference = design(problem, backend="scipy")
+        reference = design(problem, backend="scipy", cache=False)
         scipy_time = time.perf_counter() - start
+        result.telemetry.record(reference.stats)
         result.check(
             abs(ours.makespan - reference.makespan) < 1e-6,
             f"n={size}: bnb optimum equals HiGHS optimum",
@@ -79,7 +87,7 @@ def run(sizes=DEFAULT_SIZES, seed: int = 5, timing: str = "serial",
         table.add_row(
             [
                 size,
-                ours.makespan,
+                format_objective(ours.makespan),
                 ours.stats.nodes,
                 ours.stats.lp_solves,
                 round(bnb_time, 3),

@@ -8,14 +8,16 @@ and the wrapper Pareto knee (widest width that still helps).
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.soc import build_s1, build_s2
 from repro.tam.timing import FixedWidthTiming
 from repro.util.tables import Table
 from repro.wrapper import pareto_widths
 
 
-def run(socs=None) -> ExperimentResult:
+def run(socs=None, config: ExperimentConfig | None = None) -> ExperimentResult:
+    # No ILP solves here — config is accepted for the uniform run() surface.
+    ExperimentConfig.coerce(config)
     result = ExperimentResult(
         "T1", "SOC composition: per-core test data (paper's core-data table)"
     )

@@ -9,15 +9,21 @@ claims verified:
 - every heuristic is at least as slow as the optimum;
 - adding buses (at the same total width) never helps beyond the largest
   core's own test time, and more total width never hurts.
+
+The (SOC, budget) sweeps are independent exact solves, so ``config.jobs``
+fans them across worker processes; the cross-checks, heuristic baselines,
+and table assembly then run serially in input order, which keeps the
+rendered tables identical at any worker count.
 """
 
 from __future__ import annotations
 
 from repro.core import design, design_best_architecture, run_all_baselines
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.runtime.parallel import run_parallel
 from repro.soc import build_s1, build_s2
 from repro.tam import exhaustive_optimal
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 #: (total TAM width, bus count) budgets swept per SOC. NB=4 is exercised at
 #: W=32 (the W=48 four-bus sweep enumerates ~1.2k width partitions x two
@@ -25,76 +31,106 @@ from repro.util.tables import Table
 DEFAULT_BUDGETS = ((32, 2), (32, 3), (32, 4), (48, 2), (48, 3))
 
 
-def run(socs=None, budgets=DEFAULT_BUDGETS, timing: str = "serial", backend: str = "bnb") -> ExperimentResult:
+def _solve_budget(payload: tuple):
+    """Worker: the exact width-distribution sweep for one (SOC, W, NB) job."""
+    soc, total_width, num_buses, timing, backend = payload
+    return design_best_architecture(soc, total_width, num_buses, timing=timing, backend=backend)
+
+
+def run(
+    socs=None,
+    budgets=DEFAULT_BUDGETS,
+    timing: str = "serial",
+    backend: str = "bnb",
+    config: ExperimentConfig | None = None,
+) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
+    budgets = config.override("budgets", budgets)
+    socs = list(socs or (build_s1(), build_s2()))
     result = ExperimentResult("T2", "Optimal unconstrained TAM design: ILP vs heuristics")
-    for soc in socs or (build_s1(), build_s2()):
-        table = result.add_table(
-            Table(
-                [
-                    "W",
-                    "NB",
-                    "best widths",
-                    "ILP T*",
-                    "LPT",
-                    "random",
-                    "SA",
-                    "nodes",
-                    "LPs",
-                    "time (s)",
-                ],
-                title=f"{soc.name}: optimal testing time (cycles), {timing} timing",
-            )
-        )
-        previous_by_nb: dict[int, float] = {}
-        for total_width, num_buses in budgets:
-            sweep = design_best_architecture(
-                soc, total_width, num_buses, timing=timing, backend=backend
-            )
-            best = sweep.best
-            result.check(best is not None, f"{soc.name} W={total_width} NB={num_buses}: feasible")
-            assert best is not None
-            problem = best.problem
+    result.telemetry.jobs = config.jobs
 
-            # Independent optimality certificates.
-            cross = design(problem, backend="scipy")
-            result.check(
-                abs(cross.makespan - best.makespan) < 1e-6,
-                f"{soc.name} W={total_width} NB={num_buses}: bnb == HiGHS optimum",
-            )
-            if len(soc) <= 8:
-                oracle = exhaustive_optimal(soc, best.arch, problem.timing)
-                result.check(
-                    abs(oracle.makespan - best.makespan) < 1e-6,
-                    f"{soc.name} W={total_width} NB={num_buses}: ILP == exhaustive",
-                )
+    with config.activate():
+        # Fan out: every (SOC, budget) is an independent exact sweep.
+        payloads = [
+            (soc, total_width, num_buses, timing, backend)
+            for soc in socs
+            for total_width, num_buses in budgets
+        ]
+        sweeps = run_parallel(_solve_budget, payloads, max_workers=config.jobs)
+        sweeps_iter = iter(sweeps)
 
-            heuristics = {b.name: b.makespan for b in run_all_baselines(problem, seed=7)}
-            for name, value in heuristics.items():
-                result.check(
-                    value >= best.makespan - 1e-6,
-                    f"{soc.name} W={total_width} NB={num_buses}: {name} >= optimum",
+        for soc in socs:
+            table = result.add_table(
+                Table(
+                    [
+                        "W",
+                        "NB",
+                        "best widths",
+                        "ILP T*",
+                        "LPT",
+                        "random",
+                        "SA",
+                        "nodes",
+                        "LPs",
+                        "pruned",
+                    ],
+                    title=f"{soc.name}: optimal testing time (cycles), {timing} timing",
                 )
-            table.add_row(
-                [
-                    total_width,
-                    num_buses,
-                    "+".join(str(w) for w in best.arch.widths),
-                    best.makespan,
-                    heuristics.get("lpt"),
-                    heuristics.get("random"),
-                    heuristics.get("sa"),
-                    best.stats.nodes,
-                    best.stats.lp_solves,
-                    round(sweep.wall_time, 2),
-                ]
             )
-            prior = previous_by_nb.get(num_buses)
-            if prior is not None:
+            previous_by_nb: dict[int, float] = {}
+            for total_width, num_buses in budgets:
+                sweep = next(sweeps_iter)
+                result.telemetry.merge(sweep.telemetry)
+                best = sweep.best
+                result.check(best is not None, f"{soc.name} W={total_width} NB={num_buses}: feasible")
+                assert best is not None
+                problem = best.problem
+
+                # Independent optimality certificates.
+                cross = design(problem, backend="scipy")
+                result.telemetry.record(cross.stats)
                 result.check(
-                    best.makespan <= prior + 1e-6,
-                    f"{soc.name} NB={num_buses}: more total width never hurts",
+                    abs(cross.makespan - best.makespan) < 1e-6,
+                    f"{soc.name} W={total_width} NB={num_buses}: bnb == HiGHS optimum",
                 )
-            previous_by_nb[num_buses] = best.makespan
+                if len(soc) <= 8:
+                    oracle = exhaustive_optimal(soc, best.arch, problem.timing)
+                    result.check(
+                        abs(oracle.makespan - best.makespan) < 1e-6,
+                        f"{soc.name} W={total_width} NB={num_buses}: ILP == exhaustive",
+                    )
+
+                heuristics = {
+                    b.name: b.makespan for b in run_all_baselines(problem, seed=config.seed)
+                }
+                for name, value in heuristics.items():
+                    result.check(
+                        value >= best.makespan - 1e-6,
+                        f"{soc.name} W={total_width} NB={num_buses}: {name} >= optimum",
+                    )
+                table.add_row(
+                    [
+                        total_width,
+                        num_buses,
+                        "+".join(str(w) for w in best.arch.widths),
+                        format_objective(best.makespan),
+                        format_objective(heuristics.get("lpt")),
+                        format_objective(heuristics.get("random")),
+                        format_objective(heuristics.get("sa")),
+                        best.stats.nodes,
+                        best.stats.lp_solves,
+                        sweep.pruned,
+                    ]
+                )
+                prior = previous_by_nb.get(num_buses)
+                if prior is not None:
+                    result.check(
+                        best.makespan <= prior + 1e-6,
+                        f"{soc.name} NB={num_buses}: more total width never hurts",
+                    )
+                previous_by_nb[num_buses] = best.makespan
     return result
 
 

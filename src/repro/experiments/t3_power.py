@@ -17,12 +17,12 @@ import itertools
 import math
 
 from repro.core import DesignProblem, build_schedule, design
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power import budget_sweep_points, max_clique_power, power_groups
 from repro.soc import build_s1, build_s2
 from repro.tam import TamArchitecture
 from repro.util.errors import InfeasibleError
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 DEFAULT_ARCHS = {"S1": TamArchitecture([16, 16, 16]), "S2": TamArchitecture([32, 16, 16])}
 
@@ -36,70 +36,78 @@ def _max_pairwise_concurrent(schedule, budget) -> float:
     return worst
 
 
-def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb") -> ExperimentResult:
+def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
+        config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
     result = ExperimentResult("T3", "Power-constrained design: testing time vs P_max")
+    result.telemetry.jobs = config.jobs
     archs = archs or DEFAULT_ARCHS
-    for soc in socs or (build_s1(), build_s2()):
-        arch = archs.get(soc.name) or TamArchitecture.even_split(48, 3)
-        table = result.add_table(
-            Table(
-                [
-                    "P_max (mW)",
-                    "T* (cycles)",
-                    "forced pairs",
-                    "merged groups",
-                    "sched peak (mW)",
-                    "pairwise peak",
-                    "clique power",
-                ],
-                title=f"{soc.name} on {arch}: power budget sweep ({timing} timing)",
+    with config.activate():
+        for soc in socs or (build_s1(), build_s2()):
+            arch = archs.get(soc.name) or TamArchitecture.even_split(48, 3)
+            table = result.add_table(
+                Table(
+                    [
+                        "P_max (mW)",
+                        "T* (cycles)",
+                        "forced pairs",
+                        "merged groups",
+                        "sched peak (mW)",
+                        "pairwise peak",
+                        "clique power",
+                    ],
+                    title=f"{soc.name} on {arch}: power budget sweep ({timing} timing)",
+                )
             )
-        )
-        budgets = budget_sweep_points(soc)
-        budgets = budgets + [budgets[-1] * 1.1]
-        unconstrained = design(
-            DesignProblem(soc=soc, arch=arch, timing=timing), backend=backend
-        ).makespan
-        previous = math.inf
-        for budget in sorted(budgets):
-            problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
-            try:
-                designed = design(problem, backend=backend)
-            except InfeasibleError:
-                table.add_row([round(budget, 1), None, len(problem.forced_pairs),
-                               len(power_groups(soc, budget)), None, None, None])
-                continue
-            schedule = build_schedule(problem, designed.assignment, policy="power_stagger")
-            pairwise_peak = _max_pairwise_concurrent(schedule, budget)
+            budgets = budget_sweep_points(soc)
+            budgets = budgets + [budgets[-1] * 1.1]
+            baseline = design(
+                DesignProblem(soc=soc, arch=arch, timing=timing), backend=backend
+            )
+            result.telemetry.record(baseline.stats)
+            unconstrained = baseline.makespan
+            previous = math.inf
+            for budget in sorted(budgets):
+                problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
+                try:
+                    designed = design(problem, backend=backend)
+                except InfeasibleError:
+                    table.add_row([round(budget, 1), None, len(problem.forced_pairs),
+                                   len(power_groups(soc, budget)), None, None, None])
+                    continue
+                result.telemetry.record(designed.stats)
+                schedule = build_schedule(problem, designed.assignment, policy="power_stagger")
+                pairwise_peak = _max_pairwise_concurrent(schedule, budget)
+                result.check(
+                    pairwise_peak <= budget + 1e-6,
+                    f"{soc.name} P_max={budget:.1f}: concurrent pair power within budget",
+                )
+                result.check(
+                    designed.makespan <= previous + 1e-6,
+                    f"{soc.name} P_max={budget:.1f}: time non-increasing in budget",
+                )
+                previous = designed.makespan
+                table.add_row(
+                    [
+                        round(budget, 1),
+                        format_objective(designed.makespan),
+                        len(problem.forced_pairs),
+                        len(power_groups(soc, budget)),
+                        round(schedule.peak_power, 1),
+                        round(pairwise_peak, 1),
+                        round(max_clique_power(soc, budget), 1),
+                    ]
+                )
             result.check(
-                pairwise_peak <= budget + 1e-6,
-                f"{soc.name} P_max={budget:.1f}: concurrent pair power within budget",
+                abs(previous - unconstrained) < 1e-6,
+                f"{soc.name}: loosest budget recovers the unconstrained optimum "
+                f"({unconstrained:.0f} cycles)",
             )
-            result.check(
-                designed.makespan <= previous + 1e-6,
-                f"{soc.name} P_max={budget:.1f}: time non-increasing in budget",
+            result.note(
+                f"{soc.name}: 'sched peak' above 'P_max' rows expose the pairwise "
+                "encoding's known conservatism gap (3+ compatible cores may overlap)."
             )
-            previous = designed.makespan
-            table.add_row(
-                [
-                    round(budget, 1),
-                    designed.makespan,
-                    len(problem.forced_pairs),
-                    len(power_groups(soc, budget)),
-                    round(schedule.peak_power, 1),
-                    round(pairwise_peak, 1),
-                    round(max_clique_power(soc, budget), 1),
-                ]
-            )
-        result.check(
-            abs(previous - unconstrained) < 1e-6,
-            f"{soc.name}: loosest budget recovers the unconstrained optimum "
-            f"({unconstrained:.0f} cycles)",
-        )
-        result.note(
-            f"{soc.name}: 'sched peak' above 'P_max' rows expose the pairwise "
-            "encoding's known conservatism gap (3+ compatible cores may overlap)."
-        )
     return result
 
 

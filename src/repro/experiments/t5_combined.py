@@ -13,18 +13,18 @@ optimal testing time in each cell (or INFEASIBLE). Shape claims:
 from __future__ import annotations
 
 from repro.core import DesignProblem, design
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.layout import grid_place
 from repro.power import budget_sweep_points
 from repro.soc import build_s1, build_s2
 from repro.tam import TamArchitecture
 from repro.util.errors import InfeasibleError
-from repro.util.tables import Table
+from repro.util.tables import Table, format_objective
 
 DEFAULT_ARCHS = {"S1": TamArchitecture([16, 16, 16]), "S2": TamArchitecture([32, 16, 16])}
 
 
-def _solve(soc, arch, timing, backend, power_budget=None, floorplan=None, delta=None):
+def _solve(result, soc, arch, timing, backend, power_budget=None, floorplan=None, delta=None):
     problem = DesignProblem(
         soc=soc,
         arch=arch,
@@ -34,58 +34,67 @@ def _solve(soc, arch, timing, backend, power_budget=None, floorplan=None, delta=
         max_pair_distance=delta,
     )
     try:
-        return design(problem, backend=backend).makespan
+        designed = design(problem, backend=backend)
     except InfeasibleError:
         return None
+    result.telemetry.record(designed.stats)
+    return designed.makespan
 
 
-def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb") -> ExperimentResult:
+def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
+        config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = ExperimentConfig.coerce(config)
+    backend = config.resolve_backend(backend)
     result = ExperimentResult("T5", "Combined power + layout constraints: budget grid")
+    result.telemetry.jobs = config.jobs
     archs = archs or DEFAULT_ARCHS
-    for soc in socs or (build_s1(), build_s2()):
-        arch = archs.get(soc.name) or TamArchitecture.even_split(48, 3)
-        floorplan = grid_place(soc)
+    with config.activate():
+        for soc in socs or (build_s1(), build_s2()):
+            arch = archs.get(soc.name) or TamArchitecture.even_split(48, 3)
+            floorplan = grid_place(soc)
 
-        power_points = budget_sweep_points(soc)
-        # loose / middle / tight power budgets across the meaningful range
-        p_choices = [power_points[-1] * 1.1, power_points[len(power_points) // 2], power_points[0] * 1.02]
-        spread = floorplan.spread()
-        d_choices = [spread * 1.01, spread * 0.66, spread * 0.45]
+            power_points = budget_sweep_points(soc)
+            # loose / middle / tight power budgets across the meaningful range
+            p_choices = [power_points[-1] * 1.1, power_points[len(power_points) // 2], power_points[0] * 1.02]
+            spread = floorplan.spread()
+            d_choices = [spread * 1.01, spread * 0.66, spread * 0.45]
 
-        table = result.add_table(
-            Table(
-                ["P_max (mW)"] + [f"delta={d:.2f}mm" for d in d_choices],
-                title=f"{soc.name} on {arch}: T* per (P_max, delta) cell ({timing} timing)",
-            )
-        )
-        unconstrained = _solve(soc, arch, timing, backend)
-        result.check(unconstrained is not None, f"{soc.name}: unconstrained instance feasible")
-
-        for p_max in p_choices:
-            power_only = _solve(soc, arch, timing, backend, power_budget=p_max)
-            row = [round(p_max, 1)]
-            for delta in d_choices:
-                layout_only = _solve(soc, arch, timing, backend, floorplan=floorplan, delta=delta)
-                combined = _solve(
-                    soc, arch, timing, backend,
-                    power_budget=p_max, floorplan=floorplan, delta=delta,
+            table = result.add_table(
+                Table(
+                    ["P_max (mW)"] + [f"delta={d:.2f}mm" for d in d_choices],
+                    title=f"{soc.name} on {arch}: T* per (P_max, delta) cell ({timing} timing)",
                 )
-                if combined is not None:
-                    for reference, label in ((power_only, "power-only"), (layout_only, "layout-only")):
-                        result.check(
-                            reference is not None and combined >= reference - 1e-6,
-                            f"{soc.name} (P={p_max:.0f}, d={delta:.2f}): combined >= {label}",
-                        )
-                row.append(combined if combined is not None else "INF")
-            table.add_row(row)
-        loosest = _solve(
-            soc, arch, timing, backend,
-            power_budget=p_choices[0], floorplan=floorplan, delta=d_choices[0],
-        )
-        result.check(
-            loosest is not None and abs(loosest - unconstrained) < 1e-6,
-            f"{soc.name}: loosest cell recovers the unconstrained optimum",
-        )
+            )
+            unconstrained = _solve(result, soc, arch, timing, backend)
+            result.check(unconstrained is not None, f"{soc.name}: unconstrained instance feasible")
+
+            for p_max in p_choices:
+                power_only = _solve(result, soc, arch, timing, backend, power_budget=p_max)
+                row = [round(p_max, 1)]
+                for delta in d_choices:
+                    layout_only = _solve(
+                        result, soc, arch, timing, backend, floorplan=floorplan, delta=delta
+                    )
+                    combined = _solve(
+                        result, soc, arch, timing, backend,
+                        power_budget=p_max, floorplan=floorplan, delta=delta,
+                    )
+                    if combined is not None:
+                        for reference, label in ((power_only, "power-only"), (layout_only, "layout-only")):
+                            result.check(
+                                reference is not None and combined >= reference - 1e-6,
+                                f"{soc.name} (P={p_max:.0f}, d={delta:.2f}): combined >= {label}",
+                            )
+                    row.append(format_objective(combined) if combined is not None else "INF")
+                table.add_row(row)
+            loosest = _solve(
+                result, soc, arch, timing, backend,
+                power_budget=p_choices[0], floorplan=floorplan, delta=d_choices[0],
+            )
+            result.check(
+                loosest is not None and abs(loosest - unconstrained) < 1e-6,
+                f"{soc.name}: loosest cell recovers the unconstrained optimum",
+            )
     return result
 
 

@@ -120,7 +120,9 @@ class BranchAndBoundSolver:
     # ------------------------------------------------------------ internals
     def _solve_node(self, lb: np.ndarray, ub: np.ndarray) -> LpResult:
         self._stats.lp_solves += 1
+        lp_start = time.perf_counter()
         result = solve_matrix_lp(self._form, lb=lb, ub=ub, method=self.lp_method)
+        self._stats.lp_time += time.perf_counter() - lp_start
         self._stats.lp_iterations += result.iterations
         return result
 

@@ -228,7 +228,13 @@ class Model:
 
         return lint_model(self)
 
-    def solve(self, backend: str = "bnb", lint: str = "off", **options) -> Solution:
+    def solve(
+        self,
+        backend: str = "bnb",
+        lint: str = "off",
+        cache: "object | bool | None" = None,
+        **options,
+    ) -> Solution:
         """Solve the model to optimality.
 
         ``backend="bnb"`` uses :class:`~repro.ilp.branch_and_bound.
@@ -241,6 +247,15 @@ class Model:
         stderr and proceeds, ``"error"`` additionally raises
         :class:`~repro.util.errors.LintError` when any error-severity
         finding exists, ``"off"`` (default) skips the pass entirely.
+
+        ``cache`` routes the solve through the runtime solution cache
+        (:mod:`repro.runtime.cache`): a
+        :class:`~repro.runtime.cache.SolutionCache` uses that store, ``None``
+        (default) consults the process-active cache installed via
+        ``use_cache``/``set_solve_cache`` (no caching if none is active), and
+        ``False`` bypasses caching even when a cache is active. Cached
+        solutions are bit-identical to the original solve and carry
+        ``cache_hit=True``.
         """
         if lint not in ("off", "warn", "error"):
             raise ValueError(f"lint must be 'off', 'warn' or 'error', got {lint!r}")
@@ -259,6 +274,16 @@ class Model:
                     f"{report.errors[0].render()}",
                     report=report,
                 )
+        from repro.runtime.cache import resolve_cache
+
+        store = resolve_cache(cache)
+        key = None
+        if store is not None:
+            key = store.fingerprint(self.to_matrix_form(), backend=backend, options=options)
+            cached = store.get_solution(key, self)
+            if cached is not None:
+                return cached
+
         if backend == "bnb":
             from repro.ilp.branch_and_bound import BranchAndBoundSolver
 
@@ -269,6 +294,8 @@ class Model:
             solution = solve_with_scipy(self, **options)
         else:
             raise ValueError(f"unknown backend {backend!r}; expected 'bnb' or 'scipy'")
+        if store is not None and key is not None:
+            store.put_solution(key, solution, self.num_vars)
         return solution
 
     def solve_relaxation(self, method: str = "scipy") -> Solution:

@@ -8,6 +8,8 @@ when raw speed matters more than introspection.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
@@ -30,6 +32,7 @@ def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
     options = {}
     if time_limit is not None:
         options["time_limit"] = time_limit
+    start = time.perf_counter()
     res = milp(
         c=form.c,
         constraints=constraints,
@@ -39,7 +42,10 @@ def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
     )
 
     sign = 1.0 if model.sense == "min" else -1.0
-    stats = SolveStats(nodes=int(getattr(res, "mip_node_count", 0) or 0))
+    stats = SolveStats(
+        nodes=int(getattr(res, "mip_node_count", 0) or 0),
+        wall_time=time.perf_counter() - start,
+    )
     if res.status == 0:
         values = {var: float(res.x[var.index]) for var in model.variables}
         objective = sign * (float(res.fun) + form.c0)

@@ -21,32 +21,48 @@ class Status(enum.Enum):
 
 @dataclass
 class SolveStats:
-    """Work counters reported by the branch-and-bound solver.
+    """Work counters reported by the solver backends.
 
     ``nodes`` counts B&B nodes actually processed (LP relaxations solved at a
     node), ``lp_iterations`` sums simplex/HiGHS iterations when available, and
-    ``wall_time`` is seconds of wall clock inside ``solve``.
+    ``wall_time`` is seconds of wall clock inside ``solve``. ``cache_hit``
+    marks a solution answered from the runtime solve cache — the remaining
+    counters then describe the *original* solve that produced the record,
+    not work done in this call.
     """
 
     nodes: int = 0
     lp_solves: int = 0
     lp_iterations: int = 0
     wall_time: float = 0.0
+    lp_time: float = 0.0
     incumbent_updates: int = 0
     best_bound: float | None = None
     gap: float | None = None
     cuts: int = 0
+    cache_hit: bool = False
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (used by ``repro design --json`` and telemetry)."""
+        from dataclasses import asdict
+
+        return asdict(self)
 
 
 @dataclass
 class Solution:
-    """Outcome of solving a model: status, objective, and variable values."""
+    """Outcome of solving a model: status, objective, and variable values.
+
+    ``cache_hit`` is True when the solution was served from the runtime
+    solve cache instead of running a backend (see :mod:`repro.runtime.cache`).
+    """
 
     status: Status
     objective: float | None = None
     values: dict[Variable, float] = field(default_factory=dict)
     stats: SolveStats = field(default_factory=SolveStats)
     backend: str = "bnb"
+    cache_hit: bool = False
 
     @property
     def is_optimal(self) -> bool:
@@ -81,4 +97,5 @@ class Solution:
 
     def __repr__(self) -> str:
         obj = "-" if self.objective is None else f"{self.objective:g}"
-        return f"Solution(status={self.status.value}, objective={obj}, backend={self.backend})"
+        cached = ", cached" if self.cache_hit else ""
+        return f"Solution(status={self.status.value}, objective={obj}, backend={self.backend}{cached})"

@@ -1,0 +1,93 @@
+"""Order-preserving parallel fan-out for sweep workloads.
+
+Experiment harnesses iterate independent sweep points — (W, NB) budgets,
+power caps, synthetic sizes — and each point is a self-contained batch of
+exact solves. :func:`run_parallel` maps a worker function over those points
+with a ``ProcessPoolExecutor`` while keeping three guarantees the harnesses
+rely on:
+
+- **result ordering**: outputs line up with inputs regardless of which
+  worker finishes first, so the rendered tables are byte-identical to a
+  serial run;
+- **deterministic serial fallback**: ``max_workers=1`` (the default) runs
+  in-process with no executor at all — same code path the seed used;
+- **seeded-RNG discipline** (lint rule C001): workers receive their inputs,
+  including any seeds, explicitly through the payload; nothing samples
+  process-global randomness.
+
+Workers are separate processes, so the parent's in-memory solve cache is
+not shared; when the active cache has an on-disk store, each worker attaches
+to the same directory via the pool initializer and hits persist across the
+whole fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.runtime.cache import SolutionCache, get_solve_cache, set_solve_cache
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    """Pool initializer: attach each worker to the shared on-disk cache."""
+    if cache_dir is not None:
+        set_solve_cache(SolutionCache(directory=cache_dir))
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """Normalize a worker-count request (None / 0 / negative = all cores)."""
+    if max_workers is None or max_workers <= 0:
+        return os.cpu_count() or 1
+    return max_workers
+
+
+def run_parallel(
+    fn: Callable[[_Item], _Result],
+    items: Iterable[_Item],
+    max_workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
+) -> list[_Result]:
+    """Map ``fn`` over ``items``, preserving input order.
+
+    ``fn`` must be a module-level callable and each item picklable (the
+    contract of ``ProcessPoolExecutor``). With ``max_workers=1`` the map
+    runs serially in-process — the deterministic fallback — and the active
+    solve cache is used directly. With more workers, each worker process
+    installs a :class:`SolutionCache` on ``cache_dir`` (defaulting to the
+    active cache's directory, if it has one) so the fleet shares warm
+    results through the filesystem.
+
+    If the platform refuses to spawn processes (restricted sandboxes), the
+    call degrades to the serial path with a warning rather than failing.
+    """
+    work: Sequence[_Item] = list(items)
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+
+    if cache_dir is None:
+        active = get_solve_cache()
+        if active is not None and active.directory is not None:
+            cache_dir = active.directory
+    init_dir = str(cache_dir) if cache_dir is not None else None
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(work)),
+            initializer=_worker_init,
+            initargs=(init_dir,),
+        ) as executor:
+            return list(executor.map(fn, work))
+    except (OSError, PermissionError) as exc:
+        warnings.warn(
+            f"parallel executor unavailable ({exc}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in work]

@@ -1,0 +1,73 @@
+"""Aggregated solver telemetry for experiment runs and reports.
+
+Every backend returns a per-solve :class:`~repro.ilp.solution.SolveStats`;
+:class:`RunTelemetry` folds those into run-level counters — how many solves
+a harness issued, how many were answered from the cache, and how much
+branch-and-bound / LP work the fresh ones cost. Experiment results carry one
+instance, rendered as a one-line footer and exported through the CLI's
+``--json`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.ilp.solution import SolveStats
+
+
+@dataclass
+class RunTelemetry:
+    """Run-level roll-up of solver work.
+
+    ``nodes`` / ``lp_solves`` / ``lp_iterations`` / ``incumbent_updates`` /
+    ``wall_time`` count only *fresh* solves — a cache hit re-reports the
+    original solve's counters on its own :class:`SolveStats`, but folding
+    them in again would double-count work that never re-ran.
+    """
+
+    solves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    nodes: int = 0
+    lp_solves: int = 0
+    lp_iterations: int = 0
+    incumbent_updates: int = 0
+    wall_time: float = 0.0
+    jobs: int = 1
+
+    def record(self, stats: SolveStats) -> None:
+        """Fold one solve's stats into the run counters."""
+        self.solves += 1
+        if stats.cache_hit:
+            self.cache_hits += 1
+            return
+        self.cache_misses += 1
+        self.nodes += stats.nodes
+        self.lp_solves += stats.lp_solves
+        self.lp_iterations += stats.lp_iterations
+        self.incumbent_updates += stats.incumbent_updates
+        self.wall_time += stats.wall_time
+
+    def merge(self, other: "RunTelemetry | None") -> None:
+        """Fold another run's counters into this one (``jobs`` keeps ours)."""
+        if other is None:
+            return
+        self.solves += other.solves
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.nodes += other.nodes
+        self.lp_solves += other.lp_solves
+        self.lp_iterations += other.lp_iterations
+        self.incumbent_updates += other.incumbent_updates
+        self.wall_time += other.wall_time
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-line summary for report footers."""
+        return (
+            f"{self.solves} solves ({self.cache_hits} cached), "
+            f"{self.nodes} B&B nodes, {self.lp_solves} LPs, "
+            f"{self.wall_time:.2f}s solver wall, jobs={self.jobs}"
+        )

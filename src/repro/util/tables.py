@@ -7,8 +7,31 @@ between runs. Intentionally minimal: no colors, no wrapping, stable output.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+
+
+def format_objective(value: float | None, decimals: int = 6) -> float | None:
+    """Canonicalize a solver objective/makespan for tabular output.
+
+    LP-backed objectives can differ across BLAS builds and platforms in the
+    last few ulps; tables built from raw floats then diff between runs for
+    no mathematical reason. Rounding to ``decimals`` places (default 6 — far
+    below the integer cycle counts the models produce, far above float
+    noise) makes the rendered value a platform-stable function of the
+    mathematical optimum. ``None`` (infeasible cells) and non-finite values
+    pass through unchanged.
+    """
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        return value
+    rounded = round(value, decimals)
+    if rounded == 0.0:
+        return 0.0  # normalize -0.0 so renders never flip sign on noise
+    return rounded
 
 
 def _render_cell(value) -> str:

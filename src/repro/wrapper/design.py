@@ -96,6 +96,14 @@ def _spread_cells(totals: list[int], cells: int) -> list[int]:
     return totals
 
 
+#: Structural-signature -> WrapperDesign memo. The packing costs O(width^2)
+#: passes and the designer re-derives identical wrappers across every sweep
+#: point; the key covers every core field the packing reads (plus the name,
+#: which the returned record carries), so distinct cores cannot collide.
+#: WrapperDesign is frozen, making the shared instances safe.
+_WRAPPER_CACHE: dict[tuple, WrapperDesign] = {}
+
+
 def design_wrapper(core: Core, width: int, chain_length: int = DEFAULT_CHAIN_LENGTH) -> WrapperDesign:
     """Build the wrapper for ``core`` at TAM width ``width``.
 
@@ -105,9 +113,25 @@ def design_wrapper(core: Core, width: int, chain_length: int = DEFAULT_CHAIN_LEN
     design is built for every chain count up to ``width`` and the fastest is
     kept — a wrapper may always leave TAM wires unused, which also makes
     ``T(w)`` monotone non-increasing in ``w`` by construction.
+
+    Results are memoized per structural signature: repeated calls for the
+    same core shape and width return the same frozen design instantly.
     """
     if width <= 0:
         raise ValidationError(f"wrapper width must be positive, got {width}")
+    key = (
+        core.name,
+        core.num_inputs,
+        core.num_outputs,
+        core.num_flipflops,
+        core.num_patterns,
+        core.scan_chains,
+        width,
+        chain_length,
+    )
+    cached = _WRAPPER_CACHE.get(key)
+    if cached is not None:
+        return cached
     chains = internal_scan_chains(core, max_length=chain_length)
     best: WrapperDesign | None = None
     best_time = math.inf
@@ -125,6 +149,7 @@ def design_wrapper(core: Core, width: int, chain_length: int = DEFAULT_CHAIN_LEN
             best = candidate
             best_time = time
     assert best is not None
+    _WRAPPER_CACHE[key] = best
     return best
 
 

@@ -1,4 +1,4 @@
-"""Unit tests for the AST code-lint rules (C001-C004) on synthetic fixtures."""
+"""Unit tests for the AST code-lint rules (C001-C005) on synthetic fixtures."""
 
 import textwrap
 from pathlib import Path
@@ -151,10 +151,50 @@ class TestFrameworkPlumbing:
         assert load_baseline(baseline) == [{"rule": "C002", "file": "legacy.py"}]
 
 
+class TestC005ExampleFacadeImports:
+    def test_deep_import_in_example_is_flagged(self):
+        src = "from repro.core import design\n"
+        assert rules_of(lint(src, "examples/demo.py")) == ["C005"]
+
+    def test_plain_module_import_is_flagged(self):
+        assert rules_of(lint("import repro.ilp\n", "examples/demo.py")) == ["C005"]
+        assert rules_of(lint("import repro\n", "examples/demo.py")) == ["C005"]
+
+    def test_facade_import_is_allowed(self):
+        src = "from repro.api import design, sweep_widths\n"
+        assert rules_of(lint(src, "examples/demo.py")) == []
+
+    def test_nested_examples_path_applies(self):
+        src = "from repro.tam import TamArchitecture\n"
+        assert rules_of(lint(src, "docs/examples/snippet.py")) == ["C005"]
+
+    def test_non_example_code_is_exempt(self):
+        src = "from repro.core import design\n"
+        assert rules_of(lint(src, "src/repro/cli_helper.py")) == []
+        assert rules_of(lint(src, "tests/test_design.py")) == []
+
+    def test_third_party_imports_are_ignored(self):
+        src = "import numpy as np\nfrom pathlib import Path\n"
+        assert rules_of(lint(src, "examples/demo.py")) == []
+
+    def test_inline_waiver(self):
+        src = "from repro.core import design  # lint: ignore[C005]\n"
+        report = lint(src, "examples/demo.py")
+        assert not report.diagnostics
+        assert [d.rule for d in report.waived] == ["C005"]
+
+
 class TestRealTreeIsClean:
     def test_src_repro_passes(self):
         package_root = Path(__file__).resolve().parent.parent / "src" / "repro"
         assert package_root.is_dir()
         report = lint_paths([package_root])
+        offenders = [d.render() for d in report]
+        assert not offenders, "\n".join(offenders)
+
+    def test_examples_respect_the_facade(self):
+        examples_root = Path(__file__).resolve().parent.parent / "examples"
+        assert examples_root.is_dir()
+        report = lint_paths([examples_root])
         offenders = [d.render() for d in report]
         assert not offenders, "\n".join(offenders)

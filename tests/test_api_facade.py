@@ -1,0 +1,85 @@
+"""The repro.api facade: completeness, aliases, CLI/runtime integration."""
+
+from __future__ import annotations
+
+import json
+
+import repro.api as api
+from repro.cli import main
+
+
+class TestFacadeSurface:
+    def test_all_names_resolve(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert missing == []
+
+    def test_all_is_sorted_free_of_duplicates(self):
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_blessed_aliases_are_the_real_functions(self):
+        assert api.sweep_widths is api.width_sweep
+        assert api.min_width is api.minimize_width
+        assert api.bus_count_curve is api.explore_bus_counts
+
+    def test_core_surface_spans_the_paper_flow(self):
+        # One name from each documented group must be present.
+        for name in (
+            "load_soc",
+            "DesignProblem",
+            "design",
+            "sweep_widths",
+            "run_experiment",
+            "ExperimentConfig",
+            "solve_cached",
+            "SolutionCache",
+            "run_parallel",
+            "RunTelemetry",
+            "format_objective",
+            "lint_paths",
+            "ReproError",
+        ):
+            assert name in api.__all__
+
+    def test_examples_pass_facade_lint(self):
+        report = api.lint_paths(["examples"])
+        c005 = [d for d in report if d.rule == "C005"]
+        assert c005 == []
+
+
+class TestCliJsonTelemetry:
+    def test_design_json_carries_solve_stats(self, capsys):
+        assert main(["design", "S1", "--widths", "16,16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["stats"]
+        for key in (
+            "wall_time",
+            "nodes",
+            "lp_solves",
+            "lp_iterations",
+            "incumbent_updates",
+            "cache_hit",
+        ):
+            assert key in stats
+        assert stats["cache_hit"] is False
+        assert stats["nodes"] >= 1
+        assert payload["status"] == "optimal"
+
+    def test_design_json_cache_flag_roundtrip(self, capsys, tmp_path):
+        args = ["design", "S1", "--widths", "16,16", "--json", "--cache", str(tmp_path)]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["stats"]["cache_hit"] is False
+        assert warm["stats"]["cache_hit"] is True
+        assert warm["makespan"] == cold["makespan"]
+        assert warm["assignment"] == cold["assignment"]
+
+    def test_sweep_prints_telemetry_footer(self, capsys):
+        assert main(["sweep", "S1", "--total-width", "24", "--buses", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "B&B nodes" in out and "solves" in out
+
+    def test_experiments_jobs_flag(self, capsys):
+        assert main(["experiments", "T1", "--jobs", "2"]) == 0
+        assert "T1" in capsys.readouterr().out

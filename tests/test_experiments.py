@@ -8,7 +8,7 @@ exposes knobs; T2/F1 (the slow exact sweeps) run on reduced budgets.
 
 import pytest
 
-from repro.experiments import REGISTRY, run_experiment
+from repro.experiments import REGISTRY, ExperimentConfig, run_experiment
 from repro.experiments import (
     f1_width,
     f2_power_curve,
@@ -140,3 +140,41 @@ class TestRender:
             result.check(False, "never true")
         result.check(True, "fine")
         assert result.checks == ["fine"]
+
+
+class TestExperimentConfig:
+    def test_coerce_none_gives_defaults(self):
+        config = ExperimentConfig.coerce(None)
+        assert config.jobs == 1 and config.cache is None and config.seed == 7
+
+    def test_coerce_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            ExperimentConfig.coerce({"jobs": 2})
+
+    def test_resolve_backend(self):
+        assert ExperimentConfig().resolve_backend("bnb") == "bnb"
+        assert ExperimentConfig(backend="scipy").resolve_backend("bnb") == "scipy"
+
+    def test_resolve_cache_builds_on_dir(self, tmp_path):
+        config = ExperimentConfig(cache_dir=str(tmp_path / "store"))
+        cache = config.resolve_cache()
+        assert cache is not None
+        assert config.resolve_cache() is cache  # built once, then reused
+
+    def test_grid_override(self):
+        config = ExperimentConfig(grid={"total_widths": [8, 16]})
+        assert config.override("total_widths", [32]) == [8, 16]
+        assert config.override("bus_counts", (2, 3)) == (2, 3)
+
+    def test_grid_override_reaches_f1(self, tmp_path):
+        config = ExperimentConfig(grid={"total_widths": [8, 16], "bus_counts": (2,)})
+        result = run_experiment("F1", config=config)
+        widths_column = result.tables[0].column("W")
+        assert widths_column == [8, 16]
+
+    def test_every_experiment_accepts_config(self):
+        import inspect
+
+        for experiment_id, module in REGISTRY.items():
+            params = inspect.signature(module.run).parameters
+            assert "config" in params, f"{experiment_id} run() lacks config"

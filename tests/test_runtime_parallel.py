@@ -1,0 +1,61 @@
+"""Parallel runtime: ordering, serial fallback, and experiment equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.runtime import run_parallel
+from repro.runtime.parallel import resolve_workers
+
+# Module-level so ProcessPoolExecutor can pickle it.
+def _square(x):
+    return x * x
+
+
+def _tables_of(result):
+    return [table.render() for table in result.tables]
+
+
+class TestRunParallel:
+    def test_serial_path_preserves_order(self):
+        assert run_parallel(_square, range(8), max_workers=1) == [x * x for x in range(8)]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(12))
+        serial = run_parallel(_square, items, max_workers=1)
+        parallel = run_parallel(_square, items, max_workers=4)
+        assert parallel == serial
+
+    def test_empty_and_single_item(self):
+        assert run_parallel(_square, [], max_workers=4) == []
+        assert run_parallel(_square, [3], max_workers=4) == [9]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(-2) >= 1
+
+
+class TestParallelExperimentEquivalence:
+    """ISSUE acceptance: parallel runs render byte-identical tables."""
+
+    def test_t2_parallel_matches_serial(self, s1):
+        grid = dict(socs=(s1,), budgets=((24, 2), (24, 3)))
+        serial = run_experiment("T2", config=ExperimentConfig(jobs=1), **grid)
+        parallel = run_experiment("T2", config=ExperimentConfig(jobs=4), **grid)
+        assert _tables_of(parallel) == _tables_of(serial)
+        assert parallel.telemetry.solves == serial.telemetry.solves
+        assert parallel.telemetry.nodes == serial.telemetry.nodes
+
+    def test_f1_parallel_matches_serial(self, s1, tmp_path):
+        grid = dict(soc=s1, bus_counts=(2,), total_widths=[8, 16, 24])
+        serial = run_experiment("F1", config=ExperimentConfig(jobs=1), **grid)
+        parallel = run_experiment(
+            "F1",
+            config=ExperimentConfig(jobs=4, cache_dir=str(tmp_path / "f1")),
+            **grid,
+        )
+        assert _tables_of(parallel) == _tables_of(serial)

@@ -1,8 +1,10 @@
 """Tests for the ASCII table renderer."""
 
+import math
+
 import pytest
 
-from repro.util.tables import Table, format_table
+from repro.util.tables import Table, format_objective, format_table
 
 
 class TestFormatTable:
@@ -63,3 +65,24 @@ class TestTable:
     def test_column_unknown_raises(self):
         with pytest.raises(KeyError):
             Table(["a"]).column("zz")
+
+
+class TestFormatObjective:
+    def test_none_and_nonfinite_pass_through(self):
+        assert format_objective(None) is None
+        assert math.isnan(format_objective(float("nan")))
+        assert format_objective(float("inf")) == float("inf")
+
+    def test_rounds_away_platform_noise(self):
+        assert format_objective(1200.0000004999) == 1200.0
+        assert format_objective(1200.0000004999) == format_objective(1200.0)
+
+    def test_negative_zero_is_normalized(self):
+        result = format_objective(-1e-12)
+        assert result == 0.0 and math.copysign(1.0, result) == 1.0
+
+    def test_decimals_parameter(self):
+        assert format_objective(3.14159, decimals=2) == 3.14
+
+    def test_integral_cycle_counts_unchanged(self):
+        assert format_objective(12652.0) == 12652.0
