@@ -12,6 +12,7 @@ testing time, ATE vector memory, TAM utilization, and wrapper hardware cost.
 
 from repro.api import (
     DesignProblem,
+    SolvePolicy,
     TamArchitecture,
     ate_vector_memory,
     build_d695,
@@ -36,11 +37,14 @@ def main() -> None:
         print(f"{width:>4} | {comparison.multiplexed:>11} | {comparison.daisychain:>10} | "
               f"{dist:>12} | {comparison.test_bus:>8.0f} | {comparison.best_style()}")
 
-    # Drill into the 32-wire test-bus design.
+    # Drill into the 32-wire test-bus design. The d695 instance is bigger
+    # than the academic SOCs, so give the solve an anytime budget: exact if
+    # it finishes, best incumbent (with provenance) if not.
     print("\n--- 32-wire test-bus design in detail " + "-" * 30)
     problem = DesignProblem(soc=soc, arch=TamArchitecture([16, 8, 8]), timing="flexible")
-    result = design(problem)
+    result = design(problem, policy=SolvePolicy(deadline=120.0))
     print(result.describe())
+    print(f"provenance: {result.provenance}")
 
     utilization = tam_utilization(soc, result.assignment, problem.timing)
     print(f"\n{utilization}")

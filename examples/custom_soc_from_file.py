@@ -13,7 +13,7 @@ three timing models — and report the best design per model.
 import tempfile
 from pathlib import Path
 
-from repro.api import design_best_architecture, load_soc
+from repro.api import SolvePolicy, design_best_architecture, load_soc
 
 SOC_TEXT = """\
 # A hypothetical set-top-box SOC: CPU, DSP, two memories, peripherals.
@@ -45,10 +45,14 @@ def main() -> None:
     print(f"\npin budget: 48 TAM wires over 3 buses; "
           f"SOC power budget {soc.power_budget:g} mW\n")
 
+    # An unfamiliar SOC can hide hard instances: a per-solve deadline keeps
+    # the sweep responsive (exhausted solves return their best incumbent).
+    policy = SolvePolicy(deadline=60.0)
     for timing in ("fixed", "serial", "flexible"):
         sweep = design_best_architecture(
             soc, total_width=48, num_buses=3,
             timing=timing, power_budget=soc.power_budget,
+            policy=policy,
         )
         if sweep.best is None:
             print(f"{timing:>9}: no feasible width distribution "

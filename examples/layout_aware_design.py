@@ -22,6 +22,7 @@ from repro.api import (
     grid_place,
     pareto_front,
     tam_wirelength,
+    trace_solve,
 )
 
 def main() -> None:
@@ -49,13 +50,15 @@ def main() -> None:
             print(f"  {point.makespan:.0f} cycles at {point.wirelength:.1f} wire-mm")
         print()
 
-    # Show one concrete constrained design with its routes.
+    # Show one concrete constrained design with its routes — traced, so the
+    # flame summary at the end shows where the solve time went.
     floorplan = grid_place(soc)
     problem = DesignProblem(
         soc=soc, arch=arch, timing="serial",
         floorplan=floorplan, max_pair_distance=5.0,
     )
-    result = design(problem)
+    with trace_solve() as trace:
+        result = design(problem)
     print("design at delta = 5.0 mm:")
     print(result.describe())
     print("per-bus route lengths (chain estimator, raw mm):")
@@ -67,6 +70,8 @@ def main() -> None:
         length = bus_wirelength(floorplan, members) if members else 0.0
         print(f"  bus {bus}: {length:6.2f} mm  [{names}]")
     print(f"total width-weighted: {tam_wirelength(floorplan, result.assignment):.1f} wire-mm")
+    print()
+    print(trace.flame())
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ where extra pins stop helping (so over-asking is provably wasted).
 
 from repro.api import (
     InfeasibleError,
+    SolvePolicy,
     build_s1,
     bus_count_curve,
     design_best_architecture,
@@ -45,7 +46,11 @@ def main() -> None:
               f"{str(plan.design.arch):>14} | {plan.design.makespan:>11.0f}")
 
     print("\nand if the bus count itself is negotiable (W = 32):")
-    for point in bus_count_curve(soc, 32, 5, timing="serial", backend="scipy"):
+    # Planning runs are interactive: a per-solve deadline keeps the loop
+    # snappy, degrading to an incumbent/heuristic rather than stalling.
+    snappy = SolvePolicy(deadline=30.0)
+    for point in bus_count_curve(soc, 32, 5, timing="serial", backend="scipy",
+                                 policy=snappy):
         widths = "+".join(str(w) for w in point.arch_widths) if point.arch_widths else "-"
         time = f"{point.makespan:.0f}" if point.makespan is not None else "infeasible"
         print(f"  NB={point.num_buses}: {time:>10} cycles  (widths {widths})")

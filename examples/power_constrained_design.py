@@ -24,9 +24,21 @@ from repro.api import (
     design,
     power_budget_sweep,
     power_groups,
+    use_metrics,
 )
 
 def main() -> None:
+    # Scope a metrics registry to this run: every solve below folds its
+    # node/LP counters into it, summarized at the end.
+    with use_metrics() as metrics:
+        _run_staircase()
+        print()
+        nodes = metrics.counter("solve.nodes").value
+        lps = metrics.counter("solve.lp_solves").value
+        print(f"[metrics] {nodes} B&B nodes, {lps} LP solves across the sweep")
+
+
+def _run_staircase() -> None:
     soc = build_s1()
     arch = TamArchitecture([16, 16, 16])
 

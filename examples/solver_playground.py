@@ -18,6 +18,7 @@ from repro.api import (
     build_assignment_ilp,
     build_s1,
     quicksum,
+    trace_solve,
 )
 
 def knapsack() -> None:
@@ -74,7 +75,21 @@ def tam_formulation() -> None:
           f"{abs(tableau.objective - relaxation.objective) < 1e-6}")
 
 
+def traced_solve() -> None:
+    """Where does the solve time go? Trace one B&B run and print the flame."""
+    soc = build_s1()
+    problem = DesignProblem(
+        soc=soc, arch=TamArchitecture([16, 16, 16]), timing="serial"
+    )
+    formulation = build_assignment_ilp(problem)
+    with trace_solve() as trace:
+        formulation.model.solve(cache=False)
+    print()
+    print(trace.flame())
+
+
 if __name__ == "__main__":
     knapsack()
     vertex_cover()
     tam_formulation()
+    traced_solve()

@@ -25,6 +25,7 @@ C002  error     mutable default argument
 C003  error     ``==`` / ``!=`` against a solver objective float
 C004  error     bare ``except:``
 C005  error     example code importing ``repro.*`` internals, not ``repro.api``
+C006  error     ``time.perf_counter()`` / ``time.time()`` outside repro.obs/runtime
 ====  ========  ===========================================================
 """
 
@@ -40,6 +41,10 @@ from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 
 #: Files allowed to touch the raw RNG APIs (posix path suffixes).
 RNG_EXEMPT_SUFFIXES = ("util/rng.py",)
+
+#: Path fragments whose files may read the raw clock (C006): the obs layer
+#: owns the sanctioned wrapper, the runtime layer times its own workers.
+CLOCK_EXEMPT_FRAGMENTS = ("repro/obs/", "repro/runtime/")
 
 #: Attribute names that hold solver-produced floats (C003).
 OBJECTIVE_ATTRS = frozenset(
@@ -245,6 +250,45 @@ class ExampleFacadeImports(CodeRule):
                 )
 
 
+class TimingDiscipline(CodeRule):
+    """Wall-clock reads must flow through :func:`repro.obs.now` (or the
+    runtime layer) so traced phase totals and telemetry share one clock;
+    scattered ``time.perf_counter()`` calls drift out of the span tree."""
+
+    rule_id = "C006"
+    title = "raw time.perf_counter()/time.time() outside repro.obs / repro.runtime"
+    node_types = (ast.Attribute, ast.ImportFrom)
+
+    _BANNED = frozenset({"perf_counter", "time", "monotonic"})
+    _HINT = (
+        "use repro.obs.now() (or a Stopwatch) so timings share the tracer's "
+        "clock; only repro.obs and repro.runtime may read time directly"
+    )
+
+    def _applies(self, ctx: FileContext) -> bool:
+        normalized = ctx.path.replace("\\", "/")
+        return not any(fragment in normalized for fragment in CLOCK_EXEMPT_FRAGMENTS)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not self._applies(ctx):
+            return
+        if isinstance(node, ast.ImportFrom):
+            if (node.module or "") != "time" or node.level:
+                return
+            for alias in node.names:
+                if alias.name in self._BANNED:
+                    yield self.diag(
+                        node, ctx, f"import of time.{alias.name}", self._HINT
+                    )
+        elif isinstance(node, ast.Attribute):
+            if (
+                node.attr in self._BANNED
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+            ):
+                yield self.diag(node, ctx, f"use of time.{node.attr}", self._HINT)
+
+
 #: The default rule set, in reporting order.
 CODE_RULES: tuple[CodeRule, ...] = (
     RngDiscipline(),
@@ -252,6 +296,7 @@ CODE_RULES: tuple[CodeRule, ...] = (
     ObjectiveFloatEquality(),
     BareExcept(),
     ExampleFacadeImports(),
+    TimingDiscipline(),
 )
 
 

@@ -17,6 +17,11 @@ The surface groups into:
   :func:`bus_count_curve`), baselines and schedules;
 - **runtime** — :func:`solve_cached`, :class:`SolutionCache`,
   :func:`use_cache`, :func:`run_parallel`, :class:`RunTelemetry`;
+- **observability & resilience** — :func:`trace_solve` (span tracing with
+  a text flame summary), :class:`MetricsRegistry` with :func:`get_metrics`
+  / :func:`use_metrics`, and the anytime-solve controls
+  :class:`SolvePolicy` / :class:`FallbackReport` with
+  :func:`register_backend` for pluggable (or fault-injected) solvers;
 - **experiments** — :func:`run_experiment`/:func:`run_all` with
   :class:`ExperimentConfig`;
 - **reporting** — :func:`design_report`, :class:`Table`,
@@ -65,8 +70,20 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.ilp import Model, quicksum
+from repro.ilp.model import register_backend, unregister_backend
 from repro.ilp.solution import Solution, SolveStats, Status
 from repro.layout import Floorplan, anneal_place, bus_wirelength, grid_place, tam_wirelength
+from repro.obs import (
+    CheckpointStore,
+    FallbackReport,
+    MetricsRegistry,
+    SolvePolicy,
+    Span,
+    Tracer,
+    get_metrics,
+    trace_solve,
+    use_metrics,
+)
 from repro.power import budget_sweep_points, max_clique_power, power_groups
 from repro.runtime import (
     DEFAULT_CACHE_DIR,
@@ -99,7 +116,13 @@ from repro.tam import (
     soc_test_data_volume,
     tam_utilization,
 )
-from repro.util.errors import InfeasibleError, ReproError, SolverError, ValidationError
+from repro.util.errors import (
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    TransientSolverError,
+    ValidationError,
+)
 from repro.util.tables import Table, format_objective, format_table
 from repro.wrapper import pareto_widths
 from repro.wrapper.overhead import soc_wrapper_overhead
@@ -181,6 +204,18 @@ __all__ = [
     "run_parallel",
     "RunTelemetry",
     "DEFAULT_CACHE_DIR",
+    # observability & resilience
+    "trace_solve",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "get_metrics",
+    "use_metrics",
+    "SolvePolicy",
+    "FallbackReport",
+    "CheckpointStore",
+    "register_backend",
+    "unregister_backend",
     # experiments
     "run_experiment",
     "run_all",
@@ -200,5 +235,6 @@ __all__ = [
     "ReproError",
     "InfeasibleError",
     "SolverError",
+    "TransientSolverError",
     "ValidationError",
 ]

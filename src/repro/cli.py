@@ -16,7 +16,10 @@ Commands:
 
 The solver commands share the runtime flags ``--jobs N`` (parallel sweep
 fan-out), ``--cache [DIR]`` (memoize solved instances, in memory or on
-disk), and ``--no-cache``.
+disk), and ``--no-cache`` — plus the anytime-solve flags ``--deadline`` /
+``--node-budget`` / ``--retries`` / ``--no-fallback`` that build a
+:class:`~repro.api.SolvePolicy`. ``design --trace [FILE]`` additionally
+records a span trace and prints its flame summary.
 
 The SOC argument accepts the builtin names ``S1``/``S2``/``S3``,
 ``SYN<n>[:seed]`` for a synthetic system, or a path to a ``.soc`` file.
@@ -38,6 +41,7 @@ from repro.api import (
     ReproError,
     Soc,
     SolutionCache,
+    SolvePolicy,
     TamArchitecture,
     build_d695,
     build_s1,
@@ -52,6 +56,7 @@ from repro.api import (
     grid_place,
     load_soc,
     min_width,
+    trace_solve,
     use_cache,
 )
 
@@ -94,6 +99,32 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the solve cache entirely")
 
 
+def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget per solve; on exhaustion the best "
+                             "incumbent (or a heuristic fallback) is returned")
+    parser.add_argument("--node-budget", type=int, default=None, metavar="N",
+                        help="B&B node budget per solve (anytime mode, like --deadline)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry transient backend failures up to N times")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="fail instead of degrading to heuristics when a "
+                             "budget is exhausted without an incumbent")
+
+
+def _policy_from_args(args) -> SolvePolicy | None:
+    """Build the SolvePolicy the flags describe (None = exact, uncapped)."""
+    if (args.deadline is None and args.node_budget is None
+            and not args.retries and not args.no_fallback):
+        return None
+    return SolvePolicy(
+        deadline=args.deadline,
+        node_budget=args.node_budget,
+        max_retries=args.retries,
+        fallback=() if args.no_fallback else SolvePolicy().fallback,
+    )
+
+
 def _runtime_scope(args):
     """Context manager installing the solve cache the flags ask for."""
     if getattr(args, "no_cache", False) or getattr(args, "cache", None) is None:
@@ -123,8 +154,21 @@ def cmd_describe(args) -> int:
 def cmd_design(args) -> int:
     soc = resolve_soc(args.soc)
     problem = _problem_from_args(soc, _parse_widths(args.widths), args)
+    policy = _policy_from_args(args)
+    tracer = None
     with _runtime_scope(args):
-        result = design(problem, backend=args.backend)
+        if args.trace is not None:
+            with trace_solve() as tracer:
+                # One root span over the whole design: per-phase self times
+                # then partition the traced wall time exactly.
+                with tracer.span("design", soc=soc.name):
+                    result = design(problem, backend=args.backend, policy=policy)
+        else:
+            result = design(problem, backend=args.backend, policy=policy)
+    trace_payload = tracer.to_json() if tracer is not None else None
+    if tracer is not None and args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(trace_payload, fh, indent=2)
     if args.json:
         payload = {
             "soc": soc.name,
@@ -136,15 +180,27 @@ def cmd_design(args) -> int:
             "bus_times": result.bus_times,
             "wirelength": result.wirelength,
             "backend": result.backend,
+            "provenance": result.provenance,
             "assignment": {
                 core.name: int(bus)
                 for core, bus in zip(soc.cores, result.assignment.bus_of)
             },
             "stats": result.stats.as_dict(),
         }
+        if result.fallback is not None:
+            payload["fallback"] = result.fallback.as_dict()
+        if policy is not None:
+            payload["policy"] = policy.as_dict()
+        if trace_payload is not None:
+            payload["trace"] = trace_payload
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(design_report(result))
+        if tracer is not None:
+            print()
+            print(tracer.flame())
+            if args.trace:
+                print(f"trace JSON written to {args.trace}")
     return 0
 
 
@@ -161,6 +217,7 @@ def cmd_sweep(args) -> int:
             floorplan=floorplan,
             max_pair_distance=args.max_distance,
             backend=args.backend,
+            policy=_policy_from_args(args),
         )
     rows = [
         ["+".join(str(w) for w in arch.widths), makespan]
@@ -191,6 +248,7 @@ def cmd_minwidth(args) -> int:
             floorplan=floorplan,
             max_pair_distance=args.max_distance,
             backend=args.backend,
+            policy=_policy_from_args(args),
         )
     print(result.describe())
     print(format_table(
@@ -207,7 +265,7 @@ def cmd_buscount(args) -> int:
         points = bus_count_curve(
             soc, args.total_width, args.max_buses,
             timing=args.timing, power_budget=args.power_budget, backend=args.backend,
-            jobs=args.jobs,
+            jobs=args.jobs, policy=_policy_from_args(args),
         )
     rows = [
         [p.num_buses, p.makespan, "+".join(str(w) for w in p.arch_widths) if p.arch_widths else None]
@@ -316,8 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bus widths, e.g. 16,16,32")
     p.add_argument("--json", action="store_true",
                    help="emit the design + solver telemetry as JSON")
+    p.add_argument("--trace", nargs="?", const="", default=None, metavar="FILE",
+                   help="trace the solve: print a flame summary (and include "
+                        "spans in --json); with FILE, also write the span JSON")
     _add_common_constraints(p)
     _add_runtime_flags(p)
+    _add_policy_flags(p)
     p.set_defaults(func=cmd_design)
 
     p = sub.add_parser("sweep", help="best width distribution for a pin budget")
@@ -326,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buses", type=int, required=True)
     _add_common_constraints(p)
     _add_runtime_flags(p)
+    _add_policy_flags(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("minwidth", help="smallest TAM width meeting a time budget")
@@ -334,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, required=True, metavar="CYCLES")
     _add_common_constraints(p)
     _add_runtime_flags(p)
+    _add_policy_flags(p)
     p.set_defaults(func=cmd_minwidth)
 
     p = sub.add_parser("buscount", help="testing time per bus count at fixed W")
@@ -342,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-buses", type=int, default=4)
     _add_common_constraints(p)
     _add_runtime_flags(p)
+    _add_policy_flags(p)
     p.set_defaults(func=cmd_buscount)
 
     p = sub.add_parser("lint", help="static analysis over models or source code")

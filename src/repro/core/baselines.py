@@ -20,11 +20,11 @@ may still prove the instance feasible).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 
 
 from repro.core.problem import DesignProblem
+from repro.obs import now
 from repro.tam.assignment import Assignment, evaluate_makespan
 from repro.util.errors import InfeasibleError, ValidationError
 from repro.util.rng import RngLike, make_rng
@@ -75,7 +75,7 @@ def _finish(problem: DesignProblem, name: str, bus_of: list[int], start: float, 
         name=name,
         assignment=assignment,
         makespan=assignment.makespan(problem.timing),
-        wall_time=time.perf_counter() - start,
+        wall_time=now() - start,
         evaluations=evaluations,
     )
 
@@ -89,7 +89,7 @@ def lpt_assignment(problem: DesignProblem) -> BaselineResult:
     Graham's LPT with its 4/3 - 1/(3m) guarantee; with constraints it is a
     best-effort heuristic that may fail where the ILP succeeds.
     """
-    start = time.perf_counter()
+    start = now()
     times = problem.times
     forbid, _ = _pair_maps(problem)
     groups = _merge_power_groups(problem)
@@ -142,7 +142,7 @@ def random_assignment(
     """
     if attempts <= 0:
         raise ValidationError(f"attempts must be positive, got {attempts}")
-    start = time.perf_counter()
+    start = now()
     rng = make_rng(seed)
     times = problem.times
     groups = _merge_power_groups(problem)
@@ -233,7 +233,7 @@ def local_search(
     Starts from LPT unless given a seed assignment; stops at a local
     optimum or after ``max_rounds`` improvement rounds.
     """
-    start = time.perf_counter()
+    start = now()
     times = problem.times
     groups = _merge_power_groups(problem)
     forbid, _ = _pair_maps(problem)
@@ -279,7 +279,7 @@ def simulated_annealing(
     """
     if iterations < 0:
         raise ValidationError(f"iterations must be non-negative, got {iterations}")
-    start = time.perf_counter()
+    start = now()
     rng = make_rng(seed)
     times = problem.times
     groups = _merge_power_groups(problem)

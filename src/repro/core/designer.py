@@ -15,7 +15,7 @@ much of the design space a tight budget kills.
 from __future__ import annotations
 
 import math
-import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +25,7 @@ from repro.core.problem import DesignProblem
 from repro.ilp.solution import SolveStats, Status
 from repro.layout.floorplan import Floorplan
 from repro.layout.routing import tam_wirelength
+from repro.obs import FallbackReport, SolvePolicy, get_metrics, now, span
 from repro.runtime.telemetry import RunTelemetry
 from repro.soc.system import Soc
 from repro.tam.architecture import TamArchitecture
@@ -35,7 +36,14 @@ from repro.util.errors import InfeasibleError, SolverError
 
 @dataclass
 class TamDesign:
-    """An optimized test access architecture for one problem instance."""
+    """An optimized test access architecture for one problem instance.
+
+    ``fallback`` records the resilience path that produced this design
+    (:class:`~repro.obs.FallbackReport`): ``None``/``"exact"`` for a proven
+    optimum, ``"incumbent"`` for a budget-truncated best-so-far, and
+    ``"lpt"``/``"sa"`` when the exact search found nothing and a heuristic
+    stood in.
+    """
 
     problem: DesignProblem
     assignment: Assignment
@@ -45,6 +53,7 @@ class TamDesign:
     stats: SolveStats
     backend: str
     wirelength: float | None = None
+    fallback: FallbackReport | None = None
 
     @property
     def arch(self) -> TamArchitecture:
@@ -53,6 +62,11 @@ class TamDesign:
     @property
     def is_proven_optimal(self) -> bool:
         return self.status is Status.OPTIMAL
+
+    @property
+    def provenance(self) -> str:
+        """Where the answer came from: exact / incumbent / lpt / sa."""
+        return self.fallback.source if self.fallback is not None else "exact"
 
     def describe(self) -> str:
         lines = [
@@ -67,6 +81,8 @@ class TamDesign:
             f"nodes={self.stats.nodes}, LPs={self.stats.lp_solves}, "
             f"{self.stats.wall_time * 1000:.0f} ms{cached}"
         )
+        if self.fallback is not None and (self.fallback.degraded or self.fallback.retries):
+            lines.append(f"  resilience: {self.fallback.render()}")
         return "\n".join(lines)
 
 
@@ -76,14 +92,20 @@ def design(
     wirelength_method: str = "chain",
     warm_start_heuristic: bool = False,
     cache: "object | bool | None" = None,
+    policy: SolvePolicy | None = None,
     **solver_options,
 ) -> TamDesign:
-    """Solve ``problem`` to proven optimality.
+    """Solve ``problem`` — to proven optimality, or as far as a policy allows.
 
-    Raises :class:`InfeasibleError` when the constraints admit no assignment
-    and :class:`SolverError` if the backend stops without a proof (node or
-    time limit) — callers doing sweeps catch the former to record the
-    infeasible region.
+    Without a ``policy`` the solve is exact: :class:`InfeasibleError` when
+    the constraints admit no assignment, :class:`SolverError` if the backend
+    stops without a proof. With a :class:`~repro.obs.SolvePolicy` the path
+    is *anytime*: on budget exhaustion the best incumbent is returned with
+    ``Status.FEASIBLE`` provenance, and when no incumbent exists the
+    policy's degradation ladder (LPT greedy, then simulated annealing by
+    default) stands in — with every step recorded in the design's
+    :class:`~repro.obs.FallbackReport` and the process metrics. A policy
+    with an empty ladder restores the strict behavior under a budget.
 
     ``warm_start_heuristic`` feeds the LPT greedy solution to the branch &
     bound as its initial incumbent (bnb backend only): the optimum is
@@ -93,6 +115,7 @@ def design(
     :class:`~repro.runtime.cache.SolutionCache` memoizes this solve, ``None``
     defers to the active context cache, ``False`` bypasses caching.
     """
+    policy = _shim_designer_limits(policy, solver_options)
     contradictions = problem.contradictions()
     if contradictions:
         names = problem.soc.core_names
@@ -102,8 +125,11 @@ def design(
             reason="forced/forbidden contradiction",
         )
 
-    formulation = build_assignment_ilp(problem)
-    if backend == "bnb" and "gap_tol" not in solver_options:
+    with span("formulate", soc=problem.soc.name):
+        formulation = build_assignment_ilp(problem)
+    if backend == "bnb" and "gap_tol" not in solver_options and (
+        policy is None or policy.gap_tol is None
+    ):
         # Test times are integral cycle counts: stop once the bound is
         # within one cycle of the incumbent.
         solver_options["gap_tol"] = 1.0 - 1e-6
@@ -121,31 +147,41 @@ def design(
             }
             values[formulation.makespan_var] = baseline.makespan
             solver_options["warm_start"] = values
-    solution = formulation.model.solve(backend=backend, cache=cache, **solver_options)
+    with span("solve", backend=backend):
+        solution = formulation.model.solve(
+            backend=backend, cache=cache, policy=policy, **solver_options
+        )
 
     if solution.status is Status.INFEASIBLE:
         raise InfeasibleError(
             f"no feasible assignment for {problem.constraint_summary()}",
             reason="ILP infeasible",
         )
-    if not solution.is_feasible:
-        raise SolverError(
-            f"backend {backend!r} stopped with status {solution.status.value} "
-            f"after {solution.stats.nodes} nodes"
-        )
 
-    assignment = formulation.decode(solution)
-    violations = problem.validate(assignment)
-    if violations:
-        raise SolverError(
-            "solver returned an assignment violating the problem constraints: "
-            + "; ".join(violations)
-        )
-    bus_times = assignment.bus_times(problem.timing)
-    makespan = max(bus_times)
-    wirelength = None
-    if problem.floorplan is not None:
-        wirelength = tam_wirelength(problem.floorplan, assignment, method=wirelength_method)
+    report = FallbackReport(retries=solution.stats.retries)
+    if not solution.is_feasible:
+        # Budget exhausted with no incumbent: walk the degradation ladder.
+        return _degrade(problem, solution, backend, policy, report, wirelength_method)
+    if solution.status is Status.FEASIBLE:
+        report.source = "incumbent"
+        report.reason = f"budget exhausted after {solution.stats.nodes} nodes"
+        report.record_step("exact", "incumbent", nodes=solution.stats.nodes)
+
+    with span("decode"):
+        assignment = formulation.decode(solution)
+        violations = problem.validate(assignment)
+        if violations:
+            raise SolverError(
+                "solver returned an assignment violating the problem constraints: "
+                + "; ".join(violations)
+            )
+        bus_times = assignment.bus_times(problem.timing)
+        makespan = max(bus_times)
+        wirelength = None
+        if problem.floorplan is not None:
+            wirelength = tam_wirelength(problem.floorplan, assignment, method=wirelength_method)
+    if report.degraded:
+        get_metrics().counter("design.fallbacks").inc()
     return TamDesign(
         problem=problem,
         assignment=assignment,
@@ -155,6 +191,96 @@ def design(
         stats=solution.stats,
         backend=solution.backend,
         wirelength=wirelength,
+        fallback=report,
+    )
+
+
+def _shim_designer_limits(policy: SolvePolicy | None, options: dict) -> SolvePolicy | None:
+    """Deprecation shim mirroring :meth:`Model.solve`: fold the legacy
+    ``node_limit``/``time_limit`` kwargs into a strict policy here, so the
+    warning points at the ``design()`` call site."""
+    node_limit = options.pop("node_limit", None)
+    time_limit = options.pop("time_limit", None)
+    if node_limit is None and time_limit is None:
+        return policy
+    if policy is not None:
+        raise ValueError(
+            "pass effort budgets through policy=SolvePolicy(...); "
+            "mixing it with the deprecated node_limit/time_limit kwargs is ambiguous"
+        )
+    names = [
+        name
+        for name, value in (("node_limit", node_limit), ("time_limit", time_limit))
+        if value is not None
+    ]
+    warnings.warn(
+        f"{'/'.join(names)} kwargs are deprecated; pass "
+        "policy=SolvePolicy(node_budget=..., deadline=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SolvePolicy.from_legacy(node_limit=node_limit, time_limit=time_limit)
+
+
+def _degrade(
+    problem: DesignProblem,
+    solution,
+    backend: str,
+    policy: SolvePolicy | None,
+    report: FallbackReport,
+    wirelength_method: str,
+) -> TamDesign:
+    """Budget exhausted without an incumbent: heuristics stand in.
+
+    Walks ``policy.fallback`` (default LPT greedy, then simulated
+    annealing). Each rung's outcome lands in the report; if every rung
+    fails — or the policy forbids degradation — the original strict
+    :class:`SolverError` is raised.
+    """
+    ladder = policy.fallback if policy is not None else ()
+    report.reason = (
+        f"backend {backend!r} stopped with status {solution.status.value} "
+        f"after {solution.stats.nodes} nodes"
+    )
+    report.record_step("exact", "no_incumbent", nodes=solution.stats.nodes)
+    assignment = None
+    with span("fallback", ladder=list(ladder)):
+        for rung in ladder:
+            try:
+                if rung == "lpt":
+                    from repro.core.baselines import lpt_assignment
+
+                    candidate = lpt_assignment(problem)
+                else:  # "sa" — the only other registered rung
+                    from repro.core.baselines import simulated_annealing
+
+                    seed = policy.fallback_seed if policy is not None else 0
+                    candidate = simulated_annealing(problem, seed=seed)
+            except InfeasibleError as exc:
+                report.record_step(rung, "infeasible", detail=str(exc.reason or exc))
+                continue
+            report.record_step(rung, "ok", makespan=candidate.makespan)
+            report.source = rung
+            assignment = candidate.assignment
+            break
+    if assignment is None:
+        raise SolverError(report.reason)
+
+    get_metrics().counter("design.fallbacks").inc()
+    bus_times = assignment.bus_times(problem.timing)
+    wirelength = None
+    if problem.floorplan is not None:
+        wirelength = tam_wirelength(problem.floorplan, assignment, method=wirelength_method)
+    return TamDesign(
+        problem=problem,
+        assignment=assignment,
+        makespan=max(bus_times),
+        bus_times=bus_times,
+        status=Status.FEASIBLE,
+        stats=solution.stats,
+        backend=solution.backend,
+        wirelength=wirelength,
+        fallback=report,
     )
 
 
@@ -194,6 +320,7 @@ def design_best_architecture(
     max_pair_distance: float | None = None,
     backend: str = "bnb",
     clamp_useless_width: bool = False,
+    policy: SolvePolicy | None = None,
     **solver_options,
 ) -> ArchitectureSweepResult:
     """Optimal width distribution + assignment for a total width budget.
@@ -211,7 +338,7 @@ def design_best_architecture(
     """
     from repro.tam.timing import make_timing_model
 
-    start = time.perf_counter()
+    start = now()
     result = ArchitectureSweepResult(soc.name, total_width, num_buses, best=None)
     max_bus_width = None
     if clamp_useless_width:
@@ -249,14 +376,15 @@ def design_best_architecture(
                 continue
         result.evaluated += 1
         try:
-            candidate = design(problem, backend=backend, **solver_options)
+            candidate = design(problem, backend=backend, policy=policy, **solver_options)
         except InfeasibleError:
             result.infeasible += 1
             result.per_architecture.append((arch, None))
             continue
         result.telemetry.record(candidate.stats)
+        result.telemetry.record_fallback(candidate.fallback)
         result.per_architecture.append((arch, candidate.makespan))
         if result.best is None or candidate.makespan < result.best.makespan:
             result.best = candidate
-    result.wall_time = time.perf_counter() - start
+    result.wall_time = now() - start
     return result

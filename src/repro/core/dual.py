@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.designer import ArchitectureSweepResult, TamDesign, design_best_architecture
 from repro.layout.floorplan import Floorplan
+from repro.obs import SolvePolicy
 from repro.runtime.parallel import run_parallel
 from repro.runtime.telemetry import RunTelemetry
 from repro.soc.system import Soc
@@ -56,6 +57,7 @@ def minimize_width(
     max_pair_distance: float | None = None,
     max_width: int = 128,
     backend: str = "bnb",
+    policy: SolvePolicy | None = None,
 ) -> WidthMinimization:
     """Smallest total TAM width meeting a testing-time budget.
 
@@ -85,6 +87,7 @@ def minimize_width(
             max_pair_distance=max_pair_distance,
             backend=backend,
             clamp_useless_width=True,
+            policy=policy,
         )
         trace.append((width, sweep.best.makespan if sweep.best else None))
         return sweep
@@ -137,7 +140,7 @@ class BusCountPoint:
 def _bus_count_point(payload: tuple) -> BusCountPoint:
     """Worker: one bus count of :func:`explore_bus_counts`."""
     (soc, total_width, num_buses, timing, power_budget, floorplan,
-     max_pair_distance, backend) = payload
+     max_pair_distance, backend, policy) = payload
     if total_width < num_buses:
         return BusCountPoint(num_buses, None, None)
     sweep = design_best_architecture(
@@ -149,6 +152,7 @@ def _bus_count_point(payload: tuple) -> BusCountPoint:
         floorplan=floorplan,
         max_pair_distance=max_pair_distance,
         backend=backend,
+        policy=policy,
     )
     if sweep.best is None:
         return BusCountPoint(num_buses, None, None, telemetry=sweep.telemetry)
@@ -167,6 +171,7 @@ def explore_bus_counts(
     max_pair_distance: float | None = None,
     backend: str = "bnb",
     jobs: int = 1,
+    policy: SolvePolicy | None = None,
 ) -> list[BusCountPoint]:
     """Optimal testing time for every bus count 1..max_buses at fixed W.
 
@@ -179,7 +184,7 @@ def explore_bus_counts(
         raise ValidationError(f"max_buses must be positive, got {max_buses}")
     payloads = [
         (soc, total_width, num_buses, timing, power_budget, floorplan,
-         max_pair_distance, backend)
+         max_pair_distance, backend, policy)
         for num_buses in range(1, max_buses + 1)
     ]
     return run_parallel(_bus_count_point, payloads, max_workers=jobs)

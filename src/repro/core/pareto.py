@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.designer import design, design_best_architecture
 from repro.core.problem import DesignProblem
+from repro.obs import SolvePolicy
 from repro.layout.constraints import distance_sweep_points
 from repro.layout.floorplan import Floorplan
 from repro.power.model import budget_sweep_points
@@ -55,10 +56,12 @@ class SweepPoint:
 
 def _width_point(payload: tuple) -> SweepPoint:
     """Worker: one width budget of :func:`width_sweep` (module-level for pickling)."""
-    soc, width, num_buses, timing, backend = payload
+    soc, width, num_buses, timing, backend, policy = payload
     if width < num_buses:
         return SweepPoint(width, None, detail="W < NB")
-    sweep = design_best_architecture(soc, width, num_buses, timing=timing, backend=backend)
+    sweep = design_best_architecture(
+        soc, width, num_buses, timing=timing, backend=backend, policy=policy
+    )
     if sweep.best is None:
         return SweepPoint(
             width, None, detail="all distributions infeasible", telemetry=sweep.telemetry
@@ -75,27 +78,30 @@ def width_sweep(
     timing: TimingModel | str = "serial",
     backend: str = "bnb",
     jobs: int = 1,
+    policy: SolvePolicy | None = None,
 ) -> list[SweepPoint]:
     """Best achievable testing time for each total TAM width budget.
 
     Uses the full width-distribution enumeration per budget, so each point
     is the true optimum for (W, NB). ``jobs > 1`` fans the budgets across
     worker processes; the returned points keep the input width order.
+    ``policy`` (a :class:`~repro.obs.SolvePolicy`) caps each point's solve.
     """
-    payloads = [(soc, width, num_buses, timing, backend) for width in total_widths]
+    payloads = [(soc, width, num_buses, timing, backend, policy) for width in total_widths]
     return run_parallel(_width_point, payloads, max_workers=jobs)
 
 
 def _power_point(payload: tuple) -> SweepPoint:
     """Worker: one power budget of :func:`power_budget_sweep`."""
-    soc, arch, timing, budget, backend = payload
+    soc, arch, timing, budget, backend, policy = payload
     problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
     try:
-        result = design(problem, backend=backend)
+        result = design(problem, backend=backend, policy=policy)
     except InfeasibleError as exc:
         return SweepPoint(budget, None, detail=str(exc.reason or "infeasible"))
     telemetry = RunTelemetry()
     telemetry.record(result.stats)
+    telemetry.record_fallback(result.fallback)
     return SweepPoint(
         budget,
         result.makespan,
@@ -111,6 +117,7 @@ def power_budget_sweep(
     budgets: list[float] | None = None,
     backend: str = "bnb",
     jobs: int = 1,
+    policy: SolvePolicy | None = None,
 ) -> list[SweepPoint]:
     """Optimal testing time as the power budget tightens.
 
@@ -122,13 +129,13 @@ def power_budget_sweep(
         budgets = budget_sweep_points(soc)
         top = budgets[-1] if budgets else 0.0
         budgets = budgets + [top * 1.1 + 1.0]
-    payloads = [(soc, arch, timing, budget, backend) for budget in sorted(budgets)]
+    payloads = [(soc, arch, timing, budget, backend, policy) for budget in sorted(budgets)]
     return run_parallel(_power_point, payloads, max_workers=jobs)
 
 
 def _distance_point(payload: tuple) -> SweepPoint:
     """Worker: one layout budget of :func:`distance_budget_sweep`."""
-    soc, arch, floorplan, timing, delta, backend, wirelength_method = payload
+    soc, arch, floorplan, timing, delta, backend, wirelength_method, policy = payload
     problem = DesignProblem(
         soc=soc,
         arch=arch,
@@ -137,11 +144,14 @@ def _distance_point(payload: tuple) -> SweepPoint:
         max_pair_distance=delta,
     )
     try:
-        result = design(problem, backend=backend, wirelength_method=wirelength_method)
+        result = design(
+            problem, backend=backend, wirelength_method=wirelength_method, policy=policy
+        )
     except InfeasibleError as exc:
         return SweepPoint(delta, None, detail=str(exc.reason or "infeasible"))
     telemetry = RunTelemetry()
     telemetry.record(result.stats)
+    telemetry.record_fallback(result.fallback)
     return SweepPoint(
         delta,
         result.makespan,
@@ -160,6 +170,7 @@ def distance_budget_sweep(
     backend: str = "bnb",
     wirelength_method: str = "chain",
     jobs: int = 1,
+    policy: SolvePolicy | None = None,
 ) -> list[SweepPoint]:
     """Testing time and TAM wirelength as the layout budget tightens.
 
@@ -173,7 +184,8 @@ def distance_budget_sweep(
         top = floorplan.spread()
         deltas = [top * 1.01] + sweep
     payloads = [
-        (soc, arch, floorplan, timing, delta, backend, wirelength_method) for delta in deltas
+        (soc, arch, floorplan, timing, delta, backend, wirelength_method, policy)
+        for delta in deltas
     ]
     return run_parallel(_distance_point, payloads, max_workers=jobs)
 

@@ -4,15 +4,20 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import ExperimentConfig, REGISTRY, run_all, run_experiment
+from repro.obs import SolvePolicy, now
 from repro.runtime import DEFAULT_CACHE_DIR
 
 
 def build_config(args: argparse.Namespace) -> ExperimentConfig:
     cache_dir = None if args.no_cache else args.cache
-    return ExperimentConfig(jobs=args.jobs, cache_dir=cache_dir, seed=args.seed)
+    policy = None
+    if args.deadline is not None or args.node_budget is not None:
+        policy = SolvePolicy(deadline=args.deadline, node_budget=args.node_budget)
+    return ExperimentConfig(
+        jobs=args.jobs, cache_dir=cache_dir, seed=args.seed, policy=policy
+    )
 
 
 def main(argv: list[str]) -> int:
@@ -38,10 +43,18 @@ def main(argv: list[str]) -> int:
     parser.add_argument(
         "--seed", type=int, default=7, help="seed for stochastic baselines (default: 7)"
     )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="per-solve wall-clock budget; exhausted solves degrade gracefully",
+    )
+    parser.add_argument(
+        "--node-budget", type=int, default=None, metavar="N",
+        help="per-solve B&B node budget; exhausted solves degrade gracefully",
+    )
     args = parser.parse_args(argv)
 
     config = build_config(args)
-    start = time.perf_counter()
+    start = now()
     if args.target.lower() == "all":
         results = run_all(config=config)
     else:
@@ -49,7 +62,7 @@ def main(argv: list[str]) -> int:
     for result in results:
         print(result.render())
         print()
-    elapsed = time.perf_counter() - start
+    elapsed = now() - start
     print(f"[{len(results)} experiment(s), {elapsed:.1f}s total; ids: {', '.join(sorted(REGISTRY))}]")
     return 0
 

@@ -6,6 +6,7 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.obs import SolvePolicy
 from repro.runtime.cache import SolutionCache, use_cache
 from repro.runtime.telemetry import RunTelemetry
 from repro.util.tables import Table
@@ -32,6 +33,10 @@ class ExperimentConfig:
         Per-experiment grid overrides by parameter name (e.g.
         ``{"total_widths": [8, 16]}``); each harness consults the keys it
         understands via :meth:`override`.
+    ``policy``
+        A :class:`~repro.obs.SolvePolicy` capping every solve the harness
+        issues (deadline / node budget / retry / fallback ladder). None
+        (default) keeps the exact, uncapped path.
     """
 
     jobs: int = 1
@@ -40,6 +45,7 @@ class ExperimentConfig:
     seed: int = 7
     backend: str | None = None
     grid: Mapping[str, Any] = field(default_factory=dict)
+    policy: SolvePolicy | None = None
 
     @classmethod
     def coerce(cls, config: "ExperimentConfig | None") -> "ExperimentConfig":
@@ -69,6 +75,14 @@ class ExperimentConfig:
     def override(self, name: str, value):
         """Grid override for ``name``; falls back to ``value`` when unset."""
         return self.grid.get(name, value)
+
+    def design_options(self) -> dict:
+        """Solve-shaping kwargs to splat into ``design()``/sweep calls.
+
+        Empty when no policy is configured, so harnesses can thread
+        ``**config.design_options()`` unconditionally.
+        """
+        return {"policy": self.policy} if self.policy is not None else {}
 
 
 @dataclass

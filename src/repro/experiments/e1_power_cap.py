@@ -54,11 +54,12 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
             for budget in picks:
                 problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
                 try:
-                    designed = design(problem, backend=backend)
+                    designed = design(problem, backend=backend, **config.design_options())
                 except InfeasibleError:
                     table.add_row([round(budget, 1), None, None, None, None])
                     continue
                 result.telemetry.record(designed.stats)
+                result.telemetry.record_fallback(designed.fallback)
                 plain = build_schedule(problem, designed.assignment)
                 capped = schedule_with_power_cap(problem, designed.assignment, budget)
                 profile = capped.schedule.power_profile()
@@ -81,8 +82,9 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
                 )
             # A cap at total power changes nothing.
             problem = DesignProblem(soc=soc, arch=arch, timing=timing)
-            designed = design(problem, backend=backend)
+            designed = design(problem, backend=backend, **config.design_options())
             result.telemetry.record(designed.stats)
+            result.telemetry.record_fallback(designed.fallback)
             free = schedule_with_power_cap(problem, designed.assignment, soc.total_test_power)
             result.check(
                 abs(free.slowdown) < 1e-9,

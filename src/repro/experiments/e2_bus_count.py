@@ -33,7 +33,7 @@ def run(socs=None, total_width: int = 32, max_buses: int = 5, timing: str = "ser
         for soc in socs or (build_s1(), build_d695()):
             points = explore_bus_counts(
                 soc, total_width, max_buses, timing=timing_model, backend=backend,
-                jobs=config.jobs,
+                jobs=config.jobs, policy=config.policy,
             )
             table = result.add_table(
                 Table(

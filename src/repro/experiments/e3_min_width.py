@@ -34,7 +34,8 @@ def run(soc=None, num_buses: int = 2, timing: str = "serial", backend: str = "sc
         budgets = []
         for width in probe_widths:
             sweep = design_best_architecture(
-                soc, width, num_buses, timing=timing, backend=backend, clamp_useless_width=True
+                soc, width, num_buses, timing=timing, backend=backend,
+                clamp_useless_width=True, **config.design_options(),
             )
             result.telemetry.merge(sweep.telemetry)
             if sweep.best is not None:
@@ -48,7 +49,8 @@ def run(soc=None, num_buses: int = 2, timing: str = "serial", backend: str = "sc
         previous_width = None
         for budget in sorted(set(budgets), reverse=True):  # loosest first
             minimum = minimize_width(
-                soc, num_buses, budget, timing=timing, backend=backend, max_width=64
+                soc, num_buses, budget, timing=timing, backend=backend, max_width=64,
+                **config.design_options(),
             )
             result.check(
                 minimum.design.makespan <= budget + 1e-9,
@@ -59,6 +61,7 @@ def run(soc=None, num_buses: int = 2, timing: str = "serial", backend: str = "sc
                     below = design_best_architecture(
                         soc, minimum.min_width - 1, num_buses,
                         timing=timing, backend=backend, clamp_useless_width=True,
+                        **config.design_options(),
                     )
                     result.telemetry.merge(below.telemetry)
                     result.check(

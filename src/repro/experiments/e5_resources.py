@@ -68,8 +68,9 @@ def run(socs=None, archs=None, backend: str = "bnb",
             )
             for timing in ("serial", "flexible"):
                 problem = DesignProblem(soc=soc, arch=arch, timing=timing)
-                designed = design(problem, backend=backend)
+                designed = design(problem, backend=backend, **config.design_options())
                 result.telemetry.record(designed.stats)
+                result.telemetry.record_fallback(designed.fallback)
                 utilization = tam_utilization(soc, designed.assignment, problem.timing)
                 memory = ate_vector_memory(designed.assignment, problem.timing)
                 result.check(

@@ -41,7 +41,8 @@ def run(soc=None, bus_counts=(2, 3), total_widths=None, timing: str = "serial",
         series = {}
         for num_buses in bus_counts:
             series[num_buses] = width_sweep(
-                soc, num_buses, total_widths, timing=timing, backend=backend, jobs=config.jobs
+                soc, num_buses, total_widths, timing=timing, backend=backend,
+                jobs=config.jobs, policy=config.policy,
             )
     for points in series.values():
         for point in points:

@@ -26,7 +26,8 @@ def run(soc=None, archs=None, timing: str = "serial", backend: str = "bnb",
     result.telemetry.jobs = config.jobs
     with config.activate():
         sweeps = [
-            power_budget_sweep(soc, arch, timing=timing, backend=backend, jobs=config.jobs)
+            power_budget_sweep(soc, arch, timing=timing, backend=backend,
+                               jobs=config.jobs, policy=config.policy)
             for arch in archs
         ]
     for sweep in sweeps:

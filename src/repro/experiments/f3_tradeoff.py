@@ -41,7 +41,8 @@ def run(soc=None, arch=None, timing: str = "serial", backend: str = "bnb",
         for label, floorplan in floorplans.items():
             result.check(floorplan.is_legal(), f"{label} floorplan is legal")
             sweeps[label] = distance_budget_sweep(
-                soc, arch, floorplan, timing=timing, backend=backend, jobs=config.jobs
+                soc, arch, floorplan, timing=timing, backend=backend,
+                jobs=config.jobs, policy=config.policy,
             )
     for label, sweep in sweeps.items():
         for point in sweep:

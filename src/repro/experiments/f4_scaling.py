@@ -14,10 +14,9 @@ count. Shape claims:
 
 from __future__ import annotations
 
-import time
-
 from repro.core import DesignProblem, design, lpt_assignment
 from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.obs import now
 from repro.soc import generate_synthetic_soc
 from repro.tam import TamArchitecture, exhaustive_optimal
 from repro.util.tables import Table, format_objective
@@ -56,14 +55,15 @@ def run(sizes=DEFAULT_SIZES, seed: int = 5, timing: str = "serial",
         soc = generate_synthetic_soc(size, seed=seed + size)
         problem = DesignProblem(soc=soc, arch=arch, timing=timing)
 
-        start = time.perf_counter()
-        ours = design(problem, backend="bnb", cache=False)
-        bnb_time = time.perf_counter() - start
+        start = now()
+        ours = design(problem, backend="bnb", cache=False, **config.design_options())
+        bnb_time = now() - start
         result.telemetry.record(ours.stats)
+        result.telemetry.record_fallback(ours.fallback)
 
-        start = time.perf_counter()
-        reference = design(problem, backend="scipy", cache=False)
-        scipy_time = time.perf_counter() - start
+        start = now()
+        reference = design(problem, backend="scipy", cache=False, **config.design_options())
+        scipy_time = now() - start
         result.telemetry.record(reference.stats)
         result.check(
             abs(ours.makespan - reference.makespan) < 1e-6,

@@ -33,8 +33,10 @@ DEFAULT_BUDGETS = ((32, 2), (32, 3), (32, 4), (48, 2), (48, 3))
 
 def _solve_budget(payload: tuple):
     """Worker: the exact width-distribution sweep for one (SOC, W, NB) job."""
-    soc, total_width, num_buses, timing, backend = payload
-    return design_best_architecture(soc, total_width, num_buses, timing=timing, backend=backend)
+    soc, total_width, num_buses, timing, backend, policy = payload
+    return design_best_architecture(
+        soc, total_width, num_buses, timing=timing, backend=backend, policy=policy
+    )
 
 
 def run(
@@ -54,7 +56,7 @@ def run(
     with config.activate():
         # Fan out: every (SOC, budget) is an independent exact sweep.
         payloads = [
-            (soc, total_width, num_buses, timing, backend)
+            (soc, total_width, num_buses, timing, backend, config.policy)
             for soc in socs
             for total_width, num_buses in budgets
         ]
@@ -89,7 +91,7 @@ def run(
                 problem = best.problem
 
                 # Independent optimality certificates.
-                cross = design(problem, backend="scipy")
+                cross = design(problem, backend="scipy", **config.design_options())
                 result.telemetry.record(cross.stats)
                 result.check(
                     abs(cross.makespan - best.makespan) < 1e-6,

@@ -63,20 +63,24 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
             budgets = budget_sweep_points(soc)
             budgets = budgets + [budgets[-1] * 1.1]
             baseline = design(
-                DesignProblem(soc=soc, arch=arch, timing=timing), backend=backend
+                DesignProblem(soc=soc, arch=arch, timing=timing),
+                backend=backend,
+                **config.design_options(),
             )
             result.telemetry.record(baseline.stats)
+            result.telemetry.record_fallback(baseline.fallback)
             unconstrained = baseline.makespan
             previous = math.inf
             for budget in sorted(budgets):
                 problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
                 try:
-                    designed = design(problem, backend=backend)
+                    designed = design(problem, backend=backend, **config.design_options())
                 except InfeasibleError:
                     table.add_row([round(budget, 1), None, len(problem.forced_pairs),
                                    len(power_groups(soc, budget)), None, None, None])
                     continue
                 result.telemetry.record(designed.stats)
+                result.telemetry.record_fallback(designed.fallback)
                 schedule = build_schedule(problem, designed.assignment, policy="power_stagger")
                 pairwise_peak = _max_pairwise_concurrent(schedule, budget)
                 result.check(

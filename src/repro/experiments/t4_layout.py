@@ -63,7 +63,7 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
                     max_pair_distance=delta,
                 )
                 try:
-                    designed = design(problem, backend=backend)
+                    designed = design(problem, backend=backend, **config.design_options())
                 except InfeasibleError:
                     table.add_row(
                         [round(delta, 2), None, len(problem.forbidden_pairs), None, None]
@@ -71,6 +71,7 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
                     went_infeasible = True
                     continue
                 result.telemetry.record(designed.stats)
+                result.telemetry.record_fallback(designed.fallback)
                 result.check(
                     not went_infeasible,
                     f"{soc.name} delta={delta:.2f}: feasibility is monotone in delta",

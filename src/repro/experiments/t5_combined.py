@@ -24,7 +24,8 @@ from repro.util.tables import Table, format_objective
 DEFAULT_ARCHS = {"S1": TamArchitecture([16, 16, 16]), "S2": TamArchitecture([32, 16, 16])}
 
 
-def _solve(result, soc, arch, timing, backend, power_budget=None, floorplan=None, delta=None):
+def _solve(result, soc, arch, timing, backend, power_budget=None, floorplan=None, delta=None,
+           policy=None):
     problem = DesignProblem(
         soc=soc,
         arch=arch,
@@ -34,10 +35,11 @@ def _solve(result, soc, arch, timing, backend, power_budget=None, floorplan=None
         max_pair_distance=delta,
     )
     try:
-        designed = design(problem, backend=backend)
+        designed = design(problem, backend=backend, policy=policy)
     except InfeasibleError:
         return None
     result.telemetry.record(designed.stats)
+    result.telemetry.record_fallback(designed.fallback)
     return designed.makespan
 
 
@@ -65,19 +67,23 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
                     title=f"{soc.name} on {arch}: T* per (P_max, delta) cell ({timing} timing)",
                 )
             )
-            unconstrained = _solve(result, soc, arch, timing, backend)
+            unconstrained = _solve(result, soc, arch, timing, backend, policy=config.policy)
             result.check(unconstrained is not None, f"{soc.name}: unconstrained instance feasible")
 
             for p_max in p_choices:
-                power_only = _solve(result, soc, arch, timing, backend, power_budget=p_max)
+                power_only = _solve(
+                    result, soc, arch, timing, backend, power_budget=p_max, policy=config.policy
+                )
                 row = [round(p_max, 1)]
                 for delta in d_choices:
                     layout_only = _solve(
-                        result, soc, arch, timing, backend, floorplan=floorplan, delta=delta
+                        result, soc, arch, timing, backend, floorplan=floorplan, delta=delta,
+                        policy=config.policy,
                     )
                     combined = _solve(
                         result, soc, arch, timing, backend,
                         power_budget=p_max, floorplan=floorplan, delta=delta,
+                        policy=config.policy,
                     )
                     if combined is not None:
                         for reference, label in ((power_only, "power-only"), (layout_only, "layout-only")):
@@ -90,6 +96,7 @@ def run(socs=None, archs=None, timing: str = "serial", backend: str = "bnb",
             loosest = _solve(
                 result, soc, arch, timing, backend,
                 power_budget=p_choices[0], floorplan=floorplan, delta=d_choices[0],
+                policy=config.policy,
             )
             result.check(
                 loosest is not None and abs(loosest - unconstrained) < 1e-6,

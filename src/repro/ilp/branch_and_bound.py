@@ -15,13 +15,15 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time
 
 import numpy as np
 
 from repro.ilp.lp import LpResult, solve_matrix_lp
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStats, Status
+from repro.obs import get_metrics, node_event, now, span
+from repro.obs import event as trace_event
+from repro.obs.policy import CheckpointStore
 from repro.util.errors import SolverError
 
 _INT_TOL = 1e-6
@@ -60,6 +62,12 @@ class BranchAndBoundSolver:
         against the model first; an infeasible warm start is rejected with
         :class:`~repro.util.errors.ValidationError` rather than silently
         breaking pruning.
+    checkpoint_dir:
+        Directory of incumbent checkpoints keyed by instance fingerprint
+        (see :class:`~repro.obs.CheckpointStore`). On start, a stored
+        incumbent for this instance is validated and installed (a warm
+        resume for interrupted sweeps); every incumbent improvement is
+        persisted back.
     """
 
     def __init__(
@@ -73,6 +81,7 @@ class BranchAndBoundSolver:
         dive: bool = True,
         root_cuts: int = 0,
         warm_start: dict | None = None,
+        checkpoint_dir: str | None = None,
     ):
         if branching not in ("most_fractional", "first"):
             raise ValueError(f"unknown branching rule {branching!r}")
@@ -90,8 +99,17 @@ class BranchAndBoundSolver:
         self._stats = SolveStats()
         self._incumbent_x: np.ndarray | None = None
         self._incumbent_obj = math.inf
+        self._checkpoints: CheckpointStore | None = None
+        self._fingerprint: str | None = None
+        if checkpoint_dir is not None:
+            from repro.runtime.cache import matrix_fingerprint
+
+            self._checkpoints = CheckpointStore(checkpoint_dir)
+            self._fingerprint = matrix_fingerprint(self._form)
         if warm_start is not None:
             self._install_warm_start(warm_start)
+        if self._checkpoints is not None:
+            self._resume_from_checkpoint()
 
     def _install_warm_start(self, values: dict) -> None:
         from repro.util.errors import ValidationError
@@ -108,21 +126,47 @@ class BranchAndBoundSolver:
         objective = sign * self.model.objective_value(values)
         self._try_update_incumbent(x, objective)
 
+    def _resume_from_checkpoint(self) -> None:
+        """Install a persisted incumbent for this instance, if one validates."""
+        assert self._checkpoints is not None and self._fingerprint is not None
+        payload = self._checkpoints.load(self._fingerprint)
+        if payload is None:
+            return
+        values = payload.get("values") or []
+        if len(values) != self._form.num_vars:
+            return
+        by_var = {var: float(values[var.index]) for var in self.model.variables}
+        if self.model.check_solution(by_var):
+            return  # stale/incompatible checkpoint: ignore, never break pruning
+        x = np.array(values, dtype=float)
+        sign = 1.0 if self.model.sense == "min" else -1.0
+        objective = sign * self.model.objective_value(by_var)
+        self._try_update_incumbent(x, objective)
+        trace_event("checkpoint_resume", objective=objective)
+
     # ------------------------------------------------------------------ api
     def solve(self) -> Solution:
-        start = time.perf_counter()
+        start = now()
         try:
             status = self._search(start)
         finally:
-            self._stats.wall_time = time.perf_counter() - start
+            self._stats.wall_time = now() - start
+            metrics = get_metrics()
+            metrics.counter("solve.nodes").inc(self._stats.nodes)
+            metrics.counter("solve.lp_solves").inc(self._stats.lp_solves)
+            metrics.counter("solve.lp_iterations").inc(self._stats.lp_iterations)
+            metrics.counter("solve.incumbent_updates").inc(self._stats.incumbent_updates)
+            metrics.histogram("solve.wall_time").observe(self._stats.wall_time)
+            if self._stats.best_bound is not None:
+                metrics.gauge("solve.best_bound").set(self._stats.best_bound)
         return self._wrap(status)
 
     # ------------------------------------------------------------ internals
     def _solve_node(self, lb: np.ndarray, ub: np.ndarray) -> LpResult:
         self._stats.lp_solves += 1
-        lp_start = time.perf_counter()
+        lp_start = now()
         result = solve_matrix_lp(self._form, lb=lb, ub=ub, method=self.lp_method)
-        self._stats.lp_time += time.perf_counter() - lp_start
+        self._stats.lp_time += now() - lp_start
         self._stats.lp_iterations += result.iterations
         return result
 
@@ -149,6 +193,12 @@ class BranchAndBoundSolver:
             self._incumbent_x = snapped
             self._incumbent_obj = objective
             self._stats.incumbent_updates += 1
+            trace_event("incumbent", objective=objective, node=self._stats.nodes)
+            get_metrics().histogram("solve.incumbent_objective").observe(objective)
+            if self._checkpoints is not None and self._fingerprint is not None:
+                self._checkpoints.save(
+                    self._fingerprint, [float(v) for v in snapped], objective
+                )
 
     def _dive_for_incumbent(self, x: np.ndarray) -> None:
         """Round-and-refix dive from the root relaxation.
@@ -176,7 +226,8 @@ class BranchAndBoundSolver:
             current = result.x
 
     def _search(self, start: float) -> Status:
-        root = self._solve_node(self._form.lb, self._form.ub)
+        with span("lp_relaxation"):
+            root = self._solve_node(self._form.lb, self._form.ub)
         self._stats.nodes += 1
         if root.status == "infeasible":
             return Status.INFEASIBLE
@@ -192,43 +243,58 @@ class BranchAndBoundSolver:
             self._stats.gap = 0.0
             return Status.OPTIMAL
 
-        for _ in range(self.root_cuts):
-            from repro.ilp.cuts import append_cuts, generate_cover_cuts
+        with span("presolve", cuts=self.root_cuts, dive=self.dive):
+            for _ in range(self.root_cuts):
+                from repro.ilp.cuts import append_cuts, generate_cover_cuts
 
-            cuts = generate_cover_cuts(self._form, root.x)
-            if not cuts:
-                break
-            self._form = append_cuts(self._form, cuts)
-            self._stats.cuts += len(cuts)
-            root = self._solve_node(self._form.lb, self._form.ub)
-            if root.status != "optimal":  # cuts are valid: only numerical noise lands here
-                raise SolverError("root LP failed after adding cover cuts")
-            if self._fractional_index(root.x) is None:
-                self._try_update_incumbent(root.x, root.objective)
-                self._stats.best_bound = root.objective
-                self._stats.gap = 0.0
-                return Status.OPTIMAL
+                cuts = generate_cover_cuts(self._form, root.x)
+                if not cuts:
+                    break
+                self._form = append_cuts(self._form, cuts)
+                self._stats.cuts += len(cuts)
+                root = self._solve_node(self._form.lb, self._form.ub)
+                if root.status != "optimal":  # cuts are valid: only numerical noise lands here
+                    raise SolverError("root LP failed after adding cover cuts")
+                if self._fractional_index(root.x) is None:
+                    self._try_update_incumbent(root.x, root.objective)
+                    self._stats.best_bound = root.objective
+                    self._stats.gap = 0.0
+                    return Status.OPTIMAL
 
-        if self.dive:
-            self._dive_for_incumbent(root.x)
+            if self.dive:
+                self._dive_for_incumbent(root.x)
 
+        with span("bnb_search") as search_span:
+            status = self._best_first(start, root)
+            search_span.attrs["nodes"] = self._stats.nodes
+            search_span.attrs["status"] = status.value
+        return status
+
+    def _best_first(self, start: float, root: LpResult) -> Status:
+        """The best-first loop; heap entries carry their tree depth for
+        the sampled node-event stream."""
         counter = itertools.count()  # heap tie-breaker
-        heap: list[tuple[float, int, np.ndarray, np.ndarray]] = []
+        heap: list[tuple[float, int, int, np.ndarray, np.ndarray]] = []
         heapq.heappush(
-            heap, (root.objective, next(counter), self._form.lb.copy(), self._form.ub.copy())
+            heap,
+            (root.objective, next(counter), 0, self._form.lb.copy(), self._form.ub.copy()),
         )
 
         while heap:
-            bound, _, lb, ub = heapq.heappop(heap)
+            bound, _, depth, lb, ub = heapq.heappop(heap)
             self._stats.best_bound = bound
+            incumbent = None if self._incumbent_x is None else self._incumbent_obj
+            node_event(depth=depth, bound=bound, incumbent=incumbent)
             if bound >= self._incumbent_obj - self.gap_tol:
                 # Best-first order: every remaining node is at least as bad.
                 self._stats.gap = max(0.0, self._incumbent_obj - bound)
                 return Status.OPTIMAL if self._incumbent_x is not None else Status.INFEASIBLE
 
             if self._stats.nodes >= self.node_limit:
+                trace_event("budget_exhausted", kind="nodes", nodes=self._stats.nodes)
                 return Status.FEASIBLE if self._incumbent_x is not None else Status.NODE_LIMIT
-            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+            if self.time_limit is not None and now() - start > self.time_limit:
+                trace_event("budget_exhausted", kind="deadline", nodes=self._stats.nodes)
                 return Status.FEASIBLE if self._incumbent_x is not None else Status.NODE_LIMIT
 
             result = self._solve_node(lb, ub)
@@ -248,8 +314,8 @@ class BranchAndBoundSolver:
             down_ub[j] = math.floor(value)
             up_lb = lb.copy()
             up_lb[j] = math.ceil(value)
-            heapq.heappush(heap, (result.objective, next(counter), lb.copy(), down_ub))
-            heapq.heappush(heap, (result.objective, next(counter), up_lb, ub.copy()))
+            heapq.heappush(heap, (result.objective, next(counter), depth + 1, lb.copy(), down_ub))
+            heapq.heappush(heap, (result.objective, next(counter), depth + 1, up_lb, ub.copy()))
 
         if self._incumbent_x is None:
             return Status.INFEASIBLE

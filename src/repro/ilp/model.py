@@ -16,7 +16,10 @@ original sense.
 from __future__ import annotations
 
 import math
+import time
+import warnings
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -31,9 +34,80 @@ from repro.ilp.expr import (
     VarType,
 )
 from repro.ilp.solution import Solution
-from repro.util.errors import ValidationError
+from repro.obs import SolvePolicy, get_metrics, span
+from repro.util.errors import TransientSolverError, ValidationError
 
 _INF = math.inf
+
+#: Solver backends by name. Each entry is ``fn(model, **options) -> Solution``;
+#: :func:`register_backend` adds custom entries (fault-injection harnesses,
+#: external solvers) without touching this module.
+_BACKENDS: dict[str, Callable[..., Solution]] = {}
+
+
+def _solve_bnb(model: "Model", **options) -> Solution:
+    from repro.ilp.branch_and_bound import BranchAndBoundSolver
+
+    return BranchAndBoundSolver(model, **options).solve()
+
+
+def _solve_scipy(model: "Model", **options) -> Solution:
+    from repro.ilp.scipy_backend import solve_with_scipy
+
+    return solve_with_scipy(model, **options)
+
+
+_BACKENDS["bnb"] = _solve_bnb
+_BACKENDS["scipy"] = _solve_scipy
+
+
+def register_backend(name: str, solver: Callable[..., Solution]) -> None:
+    """Register a custom solver backend under ``name``.
+
+    ``solver`` is called as ``solver(model, **options)`` and must return a
+    :class:`~repro.ilp.solution.Solution`. The built-in names ``"bnb"`` and
+    ``"scipy"`` cannot be replaced — shadowing the exact backends would
+    silently change every experiment's answers.
+    """
+    if name in ("bnb", "scipy"):
+        raise ValueError(f"cannot replace built-in backend {name!r}")
+    if not callable(solver):
+        raise TypeError(f"solver for backend {name!r} must be callable")
+    _BACKENDS[name] = solver
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a custom backend registered via :func:`register_backend`."""
+    if name in ("bnb", "scipy"):
+        raise ValueError(f"cannot remove built-in backend {name!r}")
+    _BACKENDS.pop(name, None)
+
+
+def _shim_legacy_limits(policy: SolvePolicy | None, options: dict) -> SolvePolicy | None:
+    """Deprecation shim: fold ``node_limit=`` / ``time_limit=`` kwargs into a
+    strict :class:`SolvePolicy` (no degradation ladder — legacy callers
+    expected budget exhaustion to surface as an error)."""
+    node_limit = options.pop("node_limit", None)
+    time_limit = options.pop("time_limit", None)
+    if node_limit is None and time_limit is None:
+        return policy
+    if policy is not None:
+        raise ValueError(
+            "pass effort budgets through policy=SolvePolicy(...); "
+            "mixing it with the deprecated node_limit/time_limit kwargs is ambiguous"
+        )
+    names = [
+        name
+        for name, value in (("node_limit", node_limit), ("time_limit", time_limit))
+        if value is not None
+    ]
+    warnings.warn(
+        f"{'/'.join(names)} kwargs are deprecated; pass "
+        "policy=SolvePolicy(node_budget=..., deadline=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SolvePolicy.from_legacy(node_limit=node_limit, time_limit=time_limit)
 
 
 @dataclass
@@ -233,14 +307,28 @@ class Model:
         backend: str = "bnb",
         lint: str = "off",
         cache: "object | bool | None" = None,
+        policy: SolvePolicy | None = None,
         **options,
     ) -> Solution:
-        """Solve the model to optimality.
+        """Solve the model, exactly or under a bounded-effort policy.
 
         ``backend="bnb"`` uses :class:`~repro.ilp.branch_and_bound.
         BranchAndBoundSolver`; ``backend="scipy"`` uses HiGHS via
-        ``scipy.optimize.milp``. Options are forwarded to the backend
-        (``node_limit``, ``gap_tol``, ``time_limit`` for bnb).
+        ``scipy.optimize.milp``; other names resolve through
+        :func:`register_backend`. Options are forwarded to the backend
+        (``gap_tol``, ``dive``, ``root_cuts``, ``warm_start`` for bnb).
+
+        ``policy`` is a :class:`~repro.obs.SolvePolicy` bounding the solve:
+        its deadline / node budget / gap tolerance map onto the backend's
+        limits, and transient backend failures
+        (:class:`~repro.util.errors.TransientSolverError`) are retried up
+        to ``policy.max_retries`` times with exponential backoff. A capped
+        solve can return ``Status.FEASIBLE`` (best incumbent) or
+        ``Status.NODE_LIMIT`` (no incumbent found); the degradation ladder
+        for the latter lives one level up in :func:`repro.core.design`.
+        The deprecated ``node_limit=`` / ``time_limit=`` kwargs still work
+        as shims that build an equivalent strict policy, emitting a
+        :class:`DeprecationWarning`.
 
         ``lint`` gates the solve on the static model linter
         (:mod:`repro.analysis.model_lint`): ``"warn"`` prints findings to
@@ -255,7 +343,8 @@ class Model:
         ``use_cache``/``set_solve_cache`` (no caching if none is active), and
         ``False`` bypasses caching even when a cache is active. Cached
         solutions are bit-identical to the original solve and carry
-        ``cache_hit=True``.
+        ``cache_hit=True``. The cache key covers the *effective* policy
+        budgets, so a truncated solve never masquerades as an uncapped one.
         """
         if lint not in ("off", "warn", "error"):
             raise ValueError(f"lint must be 'off', 'warn' or 'error', got {lint!r}")
@@ -274,29 +363,65 @@ class Model:
                     f"{report.errors[0].render()}",
                     report=report,
                 )
+        policy = _shim_legacy_limits(policy, options)
+        effective = dict(options)
+        if policy is not None:
+            # Policy budgets win over ad-hoc options: the policy is the one
+            # authoritative statement of how hard this solve may try.
+            effective.update(policy.backend_options(backend))
+
         from repro.runtime.cache import resolve_cache
 
         store = resolve_cache(cache)
         key = None
         if store is not None:
-            key = store.fingerprint(self.to_matrix_form(), backend=backend, options=options)
-            cached = store.get_solution(key, self)
+            key_options = dict(effective)
+            if policy is not None and policy.is_capped:
+                key_options["_policy"] = policy.cache_token()
+            with span("cache_lookup"):
+                key = store.fingerprint(
+                    self.to_matrix_form(), backend=backend, options=key_options
+                )
+                cached = store.get_solution(key, self)
             if cached is not None:
                 return cached
 
-        if backend == "bnb":
-            from repro.ilp.branch_and_bound import BranchAndBoundSolver
-
-            solution = BranchAndBoundSolver(self, **options).solve()
-        elif backend == "scipy":
-            from repro.ilp.scipy_backend import solve_with_scipy
-
-            solution = solve_with_scipy(self, **options)
-        else:
-            raise ValueError(f"unknown backend {backend!r}; expected 'bnb' or 'scipy'")
+        solver = _BACKENDS.get(backend)
+        if solver is None:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}"
+            )
+        solution = self._solve_with_retries(solver, backend, effective, policy)
         if store is not None and key is not None:
             store.put_solution(key, solution, self.num_vars)
         return solution
+
+    def _solve_with_retries(
+        self,
+        solver: Callable[..., Solution],
+        backend: str,
+        options: dict,
+        policy: SolvePolicy | None,
+    ) -> Solution:
+        """Run the backend, retrying transient failures per the policy."""
+        max_retries = policy.max_retries if policy is not None else 0
+        backoff = policy.retry_backoff if policy is not None else 0.0
+        attempt = 0
+        while True:
+            try:
+                solution = solver(self, **options)
+            except TransientSolverError:
+                metrics = get_metrics()
+                metrics.counter("solve.transient_errors").inc()
+                if attempt >= max_retries:
+                    raise
+                if backoff > 0:
+                    time.sleep(backoff * (2**attempt))
+                attempt += 1
+                metrics.counter("solve.retries").inc()
+                continue
+            solution.stats.retries = attempt
+            return solution
 
     def solve_relaxation(self, method: str = "scipy") -> Solution:
         """Solve the LP relaxation (integrality dropped).

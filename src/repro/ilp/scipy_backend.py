@@ -8,13 +8,12 @@ when raw speed matters more than introspection.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStats, Status
+from repro.obs import get_metrics, now, span
 
 
 def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
@@ -32,20 +31,24 @@ def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
     options = {}
     if time_limit is not None:
         options["time_limit"] = time_limit
-    start = time.perf_counter()
-    res = milp(
-        c=form.c,
-        constraints=constraints,
-        integrality=form.integer_mask.astype(int),
-        bounds=Bounds(form.lb, form.ub),
-        options=options,
-    )
+    start = now()
+    with span("bnb_search", backend="scipy"):
+        res = milp(
+            c=form.c,
+            constraints=constraints,
+            integrality=form.integer_mask.astype(int),
+            bounds=Bounds(form.lb, form.ub),
+            options=options,
+        )
 
     sign = 1.0 if model.sense == "min" else -1.0
     stats = SolveStats(
         nodes=int(getattr(res, "mip_node_count", 0) or 0),
-        wall_time=time.perf_counter() - start,
+        wall_time=now() - start,
     )
+    metrics = get_metrics()
+    metrics.counter("solve.nodes").inc(stats.nodes)
+    metrics.histogram("solve.wall_time").observe(stats.wall_time)
     if res.status == 0:
         values = {var: float(res.x[var.index]) for var in model.variables}
         objective = sign * (float(res.fun) + form.c0)

@@ -28,7 +28,8 @@ class SolveStats:
     ``wall_time`` is seconds of wall clock inside ``solve``. ``cache_hit``
     marks a solution answered from the runtime solve cache — the remaining
     counters then describe the *original* solve that produced the record,
-    not work done in this call.
+    not work done in this call. ``retries`` counts transient-error re-runs
+    the resilient solve path performed before this result came back.
     """
 
     nodes: int = 0
@@ -41,6 +42,7 @@ class SolveStats:
     gap: float | None = None
     cuts: int = 0
     cache_hit: bool = False
+    retries: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready view (used by ``repro design --json`` and telemetry)."""

@@ -1,0 +1,45 @@
+"""The observability layer's single source of wall-clock time.
+
+Lint rule C006 forbids direct ``time.perf_counter()`` / ``time.time()``
+calls outside :mod:`repro.obs` and :mod:`repro.runtime`: ad-hoc timing
+scattered through solver and experiment code produced nondeterministic
+table columns (the pre-PR-2 T2 regression) and made it impossible to
+attribute where solve time went. All timing flows through this module —
+either directly via :func:`now` / :class:`Stopwatch` or, preferably,
+through the span API in :mod:`repro.obs.tracing` which records *where*
+the time was spent, not just how much.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Monotonic wall-clock reading in seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Context manager measuring one elapsed interval.
+
+    >>> with Stopwatch() as sw:
+    ...     work()
+    >>> sw.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.end: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end = now()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start (live while running, frozen after exit)."""
+        return (self.end if self.end is not None else now()) - self.start

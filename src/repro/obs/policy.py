@@ -1,0 +1,234 @@
+"""Solve policies: bounded effort, retries, and graceful degradation.
+
+A :class:`SolvePolicy` is the single object that says how hard a solve may
+try and what happens when the budget runs out:
+
+- **budgets** — ``deadline`` (wall seconds) and ``node_budget`` (B&B nodes)
+  cap the exact search; ``gap_tol`` loosens the optimality proof;
+- **resilience** — ``max_retries`` / ``retry_backoff`` re-run a backend
+  that failed with a *transient* error
+  (:class:`~repro.util.errors.TransientSolverError`), with exponential
+  backoff between attempts;
+- **degradation ladder** — when the budget is exhausted, an incumbent (if
+  any) is returned as ``Status.FEASIBLE``; with no incumbent the designer
+  walks ``fallback`` — by default LPT greedy then simulated annealing —
+  instead of raising, and records what happened in a
+  :class:`FallbackReport`;
+- **checkpointing** — ``checkpoint_dir`` persists the best incumbent per
+  instance fingerprint, so an interrupted sweep resumes warm.
+
+The policy replaces the scattered ``node_limit`` / ``time_limit`` kwargs
+that used to ride on ``Model.solve`` / ``design`` (those survive as
+deprecation shims that build a strict policy). Policies are frozen and
+picklable, so they travel to parallel workers, and expose a canonical
+:meth:`cache_token` so the solve cache can key on the *effective* budget —
+a truncated solve must never be replayed for an uncapped request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+#: Escalation rungs the designer knows how to run, in the order tried.
+FALLBACK_RUNGS = ("lpt", "sa")
+
+#: Default degradation ladder on budget exhaustion without an incumbent.
+DEFAULT_FALLBACK = ("lpt", "sa")
+
+
+@dataclass(frozen=True)
+class SolvePolicy:
+    """Effort budget + resilience behavior for one (or many) solves."""
+
+    deadline: float | None = None
+    node_budget: int | None = None
+    gap_tol: float | None = None
+    max_retries: int = 0
+    retry_backoff: float = 0.25
+    fallback: tuple[str, ...] = DEFAULT_FALLBACK
+    fallback_seed: int = 0
+    checkpoint_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.node_budget is not None and self.node_budget <= 0:
+            raise ValueError(f"node_budget must be positive, got {self.node_budget}")
+        if self.gap_tol is not None and self.gap_tol < 0:
+            raise ValueError(f"gap_tol cannot be negative, got {self.gap_tol}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff cannot be negative, got {self.retry_backoff}")
+        ladder = tuple(self.fallback or ())
+        object.__setattr__(self, "fallback", ladder)
+        unknown = [rung for rung in ladder if rung not in FALLBACK_RUNGS]
+        if unknown:
+            raise ValueError(
+                f"unknown fallback rung(s) {unknown}; known: {list(FALLBACK_RUNGS)}"
+            )
+
+    # ------------------------------------------------------------ derivations
+    @property
+    def is_capped(self) -> bool:
+        """True when the exact search may stop before proving optimality."""
+        return self.deadline is not None or self.node_budget is not None
+
+    @property
+    def degrades(self) -> bool:
+        """True when exhaustion without an incumbent falls back to heuristics."""
+        return bool(self.fallback)
+
+    def backend_options(self, backend: str = "bnb") -> dict[str, Any]:
+        """The solver kwargs this policy implies for ``backend``."""
+        options: dict[str, Any] = {}
+        if backend == "scipy":
+            if self.deadline is not None:
+                options["time_limit"] = self.deadline
+            return options
+        if self.node_budget is not None:
+            options["node_limit"] = self.node_budget
+        if self.deadline is not None:
+            options["time_limit"] = self.deadline
+        if self.gap_tol is not None:
+            options["gap_tol"] = self.gap_tol
+        if self.checkpoint_dir is not None:
+            options["checkpoint_dir"] = self.checkpoint_dir
+        return options
+
+    def cache_token(self) -> str:
+        """Canonical text of the fields that change what a solve returns.
+
+        Only the effort budget matters for the cache key: retries and the
+        fallback ladder re-run or replace a solve but never alter what a
+        completed solve would have produced.
+        """
+        return (
+            f"policy(deadline={self.deadline!r},node_budget={self.node_budget!r},"
+            f"gap_tol={self.gap_tol!r})"
+        )
+
+    def with_overrides(self, **changes) -> "SolvePolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "deadline": self.deadline,
+            "node_budget": self.node_budget,
+            "gap_tol": self.gap_tol,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+            "fallback": list(self.fallback),
+            "fallback_seed": self.fallback_seed,
+            "checkpoint_dir": self.checkpoint_dir,
+        }
+
+    @classmethod
+    def from_legacy(
+        cls, node_limit: int | None = None, time_limit: float | None = None
+    ) -> "SolvePolicy":
+        """Policy equivalent of the deprecated kwargs.
+
+        Legacy callers expected a hard failure on budget exhaustion, so the
+        shimmed policy has an empty degradation ladder.
+        """
+        return cls(deadline=time_limit, node_budget=node_limit, fallback=())
+
+
+@dataclass
+class FallbackReport:
+    """What the resilient solve path actually did — returned in telemetry.
+
+    ``source`` is the provenance of the returned design: ``"exact"`` (the
+    solver proved optimality), ``"incumbent"`` (budget exhausted, best
+    incumbent returned), ``"lpt"`` / ``"sa"`` (heuristic degradation).
+    ``ladder`` lists every step attempted in order with its outcome.
+    """
+
+    source: str = "exact"
+    reason: str | None = None
+    retries: int = 0
+    transient_errors: list[str] = field(default_factory=list)
+    ladder: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.source != "exact"
+
+    def record_step(self, step: str, outcome: str, **detail) -> None:
+        self.ladder.append({"step": step, "outcome": outcome, **detail})
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "degraded": self.degraded,
+            "reason": self.reason,
+            "retries": self.retries,
+            "transient_errors": list(self.transient_errors),
+            "ladder": [dict(step) for step in self.ladder],
+        }
+
+    def render(self) -> str:
+        """One-line provenance summary for reports."""
+        if not self.degraded and not self.retries:
+            return "exact solve"
+        bits = [f"source={self.source}"]
+        if self.reason:
+            bits.append(f"reason={self.reason}")
+        if self.retries:
+            bits.append(f"retries={self.retries}")
+        if self.ladder:
+            bits.append(
+                "ladder=" + "->".join(f"{s['step']}:{s['outcome']}" for s in self.ladder)
+            )
+        return ", ".join(bits)
+
+
+class CheckpointStore:
+    """Per-instance incumbent checkpoints keyed by matrix fingerprint.
+
+    One JSON file per instance under ``directory``; writes are atomic
+    (write-then-rename) so a killed sweep leaves a readable store. The
+    payload is the dense column-indexed value vector plus the objective in
+    the *model's* sense, mirroring the solve cache's record layout.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+
+    def _path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"incumbent-{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> dict[str, Any] | None:
+        """Best known incumbent for the instance, or None."""
+        try:
+            payload = json.loads(self._path_for(fingerprint).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "values" not in payload:
+            return None
+        return payload
+
+    def save(self, fingerprint: str, values: list[float], objective: float) -> None:
+        """Persist an incumbent, keeping only the best objective seen."""
+        existing = self.load(fingerprint)
+        if existing is not None and existing.get("objective", float("inf")) <= objective:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"values": [float(v) for v in values], "objective": float(objective)}
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._path_for(fingerprint))
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass

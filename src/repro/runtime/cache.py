@@ -68,6 +68,7 @@ _STATS_FIELDS = (
     "best_bound",
     "gap",
     "cuts",
+    "retries",
 )
 
 
@@ -113,6 +114,12 @@ def matrix_fingerprint(form: "MatrixForm") -> str:
 
 def _canonical_option(value: Any) -> str:
     """Deterministic text encoding of one solver option for the key."""
+    token = getattr(value, "cache_token", None)
+    if callable(token):
+        # SolvePolicy and friends expose their key-relevant fields
+        # canonically; repr() would also drag in retry/fallback settings
+        # that never change what a solve returns.
+        return str(token())
     if isinstance(value, Mapping):
         # Warm starts map Variable -> value; canonicalize by column index.
         items = []
@@ -248,10 +255,13 @@ class SolutionCache:
 
     def lookup(self, key: str) -> CacheRecord | None:
         """Fetch a record by key (memory first, then disk); counts hit/miss."""
+        from repro.obs import get_metrics
+
         record = self._memory.get(key)
         if record is not None:
             self._memory.move_to_end(key)
             self.hits += 1
+            get_metrics().counter("cache.hits").inc()
             return record
         if self.directory is not None:
             path = self._path_for(key)
@@ -263,8 +273,10 @@ class SolutionCache:
             if record is not None:
                 self._remember(key, record)
                 self.hits += 1
+                get_metrics().counter("cache.hits").inc()
                 return record
         self.misses += 1
+        get_metrics().counter("cache.misses").inc()
         return None
 
     def store(self, key: str, record: CacheRecord) -> None:

@@ -34,6 +34,8 @@ class RunTelemetry:
     incumbent_updates: int = 0
     wall_time: float = 0.0
     jobs: int = 1
+    retries: int = 0
+    fallbacks: int = 0
 
     def record(self, stats: SolveStats) -> None:
         """Fold one solve's stats into the run counters."""
@@ -47,6 +49,16 @@ class RunTelemetry:
         self.lp_iterations += stats.lp_iterations
         self.incumbent_updates += stats.incumbent_updates
         self.wall_time += stats.wall_time
+        self.retries += stats.retries
+
+    def record_fallback(self, report) -> None:
+        """Count one degraded design (see :class:`repro.obs.FallbackReport`).
+
+        ``retries`` on the report are already folded in via the solve's
+        :class:`SolveStats`; only the degradation itself is new signal.
+        """
+        if report is not None and getattr(report, "degraded", False):
+            self.fallbacks += 1
 
     def merge(self, other: "RunTelemetry | None") -> None:
         """Fold another run's counters into this one (``jobs`` keeps ours)."""
@@ -60,14 +72,32 @@ class RunTelemetry:
         self.lp_iterations += other.lp_iterations
         self.incumbent_updates += other.incumbent_updates
         self.wall_time += other.wall_time
+        self.retries += other.retries
+        self.fallbacks += other.fallbacks
 
     def as_dict(self) -> dict:
         return asdict(self)
 
+    def counts(self) -> dict:
+        """The deterministic, worker-count-invariant counters only.
+
+        ``wall_time`` is excluded on purpose: it is the one field that
+        varies run to run, so parallel-equivalence checks compare this view.
+        """
+        payload = asdict(self)
+        payload.pop("wall_time")
+        payload.pop("jobs")
+        return payload
+
     def render(self) -> str:
         """One-line summary for report footers."""
-        return (
+        line = (
             f"{self.solves} solves ({self.cache_hits} cached), "
             f"{self.nodes} B&B nodes, {self.lp_solves} LPs, "
             f"{self.wall_time:.2f}s solver wall, jobs={self.jobs}"
         )
+        if self.retries:
+            line += f", {self.retries} retries"
+        if self.fallbacks:
+            line += f", {self.fallbacks} fallbacks"
+        return line

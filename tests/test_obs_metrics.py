@@ -1,0 +1,103 @@
+"""Metrics registry semantics: instruments, scoping, merging, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DesignProblem, design
+from repro.obs import MetricsRegistry, get_metrics, use_metrics
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        assert gauge.value is None
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_summary_is_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        summary = hist.as_value()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_same_name_is_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_counts_view_holds_only_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(1.0)
+        registry.histogram("c").observe(0.5)
+        assert registry.counts() == {"a": 2}
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("t").observe(1.0)
+        b.histogram("t").observe(3.0)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.histogram("t").count == 2
+        assert a.histogram("t").max == 3.0
+
+    def test_merge_gauge_last_writer_wins(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        assert a.gauge("g").value == 9.0
+
+
+class TestScoping:
+    def test_use_metrics_installs_and_restores(self):
+        outer = get_metrics()
+        with use_metrics() as scoped:
+            assert get_metrics() is scoped
+            assert scoped is not outer
+        assert get_metrics() is outer
+
+    def test_solves_feed_the_active_registry(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        with use_metrics() as metrics:
+            design(problem, cache=False)
+        assert metrics.counter("solve.nodes").value > 0
+        assert metrics.counter("solve.lp_solves").value > 0
+        assert metrics.histogram("solve.wall_time").count == 1
+
+    def test_repeated_runs_have_identical_counts(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        snapshots = []
+        for _ in range(2):
+            with use_metrics() as metrics:
+                design(problem, cache=False)
+            snapshots.append(metrics.counts())
+        assert snapshots[0] == snapshots[1]

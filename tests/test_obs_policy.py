@@ -1,0 +1,315 @@
+"""SolvePolicy semantics: budgets, retries, degradation, cache keying.
+
+Covers the resilient anytime-solve path end to end: policy validation and
+backend-option mapping, the legacy-kwarg deprecation shims, transient-error
+retry via a fault-injection backend, heuristic fallback with provenance,
+the capped-solve cache-key regression, incumbent checkpointing, and the
+parallel metrics-equivalence invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DesignProblem, design, lpt_assignment, width_sweep
+from repro.ilp import Model, quicksum
+from repro.ilp.model import register_backend, unregister_backend
+from repro.ilp.solution import Status
+from repro.obs import (
+    CheckpointStore,
+    FallbackReport,
+    SolvePolicy,
+    trace_solve,
+    use_metrics,
+)
+from repro.runtime import RunTelemetry, SolutionCache
+from repro.util.errors import SolverError, TransientSolverError
+
+
+def knapsack_model() -> Model:
+    weights = [12, 7, 11, 8, 9]
+    profits = [24, 13, 23, 15, 16]
+    model = Model("knapsack")
+    take = [model.add_binary(f"take_{i}") for i in range(len(weights))]
+    model.add_constr(quicksum(w * t for w, t in zip(weights, take)) <= 26)
+    model.maximize(quicksum(p * t for p, t in zip(profits, take)))
+    return model
+
+
+class TestPolicyObject:
+    def test_validation_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            SolvePolicy(deadline=0)
+        with pytest.raises(ValueError):
+            SolvePolicy(node_budget=-1)
+        with pytest.raises(ValueError):
+            SolvePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            SolvePolicy(fallback=("greedy",))
+
+    def test_fallback_coerced_to_tuple(self):
+        policy = SolvePolicy(fallback=["lpt"])
+        assert policy.fallback == ("lpt",)
+        assert policy.degrades
+
+    def test_capped_and_degrades_flags(self):
+        assert not SolvePolicy().is_capped
+        assert SolvePolicy(node_budget=5).is_capped
+        assert SolvePolicy(deadline=1.0).is_capped
+        assert not SolvePolicy(fallback=()).degrades
+
+    def test_backend_options_mapping(self):
+        policy = SolvePolicy(deadline=2.0, node_budget=7, gap_tol=0.5)
+        assert policy.backend_options("bnb") == {
+            "node_limit": 7,
+            "time_limit": 2.0,
+            "gap_tol": 0.5,
+        }
+        # scipy understands only a time limit.
+        assert policy.backend_options("scipy") == {"time_limit": 2.0}
+
+    def test_cache_token_covers_only_effort_fields(self):
+        a = SolvePolicy(node_budget=5, max_retries=3, fallback=())
+        b = SolvePolicy(node_budget=5)
+        c = SolvePolicy(node_budget=6)
+        assert a.cache_token() == b.cache_token()
+        assert a.cache_token() != c.cache_token()
+
+    def test_from_legacy_is_strict(self):
+        policy = SolvePolicy.from_legacy(node_limit=3, time_limit=1.5)
+        assert policy.node_budget == 3
+        assert policy.deadline == 1.5
+        assert policy.fallback == ()
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        policy = SolvePolicy(deadline=1.0, fallback=("lpt",))
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestDeprecationShims:
+    def test_model_solve_node_limit_warns_once(self):
+        model = knapsack_model()
+        with pytest.warns(DeprecationWarning, match="node_limit") as record:
+            model.solve(node_limit=1000, cache=False)
+        assert len(record) == 1
+
+    def test_design_time_limit_warns_once(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        with pytest.warns(DeprecationWarning, match="time_limit") as record:
+            design(problem, time_limit=60.0, cache=False)
+        assert len(record) == 1
+
+    def test_legacy_kwargs_keep_raising_on_exhaustion(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SolverError):
+                design(problem, node_limit=1, dive=False, cache=False)
+
+    def test_mixing_policy_and_legacy_kwargs_is_an_error(self):
+        model = knapsack_model()
+        with pytest.raises(ValueError, match="ambiguous"):
+            model.solve(policy=SolvePolicy(node_budget=5), node_limit=3, cache=False)
+
+
+class FlakyBackend:
+    """Fault-injection backend: transient failures for the first N calls."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, model, **options):
+        from repro.ilp.model import _solve_bnb
+
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientSolverError(f"injected fault #{self.calls}")
+        return _solve_bnb(model, **options)
+
+
+class TestRetries:
+    def test_retry_recovers_from_transient_errors(self):
+        flaky = FlakyBackend(failures=2)
+        register_backend("flaky", flaky)
+        try:
+            solution = knapsack_model().solve(
+                backend="flaky",
+                cache=False,
+                policy=SolvePolicy(max_retries=2, retry_backoff=0.0),
+            )
+        finally:
+            unregister_backend("flaky")
+        assert solution.status is Status.OPTIMAL
+        assert flaky.calls == 3
+        assert solution.stats.retries == 2
+
+    def test_exhausted_retries_reraise(self):
+        flaky = FlakyBackend(failures=3)
+        register_backend("flaky", flaky)
+        try:
+            with pytest.raises(TransientSolverError):
+                knapsack_model().solve(
+                    backend="flaky",
+                    cache=False,
+                    policy=SolvePolicy(max_retries=1, retry_backoff=0.0),
+                )
+        finally:
+            unregister_backend("flaky")
+        assert flaky.calls == 2
+
+    def test_no_policy_means_no_retry(self):
+        flaky = FlakyBackend(failures=1)
+        register_backend("flaky", flaky)
+        try:
+            with pytest.raises(TransientSolverError):
+                knapsack_model().solve(backend="flaky", cache=False)
+        finally:
+            unregister_backend("flaky")
+        assert flaky.calls == 1
+
+    def test_retry_metrics_are_counted(self):
+        flaky = FlakyBackend(failures=1)
+        register_backend("flaky", flaky)
+        try:
+            with use_metrics() as metrics:
+                knapsack_model().solve(
+                    backend="flaky",
+                    cache=False,
+                    policy=SolvePolicy(max_retries=1, retry_backoff=0.0),
+                )
+        finally:
+            unregister_backend("flaky")
+        assert metrics.counter("solve.transient_errors").value == 1
+        assert metrics.counter("solve.retries").value == 1
+
+
+class TestDegradation:
+    def test_budget_exhaustion_returns_incumbent(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        result = design(problem, policy=SolvePolicy(node_budget=1), cache=False)
+        assert result.status is Status.FEASIBLE
+        assert result.provenance == "incumbent"
+        assert result.fallback is not None and result.fallback.degraded
+        # The incumbent is a real, validated assignment.
+        assert not problem.validate(result.assignment)
+
+    def test_no_incumbent_falls_back_to_lpt(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        with use_metrics() as metrics:
+            result = design(
+                problem, policy=SolvePolicy(node_budget=1), dive=False, cache=False
+            )
+        assert result.status is Status.FEASIBLE
+        assert result.provenance == "lpt"
+        assert result.makespan == pytest.approx(lpt_assignment(problem).makespan)
+        steps = [s["step"] for s in result.fallback.ladder]
+        assert steps[0] == "exact" and "lpt" in steps
+        assert metrics.counter("design.fallbacks").value == 1
+
+    def test_empty_ladder_raises_like_legacy(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        with pytest.raises(SolverError):
+            design(
+                problem,
+                policy=SolvePolicy(node_budget=1, fallback=()),
+                dive=False,
+                cache=False,
+            )
+
+    def test_exact_solve_reports_exact_provenance(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        result = design(problem, policy=SolvePolicy(deadline=600.0), cache=False)
+        assert result.status is Status.OPTIMAL
+        assert result.provenance == "exact"
+        assert not result.fallback.degraded
+
+    def test_fallback_recorded_in_run_telemetry(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        result = design(
+            problem, policy=SolvePolicy(node_budget=1), dive=False, cache=False
+        )
+        telemetry = RunTelemetry()
+        telemetry.record(result.stats)
+        telemetry.record_fallback(result.fallback)
+        assert telemetry.fallbacks == 1
+        assert "1 fallbacks" in telemetry.render()
+
+    def test_fallback_report_renders_provenance(self):
+        report = FallbackReport(source="sa", reason="budget", retries=1)
+        report.record_step("exact", "no_incumbent")
+        report.record_step("sa", "ok")
+        text = report.render()
+        assert "source=sa" in text and "retries=1" in text and "exact:no_incumbent" in text
+
+
+class TestCacheKeying:
+    def test_truncated_solve_is_not_replayed_for_uncapped_request(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        cache = SolutionCache()
+        capped = design(problem, policy=SolvePolicy(node_budget=1), cache=cache)
+        assert capped.status is Status.FEASIBLE
+        exact = design(problem, cache=cache)
+        assert exact.status is Status.OPTIMAL
+        assert exact.makespan <= capped.makespan + 1e-9
+
+    def test_same_capped_policy_hits_the_cache(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        cache = SolutionCache()
+        policy = SolvePolicy(node_budget=1)
+        design(problem, policy=policy, cache=cache)
+        misses = cache.misses
+        replay = design(problem, policy=policy, cache=cache)
+        assert cache.hits >= 1
+        assert cache.misses == misses
+        assert replay.stats.cache_hit
+
+    def test_uncapped_policy_shares_key_with_no_policy(self, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        cache = SolutionCache()
+        design(problem, cache=cache)
+        replay = design(
+            problem, policy=SolvePolicy(max_retries=2), cache=cache
+        )
+        assert replay.stats.cache_hit
+
+
+class TestCheckpointing:
+    def test_store_keeps_best_objective(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("fp", [1.0, 0.0], objective=10.0)
+        store.save("fp", [0.0, 1.0], objective=20.0)  # worse: ignored
+        payload = store.load("fp")
+        assert payload["objective"] == 10.0
+        assert payload["values"] == [1.0, 0.0]
+        assert store.load("missing") is None
+
+    def test_bnb_resumes_from_checkpoint(self, tmp_path, s1, arch3):
+        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
+        seed_policy = SolvePolicy(node_budget=1, checkpoint_dir=str(tmp_path))
+        first = design(problem, policy=seed_policy, cache=False)
+        assert first.status is Status.FEASIBLE  # incumbent was checkpointed
+
+        resume_policy = SolvePolicy(checkpoint_dir=str(tmp_path))
+        with trace_solve() as tracer:
+            second = design(problem, policy=resume_policy, cache=False)
+        assert second.status is Status.OPTIMAL
+        resumed = [
+            e for s in tracer.spans for e in s.events if e["name"] == "checkpoint_resume"
+        ]
+        assert resumed, "expected the warm incumbent to be resumed"
+
+
+class TestParallelEquivalence:
+    def test_jobs_do_not_change_aggregate_metrics(self, s1):
+        aggregates = []
+        for jobs in (1, 2):
+            points = width_sweep(
+                s1, 2, [8, 10, 12], timing="serial", jobs=jobs
+            )
+            total = RunTelemetry(jobs=jobs)
+            for point in points:
+                total.merge(point.telemetry)
+            aggregates.append(total.counts())
+        assert aggregates[0] == aggregates[1]
