@@ -1,0 +1,196 @@
+"""Solver benchmark: the branch-and-bound fast path vs the plain search.
+
+Measures the F1 width sweep (S1, the paper's heaviest routine exact
+harness) under four solver configurations and writes the numbers to
+``BENCH_solver.json``:
+
+- ``fast_cold`` — defaults: node presolve + pseudocost branching, jobs=1,
+  empty cache;
+- ``baseline_cold`` — ``presolve=False, branching="most_fractional"``:
+  exactly the pre-fast-path solver, same grid;
+- ``fast_warm`` — defaults re-run on the populated disk cache (every solve
+  answered from the store);
+- ``fast_cold_jobsN`` — defaults, cold cache, parallel fan-out.
+
+Besides wall time the script records the search-effort counters (B&B
+nodes, LP solves, presolve fixings/prunes) per leg — node counts are
+machine-independent, so CI regression-checks them instead of seconds:
+with ``--check`` the run compares its fast-path node count against the
+checked-in ``benchmarks/bench_solver_baseline.json`` and exits 1 on a
+>20% regression. ``--record-baseline`` refreshes that file.
+
+Run with::
+
+    python benchmarks/bench_solver.py [--quick] [--check] [--jobs N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import SolutionCache, build_s1, use_cache, width_sweep  # noqa: E402
+from repro.runtime import RunTelemetry  # noqa: E402
+from repro.runtime.parallel import resolve_workers  # noqa: E402
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BASELINE_PATH = Path(__file__).resolve().parent / "bench_solver_baseline.json"
+
+#: CI gate: fail when the fast path needs this much more search effort than
+#: the recorded baseline (nodes are deterministic; seconds are not).
+_NODE_REGRESSION_TOLERANCE = 0.20
+
+
+def _grid(quick: bool) -> dict:
+    return dict(
+        bus_counts=(2,) if quick else (2, 3),
+        total_widths=[8, 16, 24] if quick else [8, 16, 24, 32, 40, 48],
+    )
+
+
+def _run_sweep(soc, grid: dict, jobs: int, **solver_options) -> dict:
+    start = time.perf_counter()
+    telemetry = RunTelemetry(jobs=jobs)
+    for num_buses in grid["bus_counts"]:
+        points = width_sweep(
+            soc, num_buses, grid["total_widths"], timing="serial",
+            jobs=jobs, **solver_options,
+        )
+        for point in points:
+            telemetry.merge(point.telemetry)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 3),
+        "jobs": jobs,
+        "nodes": telemetry.nodes,
+        "lp_solves": telemetry.lp_solves,
+        "presolve_fixings": telemetry.presolve_fixings,
+        "presolve_pruned": telemetry.presolve_pruned,
+        "cache_hits": telemetry.cache_hits,
+        "solves": telemetry.solves,
+    }
+
+
+def run_bench(quick: bool, jobs: int) -> dict:
+    soc = build_s1()
+    grid = _grid(quick)
+    results: dict[str, dict] = {}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-solver-") as tmp:
+        results["fast_cold"] = _run_sweep(soc, grid, jobs=1)
+        results["baseline_cold"] = _run_sweep(
+            soc, grid, jobs=1, presolve=False, branching="most_fractional"
+        )
+        warm_dir = os.path.join(tmp, "warm")
+        with use_cache(SolutionCache(directory=warm_dir)):
+            _run_sweep(soc, grid, jobs=1)  # populate
+            results["fast_warm"] = _run_sweep(soc, grid, jobs=1)
+        assert results["fast_warm"]["nodes"] == 0, "warm re-run must be fully cached"
+        results[f"fast_cold_jobs{jobs}"] = _run_sweep(soc, grid, jobs=jobs)
+
+    fast, base = results["fast_cold"], results["baseline_cold"]
+    return {
+        "benchmark": "F1 width sweep, solver fast path",
+        "soc": soc.name,
+        "grid": {k: list(v) for k, v in grid.items()},
+        "quick": quick,
+        "results": results,
+        "speedup": {
+            "cold_wall_time": round(base["seconds"] / max(fast["seconds"], 1e-9), 2),
+            "node_reduction": round(base["nodes"] / max(fast["nodes"], 1), 2),
+            "lp_solve_reduction": round(base["lp_solves"] / max(fast["lp_solves"], 1), 2),
+            "parallel_vs_serial_cold": round(
+                fast["seconds"]
+                / max(results[f"fast_cold_jobs{jobs}"]["seconds"], 1e-9),
+                2,
+            ),
+        },
+    }
+
+
+def check_baseline(payload: dict) -> int:
+    """Compare this run's fast-path node count against the checked-in one."""
+    if not _BASELINE_PATH.exists():
+        print(f"no baseline at {_BASELINE_PATH}; run with --record-baseline first",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+    key = "quick" if payload["quick"] else "full"
+    recorded = baseline.get(key)
+    if recorded is None:
+        print(f"baseline has no {key!r} entry; skipping check", file=sys.stderr)
+        return 0
+    nodes = payload["results"]["fast_cold"]["nodes"]
+    limit = recorded["nodes"] * (1.0 + _NODE_REGRESSION_TOLERANCE)
+    print(f"node check ({key}): {nodes} vs baseline {recorded['nodes']} "
+          f"(limit {limit:.0f})")
+    if nodes > limit:
+        print(
+            f"REGRESSION: fast-path cold node count {nodes} exceeds baseline "
+            f"{recorded['nodes']} by more than {_NODE_REGRESSION_TOLERANCE:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def record_baseline(payload: dict) -> None:
+    key = "quick" if payload["quick"] else "full"
+    baseline = {}
+    if _BASELINE_PATH.exists():
+        baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline[key] = {
+        "nodes": payload["results"]["fast_cold"]["nodes"],
+        "lp_solves": payload["results"]["fast_cold"]["lp_solves"],
+        "grid": payload["grid"],
+    }
+    _BASELINE_PATH.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"recorded {key} baseline to {_BASELINE_PATH}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced grid for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker count for the parallel leg (default: 0 = one per core)")
+    parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_solver.json"),
+                        help="output JSON path (default: repo-root BENCH_solver.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if the cold node count regresses >20%% "
+                             "vs benchmarks/bench_solver_baseline.json")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="refresh the checked-in node-count baseline from this run")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(quick=args.quick, jobs=resolve_workers(args.jobs))
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    r = payload["results"]
+    for leg in sorted(r):
+        row = r[leg]
+        print(f"{leg:22s}: {row['seconds']:7.2f}s  nodes={row['nodes']:<7d} "
+              f"LPs={row['lp_solves']:<7d} jobs={row['jobs']}")
+    s = payload["speedup"]
+    print(f"speedups: cold wall {s['cold_wall_time']}x, nodes {s['node_reduction']}x, "
+          f"LPs {s['lp_solve_reduction']}x, parallel {s['parallel_vs_serial_cold']}x")
+    print(f"wrote {args.out}")
+
+    if args.record_baseline:
+        record_baseline(payload)
+    if args.check:
+        return check_baseline(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

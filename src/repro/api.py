@@ -69,7 +69,7 @@ from repro.experiments import (
     run_all,
     run_experiment,
 )
-from repro.ilp import Model, quicksum
+from repro.ilp import BranchAndBoundSolver, Model, quicksum
 from repro.ilp.model import register_backend, unregister_backend
 from repro.ilp.solution import Solution, SolveStats, Status
 from repro.layout import Floorplan, anneal_place, bus_wirelength, grid_place, tam_wirelength
@@ -192,6 +192,7 @@ __all__ = [
     "tam_wirelength",
     "bus_wirelength",
     # MILP substrate
+    "BranchAndBoundSolver",
     "Model",
     "quicksum",
     "Solution",

@@ -89,6 +89,31 @@ def _add_common_constraints(parser: argparse.ArgumentParser) -> None:
                         help="exact solver backend (default: our branch & bound)")
 
 
+def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--branching", default=None,
+                        choices=["pseudocost", "most_fractional", "first"],
+                        help="B&B branching rule (default: pseudocost; bnb backend only)")
+    parser.add_argument("--presolve", action=argparse.BooleanOptionalAction, default=None,
+                        help="node presolve: bound propagation + reduced-cost fixing "
+                             "(default: on; --no-presolve restores the plain search; "
+                             "bnb backend only)")
+
+
+def _solver_options_from_args(args) -> dict:
+    """Solver fast-path options the flags explicitly set (bnb backend only)."""
+    options = {}
+    if getattr(args, "branching", None) is not None:
+        options["branching"] = args.branching
+    if getattr(args, "presolve", None) is not None:
+        options["presolve"] = args.presolve
+    if options and args.backend != "bnb":
+        from repro.api import ValidationError
+
+        flags = "/".join(f"--{k.replace('_', '-')}" for k in options)
+        raise ValidationError(f"{flags} only apply to the bnb backend, not {args.backend!r}")
+    return options
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for sweep fan-out (default: 1, serial)")
@@ -155,6 +180,7 @@ def cmd_design(args) -> int:
     soc = resolve_soc(args.soc)
     problem = _problem_from_args(soc, _parse_widths(args.widths), args)
     policy = _policy_from_args(args)
+    solver_options = _solver_options_from_args(args)
     tracer = None
     with _runtime_scope(args):
         if args.trace is not None:
@@ -162,9 +188,11 @@ def cmd_design(args) -> int:
                 # One root span over the whole design: per-phase self times
                 # then partition the traced wall time exactly.
                 with tracer.span("design", soc=soc.name):
-                    result = design(problem, backend=args.backend, policy=policy)
+                    result = design(
+                        problem, backend=args.backend, policy=policy, **solver_options
+                    )
         else:
-            result = design(problem, backend=args.backend, policy=policy)
+            result = design(problem, backend=args.backend, policy=policy, **solver_options)
     trace_payload = tracer.to_json() if tracer is not None else None
     if tracer is not None and args.trace:
         with open(args.trace, "w", encoding="utf-8") as fh:
@@ -218,6 +246,7 @@ def cmd_sweep(args) -> int:
             max_pair_distance=args.max_distance,
             backend=args.backend,
             policy=_policy_from_args(args),
+            **_solver_options_from_args(args),
         )
     rows = [
         ["+".join(str(w) for w in arch.widths), makespan]
@@ -249,6 +278,7 @@ def cmd_minwidth(args) -> int:
             max_pair_distance=args.max_distance,
             backend=args.backend,
             policy=_policy_from_args(args),
+            **_solver_options_from_args(args),
         )
     print(result.describe())
     print(format_table(
@@ -266,6 +296,7 @@ def cmd_buscount(args) -> int:
             soc, args.total_width, args.max_buses,
             timing=args.timing, power_budget=args.power_budget, backend=args.backend,
             jobs=args.jobs, policy=_policy_from_args(args),
+            **_solver_options_from_args(args),
         )
     rows = [
         [p.num_buses, p.makespan, "+".join(str(w) for w in p.arch_widths) if p.arch_widths else None]
@@ -378,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace the solve: print a flame summary (and include "
                         "spans in --json); with FILE, also write the span JSON")
     _add_common_constraints(p)
+    _add_solver_flags(p)
     _add_runtime_flags(p)
     _add_policy_flags(p)
     p.set_defaults(func=cmd_design)
@@ -387,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--total-width", type=int, required=True)
     p.add_argument("--buses", type=int, required=True)
     _add_common_constraints(p)
+    _add_solver_flags(p)
     _add_runtime_flags(p)
     _add_policy_flags(p)
     p.set_defaults(func=cmd_sweep)
@@ -396,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buses", type=int, required=True)
     p.add_argument("--time-budget", type=float, required=True, metavar="CYCLES")
     _add_common_constraints(p)
+    _add_solver_flags(p)
     _add_runtime_flags(p)
     _add_policy_flags(p)
     p.set_defaults(func=cmd_minwidth)
@@ -405,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--total-width", type=int, required=True)
     p.add_argument("--max-buses", type=int, default=4)
     _add_common_constraints(p)
+    _add_solver_flags(p)
     _add_runtime_flags(p)
     _add_policy_flags(p)
     p.set_defaults(func=cmd_buscount)

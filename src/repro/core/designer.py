@@ -93,9 +93,16 @@ def design(
     warm_start_heuristic: bool = False,
     cache: "object | bool | None" = None,
     policy: SolvePolicy | None = None,
+    presolve: bool | None = None,
+    branching: str | None = None,
     **solver_options,
 ) -> TamDesign:
     """Solve ``problem`` — to proven optimality, or as far as a policy allows.
+
+    ``presolve`` and ``branching`` are the branch-and-bound fast-path knobs
+    (node presolve on/off; ``"pseudocost"`` / ``"most_fractional"`` /
+    ``"first"``). ``None`` keeps the solver defaults (both fast paths on);
+    they only apply to the bnb backend and are rejected elsewhere.
 
     Without a ``policy`` the solve is exact: :class:`InfeasibleError` when
     the constraints admit no assignment, :class:`SolverError` if the backend
@@ -116,6 +123,16 @@ def design(
     defers to the active context cache, ``False`` bypasses caching.
     """
     policy = _shim_designer_limits(policy, solver_options)
+    if presolve is not None or branching is not None:
+        if backend != "bnb":
+            raise ValueError(
+                "presolve/branching are branch-and-bound knobs; "
+                f"backend {backend!r} does not accept them"
+            )
+        if presolve is not None:
+            solver_options.setdefault("presolve", presolve)
+        if branching is not None:
+            solver_options.setdefault("branching", branching)
     contradictions = problem.contradictions()
     if contradictions:
         names = problem.soc.core_names

@@ -58,6 +58,7 @@ def minimize_width(
     max_width: int = 128,
     backend: str = "bnb",
     policy: SolvePolicy | None = None,
+    **solver_options,
 ) -> WidthMinimization:
     """Smallest total TAM width meeting a testing-time budget.
 
@@ -65,7 +66,8 @@ def minimize_width(
     design embeds in W+1 wires), so a binary search over W is sound. Each
     probe runs the full width-distribution enumeration at that W. Raises
     :class:`InfeasibleError` if even ``max_width`` wires cannot meet the
-    budget.
+    budget. Extra keyword options (``presolve``, ``branching``, ``gap_tol``,
+    ...) are forwarded to every probe's solves.
     """
     if time_budget <= 0:
         raise ValidationError(f"time budget must be positive, got {time_budget}")
@@ -88,6 +90,7 @@ def minimize_width(
             backend=backend,
             clamp_useless_width=True,
             policy=policy,
+            **solver_options,
         )
         trace.append((width, sweep.best.makespan if sweep.best else None))
         return sweep
@@ -140,7 +143,7 @@ class BusCountPoint:
 def _bus_count_point(payload: tuple) -> BusCountPoint:
     """Worker: one bus count of :func:`explore_bus_counts`."""
     (soc, total_width, num_buses, timing, power_budget, floorplan,
-     max_pair_distance, backend, policy) = payload
+     max_pair_distance, backend, policy, solver_options) = payload
     if total_width < num_buses:
         return BusCountPoint(num_buses, None, None)
     sweep = design_best_architecture(
@@ -153,6 +156,7 @@ def _bus_count_point(payload: tuple) -> BusCountPoint:
         max_pair_distance=max_pair_distance,
         backend=backend,
         policy=policy,
+        **solver_options,
     )
     if sweep.best is None:
         return BusCountPoint(num_buses, None, None, telemetry=sweep.telemetry)
@@ -172,19 +176,22 @@ def explore_bus_counts(
     backend: str = "bnb",
     jobs: int = 1,
     policy: SolvePolicy | None = None,
+    **solver_options,
 ) -> list[BusCountPoint]:
     """Optimal testing time for every bus count 1..max_buses at fixed W.
 
     More buses add concurrency but thin each bus's wires — under the
     serialization model the optimum is not monotone in NB, which is exactly
     why the paper treats NB as a design parameter. ``jobs > 1`` sweeps the
-    bus counts in parallel, preserving NB order.
+    bus counts in parallel, preserving NB order. Extra keyword options
+    (``presolve``, ``branching``, ...) are forwarded to every point's
+    solves — they must be picklable.
     """
     if max_buses <= 0:
         raise ValidationError(f"max_buses must be positive, got {max_buses}")
     payloads = [
         (soc, total_width, num_buses, timing, power_budget, floorplan,
-         max_pair_distance, backend, policy)
+         max_pair_distance, backend, policy, solver_options)
         for num_buses in range(1, max_buses + 1)
     ]
     return run_parallel(_bus_count_point, payloads, max_workers=jobs)

@@ -56,11 +56,12 @@ class SweepPoint:
 
 def _width_point(payload: tuple) -> SweepPoint:
     """Worker: one width budget of :func:`width_sweep` (module-level for pickling)."""
-    soc, width, num_buses, timing, backend, policy = payload
+    soc, width, num_buses, timing, backend, policy, solver_options = payload
     if width < num_buses:
         return SweepPoint(width, None, detail="W < NB")
     sweep = design_best_architecture(
-        soc, width, num_buses, timing=timing, backend=backend, policy=policy
+        soc, width, num_buses, timing=timing, backend=backend, policy=policy,
+        **solver_options,
     )
     if sweep.best is None:
         return SweepPoint(
@@ -79,6 +80,7 @@ def width_sweep(
     backend: str = "bnb",
     jobs: int = 1,
     policy: SolvePolicy | None = None,
+    **solver_options,
 ) -> list[SweepPoint]:
     """Best achievable testing time for each total TAM width budget.
 
@@ -86,17 +88,22 @@ def width_sweep(
     is the true optimum for (W, NB). ``jobs > 1`` fans the budgets across
     worker processes; the returned points keep the input width order.
     ``policy`` (a :class:`~repro.obs.SolvePolicy`) caps each point's solve.
+    Extra keyword options (``presolve``, ``branching``, ``gap_tol``, ...)
+    are forwarded to every point's solve — they must be picklable.
     """
-    payloads = [(soc, width, num_buses, timing, backend, policy) for width in total_widths]
+    payloads = [
+        (soc, width, num_buses, timing, backend, policy, solver_options)
+        for width in total_widths
+    ]
     return run_parallel(_width_point, payloads, max_workers=jobs)
 
 
 def _power_point(payload: tuple) -> SweepPoint:
     """Worker: one power budget of :func:`power_budget_sweep`."""
-    soc, arch, timing, budget, backend, policy = payload
+    soc, arch, timing, budget, backend, policy, solver_options = payload
     problem = DesignProblem(soc=soc, arch=arch, timing=timing, power_budget=budget)
     try:
-        result = design(problem, backend=backend, policy=policy)
+        result = design(problem, backend=backend, policy=policy, **solver_options)
     except InfeasibleError as exc:
         return SweepPoint(budget, None, detail=str(exc.reason or "infeasible"))
     telemetry = RunTelemetry()
@@ -118,6 +125,7 @@ def power_budget_sweep(
     backend: str = "bnb",
     jobs: int = 1,
     policy: SolvePolicy | None = None,
+    **solver_options,
 ) -> list[SweepPoint]:
     """Optimal testing time as the power budget tightens.
 
@@ -129,13 +137,17 @@ def power_budget_sweep(
         budgets = budget_sweep_points(soc)
         top = budgets[-1] if budgets else 0.0
         budgets = budgets + [top * 1.1 + 1.0]
-    payloads = [(soc, arch, timing, budget, backend, policy) for budget in sorted(budgets)]
+    payloads = [
+        (soc, arch, timing, budget, backend, policy, solver_options)
+        for budget in sorted(budgets)
+    ]
     return run_parallel(_power_point, payloads, max_workers=jobs)
 
 
 def _distance_point(payload: tuple) -> SweepPoint:
     """Worker: one layout budget of :func:`distance_budget_sweep`."""
-    soc, arch, floorplan, timing, delta, backend, wirelength_method, policy = payload
+    (soc, arch, floorplan, timing, delta, backend,
+     wirelength_method, policy, solver_options) = payload
     problem = DesignProblem(
         soc=soc,
         arch=arch,
@@ -145,7 +157,8 @@ def _distance_point(payload: tuple) -> SweepPoint:
     )
     try:
         result = design(
-            problem, backend=backend, wirelength_method=wirelength_method, policy=policy
+            problem, backend=backend, wirelength_method=wirelength_method, policy=policy,
+            **solver_options,
         )
     except InfeasibleError as exc:
         return SweepPoint(delta, None, detail=str(exc.reason or "infeasible"))
@@ -171,6 +184,7 @@ def distance_budget_sweep(
     wirelength_method: str = "chain",
     jobs: int = 1,
     policy: SolvePolicy | None = None,
+    **solver_options,
 ) -> list[SweepPoint]:
     """Testing time and TAM wirelength as the layout budget tightens.
 
@@ -184,7 +198,8 @@ def distance_budget_sweep(
         top = floorplan.spread()
         deltas = [top * 1.01] + sweep
     payloads = [
-        (soc, arch, floorplan, timing, delta, backend, wirelength_method, policy)
+        (soc, arch, floorplan, timing, delta, backend, wirelength_method, policy,
+         solver_options)
         for delta in deltas
     ]
     return run_parallel(_distance_point, payloads, max_workers=jobs)

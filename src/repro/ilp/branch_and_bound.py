@@ -1,12 +1,25 @@
 """Best-first branch and bound over LP relaxations.
 
 The solver operates on the dense :class:`~repro.ilp.model.MatrixForm` of a
-model. Each node carries tightened variable bounds; branching splits on a
-fractional integer variable (most-fractional by default). A depth-limited
-*diving* pass at the root rounds its way to an early incumbent so that pruning
-has a bound to work with from the start.
+model through a precomputed :class:`~repro.ilp.lp.LpWorkspace`, so the
+scipy constraint handles are derived once, not per node. The search runs a
+fast path on every node:
 
-All objective handling is in minimization sense; the wrapping ``solve``
+- **delta-bound nodes** — heap entries carry only the chain of bound
+  changes along their tree path (a shared-tail linked list of
+  ``(column, kind, value)`` tightenings); full ``lb``/``ub`` arrays are
+  materialized from the root bounds only when a node is actually expanded;
+- **node presolve** — integer bound propagation over the materialized node
+  bounds (with the incumbent as an objective cutoff row) plus reduced-cost
+  fixing from the root LP duals, pruning or shrinking subtrees before any
+  LP is solved (see :mod:`repro.ilp.presolve`);
+- **pseudocost branching** (default) — branching scores learned from the
+  observed objective degradations of earlier branchings, falling back to
+  most-fractional until history exists.
+
+A depth-limited *diving* pass at the root rounds its way to an early
+incumbent so that pruning has a bound to work with from the start. All
+objective handling is in minimization sense; the wrapping ``solve``
 translates back to the model's sense.
 """
 
@@ -18,8 +31,9 @@ import math
 
 import numpy as np
 
-from repro.ilp.lp import LpResult, solve_matrix_lp
+from repro.ilp.lp import LpResult, LpWorkspace, solve_matrix_lp
 from repro.ilp.model import Model
+from repro.ilp.presolve import LB_TIGHTENED, propagate_bounds, reduced_cost_tighten
 from repro.ilp.solution import Solution, SolveStats, Status
 from repro.obs import get_metrics, node_event, now, span
 from repro.obs import event as trace_event
@@ -27,6 +41,10 @@ from repro.obs.policy import CheckpointStore
 from repro.util.errors import SolverError
 
 _INT_TOL = 1e-6
+
+#: Floor for pseudocost scores so an (estimated) zero degradation never
+#: erases the other direction's signal in the product rule.
+_PC_EPS = 1e-6
 
 
 class BranchAndBoundSolver:
@@ -50,12 +68,21 @@ class BranchAndBoundSolver:
     lp_method:
         ``"scipy"`` (HiGHS, default) or ``"simplex"`` (our tableau engine).
     branching:
-        ``"most_fractional"`` (default) or ``"first"`` (lowest index).
+        ``"pseudocost"`` (default): learned degradation scores with a
+        most-fractional fallback until history exists;
+        ``"most_fractional"``: the pre-fast-path rule; ``"first"``: lowest
+        index. ``branching="most_fractional"`` restores the old behavior
+        exactly.
     dive:
         Whether to run the rounding dive at the root for an early incumbent.
     root_cuts:
         Rounds of knapsack cover cuts applied at the root (0 = off). Valid
         for the integer hull, so the cut rows stay active in every node.
+    presolve:
+        Node presolve (default on): integer bound propagation per node and
+        reduced-cost fixing from the root LP duals. ``presolve=False``
+        restores the plain LP-per-node search. Never changes the optimum —
+        only the work needed to prove it.
     warm_start:
         Optional feasible assignment ``{Variable: value}`` used as the
         initial incumbent (e.g. a greedy heuristic's solution). Validated
@@ -66,8 +93,13 @@ class BranchAndBoundSolver:
         Directory of incumbent checkpoints keyed by instance fingerprint
         (see :class:`~repro.obs.CheckpointStore`). On start, a stored
         incumbent for this instance is validated and installed (a warm
-        resume for interrupted sweeps); every incumbent improvement is
-        persisted back.
+        resume for interrupted sweeps); improvements are persisted back,
+        debounced by ``checkpoint_interval``.
+    checkpoint_interval:
+        Minimum seconds between incumbent checkpoint writes — rapid
+        incumbent improvements no longer do synchronous disk I/O inside the
+        search loop on every step. The final incumbent is always persisted
+        when the solve finishes, whatever the interval.
     """
 
     def __init__(
@@ -77,13 +109,15 @@ class BranchAndBoundSolver:
         gap_tol: float = 1e-9,
         time_limit: float | None = None,
         lp_method: str = "scipy",
-        branching: str = "most_fractional",
+        branching: str = "pseudocost",
         dive: bool = True,
         root_cuts: int = 0,
+        presolve: bool = True,
         warm_start: dict | None = None,
         checkpoint_dir: str | None = None,
+        checkpoint_interval: float = 1.0,
     ):
-        if branching not in ("most_fractional", "first"):
+        if branching not in ("pseudocost", "most_fractional", "first"):
             raise ValueError(f"unknown branching rule {branching!r}")
         self.model = model
         self.node_limit = node_limit
@@ -93,14 +127,33 @@ class BranchAndBoundSolver:
         self.branching = branching
         self.dive = dive
         self.root_cuts = root_cuts
+        self.presolve = bool(presolve)
+        self.checkpoint_interval = float(checkpoint_interval)
 
         self._form = model.to_matrix_form()
+        self._workspace = LpWorkspace(self._form)
         self._int_indices = np.flatnonzero(self._form.integer_mask)
+        self._int_mask = self._form.integer_mask
+        # Root bounds shared by every node materialization; reduced-cost
+        # fixing tightens these globally as the incumbent improves.
+        self._base_lb = self._form.lb.copy()
+        self._base_ub = self._form.ub.copy()
+        n = self._form.num_vars
+        self._pc_dn = np.zeros(n)
+        self._pc_up = np.zeros(n)
+        self._pc_dn_n = np.zeros(n, dtype=np.int64)
+        self._pc_up_n = np.zeros(n, dtype=np.int64)
+        self._root_obj: float | None = None
+        self._root_rc: np.ndarray | None = None
+        self._root_lb: np.ndarray | None = None
+        self._root_ub: np.ndarray | None = None
         self._stats = SolveStats()
         self._incumbent_x: np.ndarray | None = None
         self._incumbent_obj = math.inf
         self._checkpoints: CheckpointStore | None = None
         self._fingerprint: str | None = None
+        self._last_checkpoint = -math.inf
+        self._checkpoint_dirty = False
         if checkpoint_dir is not None:
             from repro.runtime.cache import matrix_fingerprint
 
@@ -150,41 +203,127 @@ class BranchAndBoundSolver:
         try:
             status = self._search(start)
         finally:
+            self._flush_checkpoint()
             self._stats.wall_time = now() - start
             metrics = get_metrics()
             metrics.counter("solve.nodes").inc(self._stats.nodes)
             metrics.counter("solve.lp_solves").inc(self._stats.lp_solves)
             metrics.counter("solve.lp_iterations").inc(self._stats.lp_iterations)
             metrics.counter("solve.incumbent_updates").inc(self._stats.incumbent_updates)
+            metrics.counter("solve.presolve_fixings").inc(self._stats.presolve_fixings)
+            metrics.counter("solve.presolve_pruned").inc(self._stats.presolve_pruned)
+            metrics.counter("solve.pseudocost_branches").inc(self._stats.pseudocost_branches)
             metrics.histogram("solve.wall_time").observe(self._stats.wall_time)
             if self._stats.best_bound is not None:
                 metrics.gauge("solve.best_bound").set(self._stats.best_bound)
         return self._wrap(status)
 
     # ------------------------------------------------------------ internals
-    def _solve_node(self, lb: np.ndarray, ub: np.ndarray) -> LpResult:
+    def _solve_node(
+        self, lb: np.ndarray, ub: np.ndarray, want_reduced_costs: bool = False
+    ) -> LpResult:
         self._stats.lp_solves += 1
         lp_start = now()
-        result = solve_matrix_lp(self._form, lb=lb, ub=ub, method=self.lp_method)
+        result = solve_matrix_lp(
+            self._form,
+            lb=lb,
+            ub=ub,
+            method=self.lp_method,
+            workspace=self._workspace,
+            want_reduced_costs=want_reduced_costs,
+        )
         self._stats.lp_time += now() - lp_start
         self._stats.lp_iterations += result.iterations
         return result
 
+    def _cutoff(self) -> float:
+        """Objective value at/above which a solution cannot matter."""
+        return self._incumbent_obj - self.gap_tol
+
     def _fractional_index(self, x: np.ndarray) -> int | None:
-        """Pick the integer variable to branch on, or None if all integral."""
-        best_idx: int | None = None
-        best_score = -1.0
-        for j in self._int_indices:
-            frac = abs(x[j] - round(x[j]))
-            if frac <= _INT_TOL:
-                continue
-            if self.branching == "first":
-                return int(j)
-            score = min(frac, 1.0 - frac)
-            if score > best_score:
-                best_score = score
-                best_idx = int(j)
-        return best_idx
+        """Pick the integer variable to branch on, or None if all integral.
+
+        Vectorized; the ``"first"`` rule returns the lowest fractional index
+        and every other rule scores by fractionality ``min(f, 1-f)`` with
+        ties broken toward the lowest index (matching the historical scalar
+        loop exactly — ``np.argmax`` keeps the first maximum).
+        """
+        if self._int_indices.size == 0:
+            return None
+        xi = x[self._int_indices]
+        frac = np.abs(xi - np.round(xi))
+        mask = frac > _INT_TOL
+        if not mask.any():
+            return None
+        if self.branching == "first":
+            return int(self._int_indices[int(np.argmax(mask))])
+        scores = np.where(mask, np.minimum(frac, 1.0 - frac), -1.0)
+        return int(self._int_indices[int(np.argmax(scores))])
+
+    def _select_branch(self, x: np.ndarray) -> int | None:
+        """Branching decision for a search node (pseudocost-aware)."""
+        if self.branching != "pseudocost":
+            return self._fractional_index(x)
+        xi = x[self._int_indices]
+        dist = np.abs(xi - np.round(xi))
+        mask = dist > _INT_TOL
+        if not mask.any():
+            return None
+        cand = self._int_indices[mask]
+        f = (xi - np.floor(xi))[mask]
+        have_dn = self._pc_dn_n[cand] > 0
+        have_up = self._pc_up_n[cand] > 0
+        initialized = np.concatenate(
+            [self._pc_dn[self._pc_dn_n > 0], self._pc_up[self._pc_up_n > 0]]
+        )
+        if initialized.size == 0:
+            # No history yet: initialize from most-fractional.
+            return self._fractional_index(x)
+        avg = float(initialized.mean())
+        est_dn = np.where(have_dn, self._pc_dn[cand], avg)
+        est_up = np.where(have_up, self._pc_up[cand], avg)
+        score = np.maximum(est_dn * f, _PC_EPS) * np.maximum(est_up * (1.0 - f), _PC_EPS)
+        self._stats.pseudocost_branches += 1
+        return int(cand[int(np.argmax(score))])
+
+    def _update_pseudocost(self, branch_info: tuple, child_objective: float) -> None:
+        """Fold one observed objective degradation into the running means."""
+        j, direction, parent_obj, frac = branch_info
+        degradation = max(child_objective - parent_obj, 0.0)
+        if direction < 0:
+            per_unit = degradation / max(frac, _PC_EPS)
+            n = self._pc_dn_n[j]
+            self._pc_dn[j] = (self._pc_dn[j] * n + per_unit) / (n + 1)
+            self._pc_dn_n[j] = n + 1
+        else:
+            per_unit = degradation / max(1.0 - frac, _PC_EPS)
+            n = self._pc_up_n[j]
+            self._pc_up[j] = (self._pc_up[j] * n + per_unit) / (n + 1)
+            self._pc_up_n[j] = n + 1
+
+    def _apply_reduced_cost_fixing(self) -> None:
+        """Tighten the global root bounds from the root duals + incumbent."""
+        if (
+            not self.presolve
+            or self._root_rc is None
+            or self._root_obj is None
+            or not math.isfinite(self._incumbent_obj)
+        ):
+            return
+        assert self._root_lb is not None and self._root_ub is not None
+        fixed = reduced_cost_tighten(
+            self._root_rc,
+            self._root_lb,
+            self._root_ub,
+            self._root_obj,
+            self._cutoff(),
+            self._base_lb,
+            self._base_ub,
+            self._int_mask,
+        )
+        if fixed:
+            self._stats.presolve_fixings += fixed
+            trace_event("reduced_cost_fixing", fixed=fixed, incumbent=self._incumbent_obj)
 
     def _try_update_incumbent(self, x: np.ndarray, objective: float) -> None:
         if objective < self._incumbent_obj - 1e-12:
@@ -195,10 +334,33 @@ class BranchAndBoundSolver:
             self._stats.incumbent_updates += 1
             trace_event("incumbent", objective=objective, node=self._stats.nodes)
             get_metrics().histogram("solve.incumbent_objective").observe(objective)
-            if self._checkpoints is not None and self._fingerprint is not None:
-                self._checkpoints.save(
-                    self._fingerprint, [float(v) for v in snapped], objective
-                )
+            self._apply_reduced_cost_fixing()
+            self._save_checkpoint(debounce=True)
+
+    def _save_checkpoint(self, debounce: bool) -> None:
+        """Persist the incumbent, at most once per ``checkpoint_interval``."""
+        if (
+            self._checkpoints is None
+            or self._fingerprint is None
+            or self._incumbent_x is None
+        ):
+            return
+        timestamp = now()
+        if debounce and timestamp - self._last_checkpoint < self.checkpoint_interval:
+            self._checkpoint_dirty = True
+            return
+        self._checkpoints.save(
+            self._fingerprint,
+            [float(v) for v in self._incumbent_x],
+            self._incumbent_obj,
+        )
+        self._last_checkpoint = timestamp
+        self._checkpoint_dirty = False
+
+    def _flush_checkpoint(self) -> None:
+        """Final-incumbent persistence: debounce never loses the best."""
+        if self._checkpoint_dirty:
+            self._save_checkpoint(debounce=False)
 
     def _dive_for_incumbent(self, x: np.ndarray) -> None:
         """Round-and-refix dive from the root relaxation.
@@ -208,8 +370,8 @@ class BranchAndBoundSolver:
         comes back integral. Produces an incumbent often good enough to prune
         most of the tree on assignment-structured models.
         """
-        lb = self._form.lb.copy()
-        ub = self._form.ub.copy()
+        lb = self._base_lb.copy()
+        ub = self._base_ub.copy()
         current = x
         for _ in range(len(self._int_indices) + 1):
             j = self._fractional_index(current)
@@ -226,8 +388,23 @@ class BranchAndBoundSolver:
             current = result.x
 
     def _search(self, start: float) -> Status:
+        if self.presolve:
+            with span("root_presolve") as presolve_span:
+                feasible, changes = propagate_bounds(
+                    self._workspace.propagation,
+                    self._base_lb,
+                    self._base_ub,
+                    self._int_mask,
+                )
+                self._stats.presolve_fixings += len(changes)
+                presolve_span.attrs["fixings"] = len(changes)
+            if not feasible:
+                return Status.INFEASIBLE
+
         with span("lp_relaxation"):
-            root = self._solve_node(self._form.lb, self._form.ub)
+            root = self._solve_node(
+                self._base_lb, self._base_ub, want_reduced_costs=self.presolve
+            )
         self._stats.nodes += 1
         if root.status == "infeasible":
             return Status.INFEASIBLE
@@ -251,8 +428,11 @@ class BranchAndBoundSolver:
                 if not cuts:
                     break
                 self._form = append_cuts(self._form, cuts)
+                self._workspace = LpWorkspace(self._form)
                 self._stats.cuts += len(cuts)
-                root = self._solve_node(self._form.lb, self._form.ub)
+                root = self._solve_node(
+                    self._base_lb, self._base_ub, want_reduced_costs=self.presolve
+                )
                 if root.status != "optimal":  # cuts are valid: only numerical noise lands here
                     raise SolverError("root LP failed after adding cover cuts")
                 if self._fractional_index(root.x) is None:
@@ -261,31 +441,64 @@ class BranchAndBoundSolver:
                     self._stats.gap = 0.0
                     return Status.OPTIMAL
 
+            # Root duals anchor reduced-cost fixing for the whole search;
+            # captured after cuts so they price the final root relaxation.
+            self._root_obj = root.objective
+            self._root_rc = root.reduced_costs
+            self._root_lb = self._base_lb.copy()
+            self._root_ub = self._base_ub.copy()
+
             if self.dive:
                 self._dive_for_incumbent(root.x)
+            self._apply_reduced_cost_fixing()
 
         with span("bnb_search") as search_span:
             status = self._best_first(start, root)
             search_span.attrs["nodes"] = self._stats.nodes
             search_span.attrs["status"] = status.value
+            search_span.attrs["presolve_fixings"] = self._stats.presolve_fixings
+            search_span.attrs["presolve_pruned"] = self._stats.presolve_pruned
         return status
 
+    def _materialize(self, chain: tuple | None) -> tuple[np.ndarray, np.ndarray]:
+        """Node bounds = global root bounds + the chain's tightenings.
+
+        Every chain entry only ever *tightens* (branching floors/ceils,
+        presolve shrinks), so entries apply order-independently via
+        ``max``/``min`` — which also lets later global reduced-cost fixings
+        override stale, looser deltas recorded before the incumbent improved.
+        """
+        lb = self._base_lb.copy()
+        ub = self._base_ub.copy()
+        node = chain
+        while node is not None:
+            _, j, kind, value = node
+            if kind == LB_TIGHTENED:
+                if value > lb[j]:
+                    lb[j] = value
+            elif value < ub[j]:
+                ub[j] = value
+            node = node[0]
+        return lb, ub
+
     def _best_first(self, start: float, root: LpResult) -> Status:
-        """The best-first loop; heap entries carry their tree depth for
-        the sampled node-event stream."""
+        """The best-first loop over delta-bound nodes.
+
+        Heap entries are ``(bound, tick, depth, chain, branch_info)``:
+        ``chain`` is the delta chain materialized lazily at pop time and
+        ``branch_info = (column, direction, parent_objective, fraction)``
+        feeds the pseudocost update once the node's LP resolves.
+        """
         counter = itertools.count()  # heap tie-breaker
-        heap: list[tuple[float, int, int, np.ndarray, np.ndarray]] = []
-        heapq.heappush(
-            heap,
-            (root.objective, next(counter), 0, self._form.lb.copy(), self._form.ub.copy()),
-        )
+        heap: list[tuple[float, int, int, tuple | None, tuple | None]] = []
+        heapq.heappush(heap, (root.objective, next(counter), 0, None, None))
 
         while heap:
-            bound, _, depth, lb, ub = heapq.heappop(heap)
+            bound, _, depth, chain, branch_info = heapq.heappop(heap)
             self._stats.best_bound = bound
             incumbent = None if self._incumbent_x is None else self._incumbent_obj
             node_event(depth=depth, bound=bound, incumbent=incumbent)
-            if bound >= self._incumbent_obj - self.gap_tol:
+            if bound >= self._cutoff():
                 # Best-first order: every remaining node is at least as bad.
                 self._stats.gap = max(0.0, self._incumbent_obj - bound)
                 return Status.OPTIMAL if self._incumbent_x is not None else Status.INFEASIBLE
@@ -297,25 +510,56 @@ class BranchAndBoundSolver:
                 trace_event("budget_exhausted", kind="deadline", nodes=self._stats.nodes)
                 return Status.FEASIBLE if self._incumbent_x is not None else Status.NODE_LIMIT
 
+            lb, ub = self._materialize(chain)
+            if np.any(lb > ub):
+                # Global reduced-cost fixing emptied this subtree's box.
+                self._stats.presolve_pruned += 1
+                continue
+            if self.presolve:
+                cutoff = self._cutoff()
+                feasible, changes = propagate_bounds(
+                    self._workspace.propagation,
+                    lb,
+                    ub,
+                    self._int_mask,
+                    cutoff=cutoff if math.isfinite(cutoff) else None,
+                )
+                if not feasible:
+                    self._stats.presolve_pruned += 1
+                    continue
+                if changes:
+                    self._stats.presolve_fixings += len(changes)
+                    for delta in changes:
+                        chain = (chain, *delta)
+
             result = self._solve_node(lb, ub)
             self._stats.nodes += 1
+            if branch_info is not None and result.status == "optimal":
+                self._update_pseudocost(branch_info, result.objective)
             if result.status != "optimal":
                 continue  # infeasible subtree (unbounded cannot appear below a bounded root)
-            if result.objective >= self._incumbent_obj - self.gap_tol:
+            if result.objective >= self._cutoff():
                 continue
 
-            j = self._fractional_index(result.x)
+            j = self._select_branch(result.x)
             if j is None:
                 self._try_update_incumbent(result.x, result.objective)
                 continue
 
             value = result.x[j]
-            down_ub = ub.copy()
-            down_ub[j] = math.floor(value)
-            up_lb = lb.copy()
-            up_lb[j] = math.ceil(value)
-            heapq.heappush(heap, (result.objective, next(counter), depth + 1, lb.copy(), down_ub))
-            heapq.heappush(heap, (result.objective, next(counter), depth + 1, up_lb, ub.copy()))
+            frac = value - math.floor(value)
+            down_chain = (chain, j, 1, float(math.floor(value)))
+            up_chain = (chain, j, 0, float(math.ceil(value)))
+            heapq.heappush(
+                heap,
+                (result.objective, next(counter), depth + 1, down_chain,
+                 (j, -1, result.objective, frac)),
+            )
+            heapq.heappush(
+                heap,
+                (result.objective, next(counter), depth + 1, up_chain,
+                 (j, +1, result.objective, frac)),
+            )
 
         if self._incumbent_x is None:
             return Status.INFEASIBLE

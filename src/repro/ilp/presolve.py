@@ -1,0 +1,198 @@
+"""Node presolve for branch and bound: bound propagation + reduced-cost fixing.
+
+Two families of tightenings run before (or instead of) a node's LP solve:
+
+- **Integer bound propagation** (:func:`propagate_bounds`): classic activity
+  reasoning over every row. For a row ``sum a_j x_j <= b`` with minimum
+  activity ``m`` (each term at its cheapest bound), any variable with
+  ``a_j > 0`` must satisfy ``x_j <= lb_j + (b - m) / a_j`` — and integer
+  columns round that down. Equality rows participate as two inequalities,
+  and when an incumbent exists the objective itself joins as the cutoff row
+  ``c x <= z_inc - gap_tol - c0``, which is where most of the pruning power
+  comes from on the TAM models (a core whose per-bus test time exceeds the
+  incumbent can no longer ride that bus). A negative row slack proves the
+  node infeasible with no LP solve at all.
+
+- **Reduced-cost fixing** (:func:`reduced_cost_tighten`): with the root LP's
+  reduced costs ``d`` and an incumbent cutoff ``z``, LP duality gives
+  ``obj(x) >= z_root + d_j (x_j - root_lb_j)`` for any ``x`` feasible in the
+  root relaxation, so a nonbasic-at-lower column with ``d_j > 0`` can move
+  up by at most ``(z - z_root) / d_j`` before it cannot beat the incumbent
+  (symmetrically for columns at their upper bound). The bounds are valid for
+  the whole tree, so the solver applies them globally and re-applies them
+  every time the incumbent improves.
+
+Everything is vectorized: the per-:class:`~repro.ilp.model.MatrixForm` row
+tables are precomputed once (:class:`PropagationTables`, owned by the LP
+workspace) and each node pays only dense numpy arithmetic, no Python loop
+over rows or columns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ilp.model import MatrixForm
+
+#: Clamp for infinite bounds inside activity arithmetic: big enough that no
+#: real tightening is ever produced from a clamped bound, small enough that
+#: products with row coefficients stay exact in float64.
+_BIG = 1e15
+
+#: Kind tags for recorded tightenings (shared with the delta-bound nodes).
+LB_TIGHTENED = 0
+UB_TIGHTENED = 1
+
+
+class PropagationTables:
+    """Precomputed row tables for bound propagation over one ``MatrixForm``.
+
+    The propagation matrix stacks ``A_ub``, both directions of ``A_eq``, and
+    (when the objective has support) the objective row, whose right-hand
+    side is the incumbent cutoff supplied per call. Positive/negative parts
+    and elementwise reciprocals are cached so each propagation round is a
+    couple of matmuls.
+    """
+
+    def __init__(self, form: MatrixForm):
+        n = form.num_vars
+        blocks: list[np.ndarray] = []
+        rhs_blocks: list[np.ndarray] = []
+        if form.a_ub.size:
+            blocks.append(form.a_ub)
+            rhs_blocks.append(form.b_ub)
+        if form.a_eq.size:
+            blocks.append(form.a_eq)
+            rhs_blocks.append(form.b_eq)
+            blocks.append(-form.a_eq)
+            rhs_blocks.append(-form.b_eq)
+        self.has_objective_row = bool(np.any(form.c))
+        if self.has_objective_row:
+            blocks.append(form.c.reshape(1, n))
+            rhs_blocks.append(np.array([math.inf]))
+        self.c0 = form.c0
+        if blocks:
+            rows = np.vstack(blocks)
+            rhs = np.concatenate(rhs_blocks)
+        else:
+            rows = np.zeros((0, n))
+            rhs = np.zeros(0)
+        self.rows = rows
+        self.rhs = rhs
+        self.pos = np.maximum(rows, 0.0)
+        self.neg = np.minimum(rows, 0.0)
+        self.pos_mask = rows > 0.0
+        self.neg_mask = rows < 0.0
+        with np.errstate(divide="ignore"):
+            self.inv = np.where(rows != 0.0, 1.0 / np.where(rows != 0.0, rows, 1.0), 0.0)
+
+    @property
+    def num_rows(self) -> int:
+        return self.rows.shape[0]
+
+
+def propagate_bounds(
+    tables: PropagationTables,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    integer_mask: np.ndarray,
+    cutoff: float | None = None,
+    max_rounds: int = 4,
+    tol: float = 1e-6,
+) -> tuple[bool, list[tuple[int, int, float]]]:
+    """Tighten ``lb``/``ub`` in place; returns ``(feasible, tightenings)``.
+
+    ``cutoff`` is an objective-value cutoff (incumbent minus gap tolerance,
+    in the solved minimization sense *including* the constant offset); when
+    given and the form has an objective row, solutions at least that bad are
+    propagated away. Each recorded tightening is ``(column, kind, value)``
+    with ``kind`` one of :data:`LB_TIGHTENED` / :data:`UB_TIGHTENED` — the
+    exact delta layout the branch-and-bound node chains store.
+    """
+    if tables.num_rows == 0:
+        return True, []
+    rhs = tables.rhs
+    if tables.has_objective_row:
+        rhs = rhs.copy()
+        rhs[-1] = math.inf if cutoff is None else cutoff - tables.c0
+    changes: list[tuple[int, int, float]] = []
+    clb = np.clip(lb, -_BIG, _BIG)
+    cub = np.clip(ub, -_BIG, _BIG)
+    for _ in range(max_rounds):
+        min_activity = tables.pos @ clb + tables.neg @ cub
+        slack = rhs - min_activity
+        if np.any(slack < -tol * (1.0 + np.abs(rhs))):
+            return False, changes
+        with np.errstate(invalid="ignore"):
+            ratio = slack[:, None] * tables.inv
+            ub_cand = np.where(tables.pos_mask, clb[None, :] + ratio, math.inf)
+            lb_cand = np.where(tables.neg_mask, cub[None, :] + ratio, -math.inf)
+        new_ub = np.min(ub_cand, axis=0) if ub_cand.size else cub
+        new_lb = np.max(lb_cand, axis=0) if lb_cand.size else clb
+        new_ub = np.where(integer_mask, np.floor(new_ub + tol), new_ub)
+        new_lb = np.where(integer_mask, np.ceil(new_lb - tol), new_lb)
+        improved_ub = np.flatnonzero(new_ub < cub - tol)
+        improved_lb = np.flatnonzero(new_lb > clb + tol)
+        if improved_ub.size == 0 and improved_lb.size == 0:
+            break
+        for j in improved_ub:
+            value = float(new_ub[j])
+            cub[j] = value
+            ub[j] = value
+            changes.append((int(j), UB_TIGHTENED, value))
+        for j in improved_lb:
+            value = float(new_lb[j])
+            clb[j] = value
+            lb[j] = value
+            changes.append((int(j), LB_TIGHTENED, value))
+        if np.any(clb > cub + tol):
+            return False, changes
+    return True, changes
+
+
+def reduced_cost_tighten(
+    reduced_costs: np.ndarray,
+    root_lb: np.ndarray,
+    root_ub: np.ndarray,
+    root_objective: float,
+    cutoff: float,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    integer_mask: np.ndarray,
+    eps: float = 1e-7,
+    tol: float = 1e-6,
+) -> int:
+    """Reduced-cost fixing against ``cutoff``; tightens ``lb``/``ub`` in place.
+
+    ``root_lb``/``root_ub`` are the bounds the root LP was solved under and
+    ``root_objective`` its optimum (minimization sense). Only integer columns
+    are tightened — the rounding is where fixing beats plain dual bounds.
+    Returns the number of bounds tightened; resulting ``lb > ub`` simply
+    means no improving solution touches that column range, which the caller
+    treats as a (correct) subtree prune.
+    """
+    gap = cutoff - root_objective
+    if not np.isfinite(gap) or gap < 0.0:
+        return 0
+    tightened = 0
+    up_cols = np.flatnonzero(
+        integer_mask & (reduced_costs > eps) & np.isfinite(root_lb)
+    )
+    if up_cols.size:
+        cand = root_lb[up_cols] + np.floor(gap / reduced_costs[up_cols] + tol)
+        better = cand < ub[up_cols] - 0.5
+        cols = up_cols[better]
+        ub[cols] = cand[better]
+        tightened += int(cols.size)
+    down_cols = np.flatnonzero(
+        integer_mask & (reduced_costs < -eps) & np.isfinite(root_ub)
+    )
+    if down_cols.size:
+        cand = root_ub[down_cols] - np.floor(gap / -reduced_costs[down_cols] + tol)
+        better = cand > lb[down_cols] + 0.5
+        cols = down_cols[better]
+        lb[cols] = cand[better]
+        tightened += int(cols.size)
+    return tightened

@@ -30,6 +30,14 @@ class SolveStats:
     counters then describe the *original* solve that produced the record,
     not work done in this call. ``retries`` counts transient-error re-runs
     the resilient solve path performed before this result came back.
+
+    The presolve counters describe the node fast path:
+    ``presolve_fixings`` is the number of variable bounds tightened by
+    propagation or reduced-cost fixing, ``presolve_pruned`` the subtrees
+    discarded before any LP was solved (so ``nodes`` keeps its meaning of
+    LP-solved nodes and ``lp_solves >= nodes`` stays true), and
+    ``pseudocost_branches`` the branchings decided by pseudocost scores
+    rather than the most-fractional fallback.
     """
 
     nodes: int = 0
@@ -43,6 +51,9 @@ class SolveStats:
     cuts: int = 0
     cache_hit: bool = False
     retries: int = 0
+    presolve_fixings: int = 0
+    presolve_pruned: int = 0
+    pseudocost_branches: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready view (used by ``repro design --json`` and telemetry)."""

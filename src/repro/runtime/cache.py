@@ -53,8 +53,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports us laz
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Cache format version; bump when the record layout or key derivation
-#: changes so stale stores are ignored rather than misread.
-_FORMAT_VERSION = 1
+#: changes so stale stores are ignored rather than misread. v2: solver fast
+#: path (presolve + pseudocost branching) — objectives are unchanged but
+#: tie-broken assignments and the persisted work counters may differ, so
+#: records written by the v1 solver are not replayed.
+_FORMAT_VERSION = 2
 
 #: SolveStats fields persisted with a record (work counters of the original
 #: solve, kept so a cached solution still reports its provenance).
@@ -69,6 +72,9 @@ _STATS_FIELDS = (
     "gap",
     "cuts",
     "retries",
+    "presolve_fixings",
+    "presolve_pruned",
+    "pseudocost_branches",
 )
 
 

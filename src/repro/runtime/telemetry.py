@@ -32,6 +32,8 @@ class RunTelemetry:
     lp_solves: int = 0
     lp_iterations: int = 0
     incumbent_updates: int = 0
+    presolve_fixings: int = 0
+    presolve_pruned: int = 0
     wall_time: float = 0.0
     jobs: int = 1
     retries: int = 0
@@ -48,6 +50,8 @@ class RunTelemetry:
         self.lp_solves += stats.lp_solves
         self.lp_iterations += stats.lp_iterations
         self.incumbent_updates += stats.incumbent_updates
+        self.presolve_fixings += stats.presolve_fixings
+        self.presolve_pruned += stats.presolve_pruned
         self.wall_time += stats.wall_time
         self.retries += stats.retries
 
@@ -71,6 +75,8 @@ class RunTelemetry:
         self.lp_solves += other.lp_solves
         self.lp_iterations += other.lp_iterations
         self.incumbent_updates += other.incumbent_updates
+        self.presolve_fixings += other.presolve_fixings
+        self.presolve_pruned += other.presolve_pruned
         self.wall_time += other.wall_time
         self.retries += other.retries
         self.fallbacks += other.fallbacks

@@ -301,6 +301,52 @@ class TestCheckpointing:
         assert resumed, "expected the warm incumbent to be resumed"
 
 
+class TestCheckpointDebounce:
+    def _solver(self, tmp_path, interval):
+        from repro.ilp.branch_and_bound import BranchAndBoundSolver
+
+        model = knapsack_model()
+        return BranchAndBoundSolver(
+            model,
+            dive=False,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_interval=interval,
+        )
+
+    def _count_saves(self, monkeypatch):
+        calls = []
+        original = CheckpointStore.save
+
+        def counting_save(self, fingerprint, values, objective):
+            calls.append(objective)
+            return original(self, fingerprint, values, objective)
+
+        monkeypatch.setattr(CheckpointStore, "save", counting_save)
+        return calls
+
+    def test_interval_throttles_saves_but_final_incumbent_persists(
+        self, tmp_path, monkeypatch
+    ):
+        calls = self._count_saves(monkeypatch)
+        solver = self._solver(tmp_path, interval=3600.0)
+        solution = solver.solve()
+        assert solution.status is Status.OPTIMAL
+        assert solution.stats.incumbent_updates >= 2
+        # First incumbent writes immediately; later improvements fall inside
+        # the (huge) interval, and only the final flush writes again.
+        assert len(calls) <= 2
+        payload = solver._checkpoints.load(solver._fingerprint)
+        assert payload is not None
+        assert payload["objective"] == pytest.approx(-solution.objective)
+
+    def test_zero_interval_saves_every_improvement(self, tmp_path, monkeypatch):
+        calls = self._count_saves(monkeypatch)
+        solver = self._solver(tmp_path, interval=0.0)
+        solution = solver.solve()
+        assert solution.status is Status.OPTIMAL
+        assert len(calls) == solution.stats.incumbent_updates
+
+
 class TestParallelEquivalence:
     def test_jobs_do_not_change_aggregate_metrics(self, s1):
         aggregates = []

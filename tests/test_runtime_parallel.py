@@ -59,3 +59,37 @@ class TestParallelExperimentEquivalence:
             **grid,
         )
         assert _tables_of(parallel) == _tables_of(serial)
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_calls(self):
+        from repro.runtime import parallel as par
+
+        par.shutdown_pool()
+        run_parallel(_square, range(6), max_workers=2)
+        first = par._pool
+        assert first is not None
+        run_parallel(_square, range(6), max_workers=2)
+        assert par._pool is first  # same configuration: no respawn
+        run_parallel(_square, range(6), max_workers=3)
+        assert par._pool is not first  # new worker count retires the old pool
+        par.shutdown_pool()
+        assert par._pool is None
+
+    def test_shutdown_pool_is_idempotent(self):
+        from repro.runtime.parallel import shutdown_pool
+
+        shutdown_pool()
+        shutdown_pool()
+
+    def test_chunked_results_keep_order(self):
+        # More items than workers*4 exercises chunksize > 1.
+        items = list(range(57))
+        assert run_parallel(_square, items, max_workers=2) == [x * x for x in items]
+
+    def test_chunksize_heuristic(self):
+        from repro.runtime.parallel import _chunksize
+
+        assert _chunksize(4, 4) == 1
+        assert _chunksize(57, 2) == 8  # ceil(57 / 8)
+        assert _chunksize(1000, 8) == 32
