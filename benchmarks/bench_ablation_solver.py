@@ -11,10 +11,15 @@ that every configuration returns the same optimum:
 
 import pytest
 
-from repro.core import DesignProblem, build_assignment_ilp
-from repro.ilp import Model, quicksum
-from repro.soc import build_s1, build_s2
-from repro.tam import TamArchitecture
+from repro.api import (
+    DesignProblem,
+    Model,
+    TamArchitecture,
+    build_assignment_ilp,
+    build_s1,
+    build_s2,
+    quicksum,
+)
 
 
 def _instances():

@@ -10,8 +10,7 @@ import math
 
 import pytest
 
-from repro.core import design_best_architecture
-from repro.soc import build_s1, build_s2
+from repro.api import build_s1, build_s2, design_best_architecture
 
 
 @pytest.mark.parametrize("soc_builder", [build_s1, build_s2], ids=["S1", "S2"])

@@ -8,10 +8,15 @@ topology test buses actually use.
 
 import pytest
 
-from repro.core import DesignProblem, design
-from repro.layout import bus_wirelength, grid_place
-from repro.soc import build_s1, build_s2
-from repro.tam import TamArchitecture
+from repro.api import (
+    DesignProblem,
+    TamArchitecture,
+    build_s1,
+    build_s2,
+    bus_wirelength,
+    design,
+    grid_place,
+)
 
 
 @pytest.mark.parametrize(

@@ -26,20 +26,20 @@ import json
 import os
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import ExperimentConfig, build_s1, run_experiment  # noqa: E402
+from repro.obs import now  # noqa: E402
 from repro.runtime.parallel import resolve_workers  # noqa: E402
 
 
 def _run_f1(grid: dict, jobs: int, cache_dir: str):
     config = ExperimentConfig(jobs=jobs, cache_dir=cache_dir)
-    start = time.perf_counter()
+    start = now()
     result = run_experiment("F1", config=config, **grid)
-    elapsed = time.perf_counter() - start
+    elapsed = now() - start
     return elapsed, config, result
 
 

@@ -31,13 +31,18 @@ import json
 import os
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.api import SolutionCache, build_s1, use_cache, width_sweep  # noqa: E402
-from repro.runtime import RunTelemetry  # noqa: E402
+from repro.api import (  # noqa: E402
+    RunTelemetry,
+    SolutionCache,
+    build_s1,
+    use_cache,
+    width_sweep,
+)
+from repro.obs import now  # noqa: E402
 from repro.runtime.parallel import resolve_workers  # noqa: E402
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -56,7 +61,7 @@ def _grid(quick: bool) -> dict:
 
 
 def _run_sweep(soc, grid: dict, jobs: int, **solver_options) -> dict:
-    start = time.perf_counter()
+    start = now()
     telemetry = RunTelemetry(jobs=jobs)
     for num_buses in grid["bus_counts"]:
         points = width_sweep(
@@ -65,7 +70,7 @@ def _run_sweep(soc, grid: dict, jobs: int, **solver_options) -> dict:
         )
         for point in points:
             telemetry.merge(point.telemetry)
-    elapsed = time.perf_counter() - start
+    elapsed = now() - start
     return {
         "seconds": round(elapsed, 3),
         "jobs": jobs,

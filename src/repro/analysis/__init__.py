@@ -11,9 +11,14 @@ Two complementary passes guard the reproduction's correctness:
   before the ILP is even built;
 - **code lint** (:mod:`repro.analysis.code_lint`, rules ``C0xx``) — an
   AST pass enforcing repo invariants (RNG discipline, no mutable default
-  arguments, no exact equality on solver objectives, no bare ``except``).
+  arguments, no exact equality on solver objectives, no bare ``except``);
+- **flow lint** (:mod:`repro.analysis.flow`, rules ``D0xx``) — a
+  whole-project pass over the same file set with import resolution, a call
+  graph, and per-function taint, enforcing cache-key completeness,
+  process-pool purity, determinism discipline, and facade integrity.
 
-Entry points: ``repro lint model``/``repro lint code`` on the command line,
+Entry points: ``repro lint model``/``repro lint code`` on the command line
+(``--format sarif`` emits SARIF 2.1.0 for GitHub code scanning),
 ``model.solve(lint="warn"|"error")`` as an opt-in solve gate, and
 ``DesignProblem.lint()`` pre-formulation. DESIGN.md carries the full rule
 catalog with rationale.
@@ -21,8 +26,10 @@ catalog with rationale.
 
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity, load_baseline
 from repro.analysis.code_lint import CODE_RULES, CodeRule, lint_paths, lint_source
+from repro.analysis.flow import FLOW_RULES, ProjectRule, lint_project
 from repro.analysis.model_lint import MODEL_RULES, ModelRule, ModelView, lint_model
 from repro.analysis.problem_lint import check_problem
+from repro.analysis.sarif import report_to_sarif, report_to_sarif_json
 
 __all__ = [
     "Diagnostic",
@@ -33,9 +40,14 @@ __all__ = [
     "CodeRule",
     "lint_paths",
     "lint_source",
+    "FLOW_RULES",
+    "ProjectRule",
+    "lint_project",
     "MODEL_RULES",
     "ModelRule",
     "ModelView",
     "lint_model",
     "check_problem",
+    "report_to_sarif",
+    "report_to_sarif_json",
 ]

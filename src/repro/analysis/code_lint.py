@@ -27,17 +27,29 @@ C004  error     bare ``except:``
 C005  error     example code importing ``repro.*`` internals, not ``repro.api``
 C006  error     ``time.perf_counter()`` / ``time.time()`` outside repro.obs/runtime
 ====  ========  ===========================================================
+
+The flow-aware ``D``-series rules (cache-key completeness, process-pool
+purity, determinism discipline, facade integrity) live in
+:mod:`repro.analysis.flow.rules`; :func:`lint_paths` runs them over the
+whole scanned file set after the per-file pass, so ``repro lint code``
+reports both families in one canonicalized report.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.diagnostics import (
+    IGNORE_RE as _IGNORE_RE,  # noqa: F401  (re-exported; the regex moved)
+    Diagnostic,
+    LintReport,
+    Severity,
+    ignored_rules_for_lines,
+    node_waiver_span,
+)
 
 #: Files allowed to touch the raw RNG APIs (posix path suffixes).
 RNG_EXEMPT_SUFFIXES = ("util/rng.py",)
@@ -54,8 +66,6 @@ OBJECTIVE_ATTRS = frozenset(
 #: Method names returning solver-produced floats (C003).
 OBJECTIVE_CALLS = frozenset({"objective_value"})
 
-_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
-
 
 @dataclass
 class FileContext:
@@ -71,15 +81,17 @@ class FileContext:
 
     def ignored_rules(self, lineno: int) -> set[str] | None:
         """Rules waived on ``lineno`` (1-based); None means "waive all"."""
-        if not 1 <= lineno <= len(self.lines):
-            return set()
-        match = _IGNORE_RE.search(self.lines[lineno - 1])
-        if match is None:
-            return set()
-        rules = match.group("rules")
-        if rules is None:
-            return None
-        return {r.strip() for r in rules.split(",") if r.strip()}
+        return ignored_rules_for_lines(self.lines, lineno, lineno)
+
+    def ignored_rules_for_node(self, node: ast.AST) -> set[str] | None:
+        """Rules waived anywhere over ``node``'s source span.
+
+        Decorated definitions accept the waiver on the decorator line or
+        anywhere in a multi-line signature; other statements on any of
+        their continuation lines.
+        """
+        start, end = node_waiver_span(node)
+        return ignored_rules_for_lines(self.lines, start, end)
 
 
 class CodeRule:
@@ -173,6 +185,15 @@ class ObjectiveFloatEquality(CodeRule):
             return expr.func.attr in OBJECTIVE_CALLS
         return False
 
+    def _is_tolerant(self, expr: ast.AST) -> bool:
+        """``== pytest.approx(...)`` / ``math.isclose(...)`` is the fix,
+        not the bug."""
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        return name in ("approx", "isclose")
+
     def check(self, node: ast.AST, ctx: FileContext) -> Iterable[Diagnostic]:
         assert isinstance(node, ast.Compare)
         operands = [node.left, *node.comparators]
@@ -184,6 +205,8 @@ class ObjectiveFloatEquality(CodeRule):
                     continue
                 if isinstance(other, ast.Constant) and other.value is None:
                     continue  # a None-ness check, not a float comparison
+                if self._is_tolerant(other):
+                    continue  # pytest.approx / math.isclose already tolerant
                 yield self.diag(
                     side,
                     ctx,
@@ -312,8 +335,7 @@ class _Dispatcher(ast.NodeVisitor):
     def visit(self, node: ast.AST) -> None:
         for rule in self._by_type.get(type(node), ()):
             for diagnostic in rule.check(node, self._ctx):
-                lineno = getattr(node, "lineno", 0)
-                ignored = self._ctx.ignored_rules(lineno)
+                ignored = self._ctx.ignored_rules_for_node(node)
                 if ignored is None or diagnostic.rule in ignored:
                     self._report.waived.append(diagnostic)
                 else:
@@ -357,11 +379,26 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str | Path], rules: Iterable[CodeRule] | None = None
+    paths: Iterable[str | Path],
+    rules: Iterable[CodeRule] | None = None,
+    flow: bool = True,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Runs the per-file C-rules, then (unless ``flow=False``, or a custom
+    ``rules`` subset was requested) the whole-project D-rules over the same
+    file set, and returns one canonicalized report — deduplicated and
+    sorted by (path, line, rule), so output order never depends on
+    traversal order or which pass fired first.
+    """
     report = LintReport()
-    for file_path in iter_python_files(paths):
+    files = iter_python_files(paths)
+    for file_path in files:
         source = file_path.read_text(encoding="utf-8")
         report.extend(lint_source(source, str(file_path), rules=rules))
-    return report
+    if flow and rules is None:
+        from repro.analysis.flow.project import load_project
+        from repro.analysis.flow.rules import run_project_rules
+
+        report.extend(run_project_rules(load_project(files)))
+    return report.normalize()

@@ -16,10 +16,55 @@ Severity semantics follow compiler convention:
 
 from __future__ import annotations
 
+import ast
 import enum
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
+
+#: Inline waiver comment: ``# lint: ignore`` (all rules) or
+#: ``# lint: ignore[C001,C003]`` (specific rules, comma-separated).
+IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+def ignored_rules_for_lines(lines: list[str], start: int, end: int) -> set[str] | None:
+    """Rules waived anywhere on lines ``start..end`` (1-based, inclusive).
+
+    Returns None when a bare ``# lint: ignore`` (waive everything) appears;
+    otherwise the union of rule ids named in ``ignore[...]`` brackets. A
+    statement's waiver may sit on any of its source lines — the decorator
+    line, the ``def`` line of a multi-line signature, or a continuation.
+    """
+    found: set[str] = set()
+    for lineno in range(max(start, 1), min(end, len(lines)) + 1):
+        match = IGNORE_RE.search(lines[lineno - 1])
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            return None
+        found |= {r.strip() for r in rules.split(",") if r.strip()}
+    return found
+
+
+def node_waiver_span(node: ast.AST) -> tuple[int, int]:
+    """The line range in which a waiver comment applies to ``node``.
+
+    For decorated definitions the span starts at the first decorator and
+    ends on the line before the body (so a waiver on the decorator or on
+    any line of a multi-line signature counts). For other statements it is
+    simply ``lineno..end_lineno``.
+    """
+    lineno = getattr(node, "lineno", 0)
+    end = getattr(node, "end_lineno", None) or lineno
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        decorators = [d.lineno for d in node.decorator_list]
+        start = min([lineno, *decorators]) if decorators else lineno
+        if node.body:
+            end = max(start, node.body[0].lineno - 1)
+        return start, end
+    return lineno, end
 
 
 class Severity(enum.Enum):
@@ -104,15 +149,28 @@ class LintReport:
     def __iter__(self):
         return iter(self.diagnostics)
 
+    # ----------------------------------------------------------- normalization
+    def normalize(self) -> LintReport:
+        """Canonicalize: drop exact duplicates, sort by (path, line, rule).
+
+        This is the single ordering authority for every output format
+        (text, JSON, SARIF): two runs over the same tree — regardless of
+        file-discovery order or which pass emitted a finding first —
+        produce byte-identical reports. Exact duplicates (same rule,
+        location, message) can arise when the per-file and project passes
+        agree on a finding; one copy is kept.
+        """
+        self.diagnostics = sorted(set(self.diagnostics), key=_canonical_key)
+        self.waived = sorted(set(self.waived), key=_canonical_key)
+        return self
+
     # -------------------------------------------------------------- rendering
     def render(self, title: str | None = None) -> str:
-        """Multi-line text report, most severe findings first."""
+        """Multi-line text report in canonical (path, line, rule) order."""
         lines = []
         if title:
             lines.append(title)
-        ordered = sorted(
-            self.diagnostics, key=lambda d: (-d.severity.rank, d.rule, d.location)
-        )
+        ordered = sorted(self.diagnostics, key=_canonical_key)
         lines.extend(diag.render() for diag in ordered)
         counts = self.counts()
         summary = ", ".join(f"{counts[k]} {k}(s)" for k in ("error", "warning", "info"))
@@ -132,7 +190,7 @@ class LintReport:
         return json.dumps(payload, indent=2, sort_keys=True)
 
     # --------------------------------------------------------------- baseline
-    def apply_baseline(self, waivers: list[dict]) -> None:
+    def apply_baseline(self, waivers: list[dict]) -> list[dict]:
         """Move findings matched by ``waivers`` into :attr:`waived`.
 
         Each waiver is ``{"rule": ..., "file": ..., "line": ..., "reason":
@@ -140,15 +198,37 @@ class LintReport:
         file). ``file`` matches any location whose path component ends with
         the given posix path, so baselines survive checkouts at different
         roots.
+
+        Returns the *stale* waivers — entries that matched nothing. A stale
+        entry means the underlying finding was fixed (or the code moved):
+        the baseline should shrink, and the CLI reports them so it does.
         """
         kept, waived = [], []
+        used = [False] * len(waivers)
         for diag in self.diagnostics:
-            if any(_waiver_matches(w, diag) for w in waivers):
-                waived.append(diag)
-            else:
-                kept.append(diag)
+            matched = False
+            for index, waiver in enumerate(waivers):
+                if _waiver_matches(waiver, diag):
+                    used[index] = True
+                    matched = True
+            (waived if matched else kept).append(diag)
         self.diagnostics = kept
         self.waived.extend(waived)
+        return [waiver for index, waiver in enumerate(waivers) if not used[index]]
+
+
+def _canonical_key(diag: Diagnostic) -> tuple:
+    """Sort key: (path, line, rule, message) — the one ordering authority.
+
+    Locations are either ``<path>:<line>`` (code lint) or free text
+    (``constraint foo`` from model lint); the latter sort by their full
+    text with line 0.
+    """
+    path, sep, rest = diag.location.rpartition(":")
+    line_text = rest.split(":", 1)[0]
+    if sep and line_text.isdigit():
+        return (path, int(line_text), diag.rule, diag.message)
+    return (diag.location, 0, diag.rule, diag.message)
 
 
 def _waiver_matches(waiver: dict, diag: Diagnostic) -> bool:

@@ -1,0 +1,48 @@
+"""Flow-aware static analysis over the repo's own source tree.
+
+Where :mod:`repro.analysis.code_lint` checks one file at a time, this
+package builds a *project* view — every scanned module parsed once, imports
+resolved through aliases and ``__init__`` re-export chains — and derives
+three cheap whole-program structures on top of it:
+
+- :class:`~repro.analysis.flow.project.Project` — module graph with
+  top-level binding tables and cross-module symbol resolution
+  (:meth:`Project.resolve`), the substrate every other pass shares;
+- :class:`~repro.analysis.flow.callgraph.CallGraph` — import-resolved
+  call/reference edges between project functions and classes, including
+  ``functools.partial`` and bare function references passed as arguments;
+- :func:`~repro.analysis.flow.dataflow.function_origins` — per-function
+  def-use chains reduced to *origin sets*: for every local, which
+  parameters / module globals its value was derived from. This is the
+  lightweight taint engine behind the cache-key completeness rule.
+
+The D-series rules (:mod:`repro.analysis.flow.rules`) consume these to
+machine-check the invariants the runtime layer only promises in prose:
+cache-key completeness (D001), process-pool purity (D002), determinism
+discipline (D003), and facade integrity (D004). They run automatically
+from :func:`repro.analysis.code_lint.lint_paths` / ``repro lint code``.
+"""
+
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.dataflow import FunctionOrigins, function_origins
+from repro.analysis.flow.project import ModuleInfo, Project, load_project
+from repro.analysis.flow.rules import (
+    FLOW_RULES,
+    ProjectRule,
+    lint_project,
+    run_project_rules,
+)
+
+__all__ = [
+    "CallGraph",
+    "FLOW_RULES",
+    "FunctionOrigins",
+    "ModuleInfo",
+    "Project",
+    "ProjectRule",
+    "build_call_graph",
+    "function_origins",
+    "lint_project",
+    "load_project",
+    "run_project_rules",
+]

@@ -1,0 +1,180 @@
+"""Import-resolved call graph over a :class:`~repro.analysis.flow.project.Project`.
+
+Nodes are qualified names ``module.Class.method`` / ``module.function`` /
+``module.Class`` (class construction counts as "calling" the class — that is
+exactly the edge the determinism rule needs to know a function builds a
+``Solution``). Edges come from three syntactic shapes, each resolved through
+the module's import bindings:
+
+- direct calls — ``fn(...)``, ``alias.fn(...)``, ``pkg.sub.fn(...)``,
+  ``self.method(...)`` (same-class dispatch);
+- ``functools.partial(fn, ...)`` — an edge to ``fn``, because the partial
+  will eventually run it;
+- bare references — a project function passed as an argument
+  (``run_parallel(worker, ...)``): recorded as a (conservative) edge, since
+  the callee may invoke it.
+
+The graph is deliberately context- and flow-insensitive: it answers
+reachability questions ("can this function reach a ``Solution``
+constructor?") cheaply and conservatively, which is the right trade for
+lint — a false edge can only widen a rule's scrutiny, never hide a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.project import ModuleInfo, Project
+
+
+@dataclass
+class FunctionDefInfo:
+    """One function/method (or class) definition node in the graph."""
+
+    qname: str
+    module: ModuleInfo
+    node: ast.AST
+    class_name: str | None = None
+
+
+@dataclass
+class CallGraph:
+    """Qualified-name adjacency plus the definition index."""
+
+    project: Project
+    definitions: dict[str, FunctionDefInfo] = field(default_factory=dict)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: qname of the enclosing definition for every AST function node id.
+    _qname_of_node: dict[int, str] = field(default_factory=dict)
+
+    def qname_of(self, node: ast.AST) -> str | None:
+        return self._qname_of_node.get(id(node))
+
+    def callees(self, qname: str) -> set[str]:
+        return self.edges.get(qname, set())
+
+    def reachable(self, start: str) -> set[str]:
+        """Every qname reachable from ``start`` (inclusive)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.edges.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def reaches_any(self, start: str, targets: set[str]) -> bool:
+        if not targets:
+            return False
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if current in targets:
+                return True
+            for nxt in self.edges.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+
+def _resolved_qname(project: Project, module: ModuleInfo, expr: ast.AST) -> str | None:
+    """Qualified name of the project definition ``expr`` refers to, if any."""
+    if isinstance(expr, ast.Name):
+        resolved = project.resolve_name(module, expr.id)
+    elif isinstance(expr, ast.Attribute):
+        resolved = project.resolve_attribute(module, expr)
+    else:
+        return None
+    if resolved.module is None or resolved.name is None:
+        return None
+    if not isinstance(resolved.node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return None
+    return f"{resolved.module.name}.{resolved.name}"
+
+
+def _is_partial(project: Project, module: ModuleInfo, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "partial":
+        binding = module.binding("partial")
+        return binding is not None and binding.kind == "from" and binding.target == "functools"
+    if isinstance(func, ast.Attribute) and func.attr == "partial":
+        if isinstance(func.value, ast.Name):
+            binding = module.binding(func.value.id)
+            return binding is not None and binding.kind == "import" and binding.target == "functools"
+    return False
+
+
+class _GraphBuilder(ast.NodeVisitor):
+    def __init__(self, graph: CallGraph, module: ModuleInfo):
+        self.graph = graph
+        self.module = module
+        self.scope: list[str] = []  # qualname parts
+        self.class_stack: list[str] = []
+
+    # ------------------------------------------------------------ definitions
+    def _define(self, node: ast.AST, name: str) -> str:
+        qname = ".".join([self.module.name, *self.scope, name])
+        self.graph.definitions[qname] = FunctionDefInfo(
+            qname,
+            self.module,
+            node,
+            class_name=self.class_stack[-1] if self.class_stack else None,
+        )
+        self.graph._qname_of_node[id(node)] = qname
+        return qname
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._define(node, node.name)
+        self.scope.append(node.name)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        qname = self._define(node, node.name)
+        self.scope.append(node.name)
+        class_name = self.class_stack[-1] if self.class_stack else None
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._record_call(qname, child, class_name)
+        # Bare references to project functions (callbacks handed onward).
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                for arg in [*child.args, *[kw.value for kw in child.keywords]]:
+                    ref = _resolved_qname(self.graph.project, self.module, arg)
+                    if ref is not None:
+                        self.graph.edges.setdefault(qname, set()).add(ref)
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # ------------------------------------------------------------------ edges
+    def _record_call(self, caller: str, call: ast.Call, class_name: str | None) -> None:
+        edges = self.graph.edges.setdefault(caller, set())
+        func = call.func
+        if _is_partial(self.graph.project, self.module, call) and call.args:
+            target = _resolved_qname(self.graph.project, self.module, call.args[0])
+            if target is not None:
+                edges.add(target)
+            return
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "self" and class_name is not None:
+                edges.add(f"{self.module.name}.{class_name}.{func.attr}")
+                return
+        target = _resolved_qname(self.graph.project, self.module, func)
+        if target is not None:
+            edges.add(target)
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    graph = CallGraph(project)
+    for module in project:
+        _GraphBuilder(graph, module).visit(module.tree)
+    return graph

@@ -1,0 +1,159 @@
+"""Per-function def-use chains reduced to *origin sets* (lightweight taint).
+
+For one function definition, :func:`function_origins` computes, for every
+local name, the set of roots its value may derive from:
+
+- ``param:<name>`` — a formal parameter (``param:**kwargs`` style roots keep
+  their plain name; :attr:`FunctionOrigins.var_keyword` says which one is
+  the ``**kwargs`` catch-all);
+- ``global:<name>`` — a module-scope name read inside the function;
+- ``self.<attr>`` loads root at ``param:self`` (the instance is the origin).
+
+Propagation is flow-insensitive (one fixpoint over the whole body) and
+*value-preserving by construction*: an expression's origins are the union
+of its subexpressions' origins, calls propagate their receiver's and
+arguments' origins into the result, and the mutating forms that matter for
+dict plumbing — ``d[k] = v``, ``d.update(x)``, ``d.setdefault`` — fold the
+value's origins back into the container. That is exactly enough to answer
+the cache-key question: "is the mapping hashed into ``solve_fingerprint``
+derived from the same knobs that reach the backend solver?" — without
+pretending to be a real abstract interpreter.
+
+Over-approximation is the designed failure mode: extra origins can only
+make rule D001 *more* suspicious of an un-hashed knob, never less.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FunctionOrigins:
+    """Origin sets for one function's locals, plus call-site views."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    origins: dict[str, set[str]] = field(default_factory=dict)
+    params: set[str] = field(default_factory=set)
+    var_keyword: str | None = None
+
+    def of_name(self, name: str) -> set[str]:
+        if name in self.origins:
+            roots = set(self.origins[name])
+            if name in self.params:
+                # A reassigned parameter keeps its param root: the rebound
+                # value still derives from the caller's knob (over-approx).
+                roots.add(f"param:{name}")
+            return roots
+        if name in self.params:
+            return {f"param:{name}"}
+        return {f"global:{name}"}
+
+    def of_expr(self, expr: ast.AST) -> set[str]:
+        """Union of origin roots a value computed by ``expr`` derives from."""
+        result: set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                result |= self.of_name(node.id)
+        return result
+
+    def param_origins(self, expr: ast.AST) -> set[str]:
+        """Only the ``param:`` roots of :meth:`of_expr` (the knob view)."""
+        return {root for root in self.of_expr(expr) if root.startswith("param:")}
+
+    def call_param_origins(self, call: ast.Call) -> set[str]:
+        """Param roots flowing into a call: receiver + every argument."""
+        roots: set[str] = set()
+        if isinstance(call.func, ast.Attribute):
+            roots |= self.param_origins(call.func.value)
+        for arg in call.args:
+            target = arg.value if isinstance(arg, ast.Starred) else arg
+            roots |= self.param_origins(target)
+        for keyword in call.keywords:
+            roots |= self.param_origins(keyword.value)
+        return roots
+
+
+_FOLDING_METHODS = frozenset({"update", "setdefault", "append", "extend", "add", "insert"})
+
+
+def function_origins(node: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionOrigins:
+    """Compute the flow-insensitive origin sets for ``node``'s locals."""
+    info = FunctionOrigins(node)
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        info.params.add(arg.arg)
+    if args.vararg is not None:
+        info.params.add(args.vararg.arg)
+    if args.kwarg is not None:
+        info.params.add(args.kwarg.arg)
+        info.var_keyword = args.kwarg.arg
+
+    statements = [
+        stmt
+        for stmt in ast.walk(node)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr, ast.withitem))
+    ]
+    # Fixpoint: flow-insensitive, so a couple of sweeps converge (chains are
+    # short; the bound guards pathological inputs).
+    for _ in range(4):
+        changed = False
+        for stmt in statements:
+            changed |= _apply(info, stmt)
+        if not changed:
+            break
+    return info
+
+
+def _merge_into(info: FunctionOrigins, name: str, roots: set[str]) -> bool:
+    current = info.origins.setdefault(name, set())
+    before = len(current)
+    current |= roots
+    return len(current) != before
+
+
+def _assign_targets(info: FunctionOrigins, target: ast.AST, roots: set[str]) -> bool:
+    changed = False
+    if isinstance(target, ast.Name):
+        changed |= _merge_into(info, target.id, roots)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            changed |= _assign_targets(info, element, roots)
+    elif isinstance(target, ast.Starred):
+        changed |= _assign_targets(info, target.value, roots)
+    elif isinstance(target, ast.Subscript):
+        # ``container[key] = value`` folds the value into the container.
+        if isinstance(target.value, ast.Name):
+            changed |= _merge_into(info, target.value.id, roots)
+    return changed
+
+
+def _apply(info: FunctionOrigins, stmt: ast.AST) -> bool:
+    changed = False
+    if isinstance(stmt, ast.Assign):
+        roots = info.of_expr(stmt.value)
+        for target in stmt.targets:
+            changed |= _assign_targets(info, target, roots)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        changed |= _assign_targets(info, stmt.target, info.of_expr(stmt.value))
+    elif isinstance(stmt, ast.AugAssign):
+        changed |= _assign_targets(info, stmt.target, info.of_expr(stmt.value))
+    elif isinstance(stmt, ast.withitem) and stmt.optional_vars is not None:
+        changed |= _assign_targets(info, stmt.optional_vars, info.of_expr(stmt.context_expr))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        # ``d.update(x)`` / ``items.append(x)``: fold argument origins into
+        # the receiver so mutated containers keep their full provenance.
+        call = stmt.value
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FOLDING_METHODS
+            and isinstance(call.func.value, ast.Name)
+        ):
+            roots: set[str] = set()
+            for arg in call.args:
+                roots |= info.of_expr(arg)
+            for keyword in call.keywords:
+                roots |= info.of_expr(keyword.value)
+            changed |= _merge_into(info, call.func.value.id, roots)
+    return changed

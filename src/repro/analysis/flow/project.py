@@ -1,0 +1,297 @@
+"""Project loader: parsed modules, binding tables, import resolution.
+
+A :class:`Project` is the shared substrate of every flow rule: each scanned
+``.py`` file parsed once into a :class:`ModuleInfo` carrying its dotted
+module name (derived from the ``__init__.py`` chain above it), its source
+lines (for waiver comments), and a table of *top-level bindings* — what each
+module-scope name refers to (a function, a class, an import, an assignment).
+
+:meth:`Project.resolve` answers "module ``M``, symbol ``S`` — where is it
+actually defined?", following ``from X import S as T`` aliases and package
+``__init__`` re-export chains (``repro.runtime`` re-exporting
+``repro.runtime.parallel.run_parallel``) with a visited set, so rules see
+through the facade layering instead of stopping at the first alias.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One top-level name in a module.
+
+    ``kind`` is ``"func"`` / ``"class"`` / ``"assign"`` for local
+    definitions, ``"import"`` for ``import X [as N]`` (``target`` is the
+    module path ``X``), and ``"from"`` for ``from X import S [as N]``
+    (``target`` is ``X``, ``symbol`` is ``S``).
+    """
+
+    name: str
+    kind: str
+    node: ast.AST
+    target: str | None = None
+    symbol: str | None = None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its binding table."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    lines: list[str]
+    is_package: bool = False
+    bindings: dict[str, Binding] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+    def binding(self, name: str) -> Binding | None:
+        return self.bindings.get(name)
+
+    def dunder_all(self) -> list[str] | None:
+        """The module's literal ``__all__`` list, or None when absent."""
+        for stmt in self.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets)
+                and isinstance(stmt.value, (ast.List, ast.Tuple))
+            ):
+                names = []
+                for element in stmt.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        names.append(element.value)
+                return names
+        return None
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Where a symbol lookup landed.
+
+    ``module`` is None for symbols that leave the project (external
+    libraries); then ``external`` carries the dotted ``module:symbol`` text.
+    """
+
+    module: ModuleInfo | None
+    name: str | None = None
+    node: ast.AST | None = None
+    external: str | None = None
+
+    @property
+    def is_external(self) -> bool:
+        return self.module is None
+
+
+def _module_name_for(path: Path) -> tuple[str, bool]:
+    """Dotted module name from the ``__init__.py`` chain above ``path``."""
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    parts: list[str] = [] if is_package else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:  # a bare __init__.py with no package directory above it
+        parts = [path.parent.name]
+    return ".".join(reversed(parts)), is_package
+
+
+def _collect_bindings(tree: ast.Module) -> dict[str, Binding]:
+    bindings: dict[str, Binding] = {}
+
+    def bind(binding: Binding) -> None:
+        bindings[binding.name] = binding
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bind(Binding(stmt.name, "func", stmt))
+        elif isinstance(stmt, ast.ClassDef):
+            bind(Binding(stmt.name, "class", stmt))
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                # ``import a.b.c`` binds ``a`` (the root package); with an
+                # asname the full dotted path is bound to that name.
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                bind(Binding(local, "import", stmt, target=target))
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue  # star imports are opaque; rules treat as unresolved
+                local = alias.asname or alias.name
+                bind(
+                    Binding(
+                        local,
+                        "from",
+                        stmt,
+                        target=stmt.module or "",
+                        symbol=alias.name,
+                    )
+                )
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bind(Binding(target.id, "assign", stmt))
+                elif isinstance(target, ast.Tuple):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            bind(Binding(element.id, "assign", stmt))
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # One level into conditional imports (TYPE_CHECKING guards,
+            # optional dependencies) — enough for the real tree's idioms.
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        local = alias.asname or alias.name.partition(".")[0]
+                        target = alias.name if alias.asname else alias.name.partition(".")[0]
+                        bindings.setdefault(local, Binding(local, "import", sub, target=target))
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name == "*":
+                            continue
+                        local = alias.asname or alias.name
+                        bindings.setdefault(
+                            local,
+                            Binding(local, "from", sub, target=sub.module or "", symbol=alias.name),
+                        )
+    return bindings
+
+
+class Project:
+    """All scanned modules, indexed by dotted name, with symbol resolution."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        for module in modules:
+            self.modules[module.name] = module
+            self.by_path[module.path] = module
+
+    def __iter__(self):
+        return iter(self.modules.values())
+
+    def module(self, name: str) -> ModuleInfo | None:
+        return self.modules.get(name)
+
+    # ------------------------------------------------------------- resolution
+    def absolute_target(self, module: ModuleInfo, node: ast.ImportFrom) -> str:
+        """The absolute dotted module an ``ImportFrom`` pulls from."""
+        if not node.level:
+            return node.module or ""
+        base = module.package
+        for _ in range(node.level - 1):
+            base = base.rpartition(".")[0]
+        if node.module:
+            return f"{base}.{node.module}" if base else node.module
+        return base
+
+    def resolve(self, module_name: str, symbol: str, _seen: frozenset = frozenset()) -> Resolved:
+        """Find where ``module_name.symbol`` is defined, following re-exports."""
+        key = (module_name, symbol)
+        if key in _seen:
+            return Resolved(None, external=f"{module_name}:{symbol}")
+        module = self.modules.get(module_name)
+        if module is None:
+            # ``symbol`` may itself be a submodule of an unscanned package —
+            # or the whole thing is external. Prefer a scanned submodule.
+            submodule = self.modules.get(f"{module_name}.{symbol}")
+            if submodule is not None:
+                return Resolved(submodule, name=None, node=submodule.tree)
+            return Resolved(None, external=f"{module_name}:{symbol}")
+        binding = module.bindings.get(symbol)
+        if binding is None:
+            submodule = self.modules.get(f"{module_name}.{symbol}")
+            if submodule is not None:
+                return Resolved(submodule, name=None, node=submodule.tree)
+            return Resolved(None, external=f"{module_name}:{symbol}")
+        if binding.kind in ("func", "class", "assign"):
+            return Resolved(module, name=symbol, node=binding.node)
+        if binding.kind == "from":
+            assert binding.node is not None
+            target = self.absolute_target(module, binding.node)  # type: ignore[arg-type]
+            return self.resolve(target, binding.symbol or symbol, _seen | {key})
+        if binding.kind == "import":
+            target_module = self.modules.get(binding.target or "")
+            if target_module is not None:
+                return Resolved(target_module, name=None, node=target_module.tree)
+            return Resolved(None, external=binding.target)
+        return Resolved(None, external=f"{module_name}:{symbol}")
+
+    def resolve_name(self, module: ModuleInfo, name: str) -> Resolved:
+        """Resolve a bare module-scope ``name`` used inside ``module``."""
+        return self.resolve(module.name, name)
+
+    def resolve_attribute(self, module: ModuleInfo, node: ast.Attribute) -> Resolved:
+        """Resolve ``alias.attr`` / ``pkg.sub.attr`` attribute references."""
+        parts: list[str] = []
+        current: ast.AST = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return Resolved(None, external=None)
+        parts.append(current.id)
+        parts.reverse()
+        binding = module.bindings.get(parts[0])
+        if binding is None or binding.kind not in ("import", "from"):
+            return Resolved(None, external=None)
+        if binding.kind == "import":
+            base = binding.target or parts[0]
+        else:  # ``from X import sub`` used as ``sub.attr``
+            resolved = self.resolve(module.name, parts[0])
+            if resolved.module is not None and resolved.name is None:
+                base = resolved.module.name
+            else:
+                return resolved if len(parts) == 1 else Resolved(None, external=None)
+        # Walk the dotted chain: all but the last element must be modules.
+        for index, part in enumerate(parts[1:], start=1):
+            is_last = index == len(parts) - 1
+            if is_last:
+                return self.resolve(base, part)
+            base = f"{base}.{part}"
+        return self.resolve(base, parts[-1])
+
+
+def load_project(paths: Iterable[str | Path]) -> Project:
+    """Parse ``paths`` (files, in any order) into a :class:`Project`.
+
+    Files that do not parse are skipped — the per-file lint pass already
+    reports them as C000, and a half-parsed module would only poison the
+    cross-module structures.
+    """
+    modules: list[ModuleInfo] = []
+    seen: set[str] = set()
+    for path in paths:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        name, is_package = _module_name_for(path)
+        if name in seen:  # duplicate stem outside any package: keep the first
+            name = f"{name}@{len(modules)}"
+        seen.add(name)
+        modules.append(
+            ModuleInfo(
+                name=name,
+                path=str(path),
+                tree=tree,
+                lines=source.splitlines(),
+                is_package=is_package,
+                bindings=_collect_bindings(tree),
+            )
+        )
+    return Project(modules)

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 emitter for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+format GitHub code scanning, VS Code, and most CI annotators consume; one
+emitter here means every rule family — per-file C-rules and flow-aware
+D-rules alike — shows up as inline PR annotations without per-tool glue.
+
+The emitter is deliberately minimal-but-valid: one ``run``, a ``tool.driver``
+carrying the full rule catalog (so viewers can show titles and default
+levels), one ``result`` per diagnostic, and waived findings included as
+suppressed results (``suppressions: [{kind: ...}]``) so an audit can still
+see what was waived and why without the findings failing the scan.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Severity → SARIF result level.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning", Severity.INFO: "note"}
+
+
+def _rule_catalog() -> list[dict]:
+    """Every known rule (C- and D-series) as a SARIF reportingDescriptor."""
+    from repro.analysis.code_lint import CODE_RULES
+    from repro.analysis.flow.rules import FLOW_RULES
+
+    catalog = []
+    for rule in [*CODE_RULES, *FLOW_RULES]:
+        catalog.append(
+            {
+                "id": rule.rule_id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title or rule.rule_id},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    catalog.sort(key=lambda entry: entry["id"])
+    return catalog
+
+
+def _location(diag: Diagnostic) -> list[dict]:
+    """Physical location from a ``<path>:<line>`` diagnostic location.
+
+    Model-lint style locations (``constraint foo``) carry no file; those
+    results are emitted without a location, which SARIF permits.
+    """
+    path, sep, line_text = diag.location.rpartition(":")
+    if not sep or not line_text.isdigit():
+        return []
+    return [
+        {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {"startLine": max(1, int(line_text))},
+            }
+        }
+    ]
+
+
+def _result(diag: Diagnostic, rule_index: dict[str, int], suppressed: bool) -> dict:
+    message = diag.message
+    if diag.hint:
+        message += f" (hint: {diag.hint})"
+    result: dict = {
+        "ruleId": diag.rule,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+    }
+    if diag.rule in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule]
+    locations = _location(diag)
+    if locations:
+        result["locations"] = locations
+    if suppressed:
+        # Inline waivers and baseline entries both land here; GitHub hides
+        # suppressed results from the alert list but keeps them auditable.
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def report_to_sarif(report: LintReport, tool_name: str = "repro-lint") -> dict:
+    """Render ``report`` as a SARIF 2.1.0 log object (a plain dict)."""
+    rules = _rule_catalog()
+    rule_index = {entry["id"]: index for index, entry in enumerate(rules)}
+    results = [_result(diag, rule_index, suppressed=False) for diag in report.diagnostics]
+    results += [_result(diag, rule_index, suppressed=True) for diag in report.waived]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://github.com/repro/repro",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def report_to_sarif_json(report: LintReport, tool_name: str = "repro-lint") -> str:
+    """The SARIF log serialized deterministically (sorted keys, 2-space)."""
+    return json.dumps(report_to_sarif(report, tool_name), indent=2, sort_keys=True)

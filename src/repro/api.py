@@ -37,7 +37,13 @@ names for :func:`repro.core.width_sweep`,
 
 from __future__ import annotations
 
-from repro.analysis import lint_model, lint_paths, load_baseline
+from repro.analysis import (
+    lint_model,
+    lint_paths,
+    lint_project,
+    load_baseline,
+    report_to_sarif,
+)
 from repro.core import (
     DesignProblem,
     TamDesign,
@@ -231,7 +237,9 @@ __all__ = [
     # static analysis
     "lint_model",
     "lint_paths",
+    "lint_project",
     "load_baseline",
+    "report_to_sarif",
     # errors
     "ReproError",
     "InfeasibleError",

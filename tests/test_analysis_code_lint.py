@@ -184,6 +184,115 @@ class TestC005ExampleFacadeImports:
         assert [d.rule for d in report.waived] == ["C005"]
 
 
+class TestWaiverEdgeCases:
+    def test_multi_rule_inline_waiver(self):
+        src = """\
+        import random  # lint: ignore[C001,C003]
+        """
+        report = lint(src)
+        assert not report.diagnostics
+        assert [d.rule for d in report.waived] == ["C001"]
+
+    def test_multi_rule_waiver_covers_both_findings_on_one_line(self):
+        # C002 (mutable default) and C003 (objective ==) on the same line.
+        src = """\
+        def f(x=[], flag=a.objective == 3.0):  # lint: ignore[C002,C003]
+            return x
+        """
+        report = lint(src)
+        assert not report.diagnostics
+        assert sorted(d.rule for d in report.waived) == ["C002", "C003"]
+
+    def test_multi_rule_waiver_does_not_cover_unlisted_rule(self):
+        src = """\
+        def f(x=[]):  # lint: ignore[C001,C003]
+            return x
+        """
+        report = lint(src)
+        assert rules_of(report) == ["C002"]
+
+    def test_waiver_on_decorator_line_covers_the_def(self):
+        src = """\
+        import functools
+
+        @functools.lru_cache  # lint: ignore[C002]
+        def f(x=[]):
+            return x
+        """
+        report = lint(src)
+        assert not report.diagnostics
+        assert [d.rule for d in report.waived] == ["C002"]
+
+    def test_waiver_on_multiline_signature_continuation(self):
+        src = """\
+        def f(
+            a,
+            x=[],  # lint: ignore[C002]
+        ):
+            return x
+        """
+        report = lint(src)
+        assert not report.diagnostics
+        assert [d.rule for d in report.waived] == ["C002"]
+
+    def test_waiver_inside_decorated_def_body_does_not_apply(self):
+        src = """\
+        import functools
+
+        @functools.lru_cache
+        def f(x=[]):
+            return x  # lint: ignore[C002]
+        """
+        report = lint(src)
+        assert rules_of(report) == ["C002"]
+
+
+class TestReportDeterminism:
+    def test_canonical_order_is_path_line_rule(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\n\ndef f(x=[]):\n    return x\n")
+        (tmp_path / "a.py").write_text("def g(y={}):\n    return y\n")
+        report = lint_paths([tmp_path])
+        keys = [(d.location, d.rule) for d in report]
+        assert keys == sorted(
+            keys, key=lambda k: (k[0].rsplit(":", 1)[0], int(k[0].rsplit(":", 1)[1]), k[1])
+        )
+        assert "a.py" in keys[0][0] and "b.py" in keys[-1][0]
+
+    def test_normalize_dedupes_exact_duplicates(self):
+        from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+        diag = Diagnostic("C001", Severity.ERROR, "x.py:3", "dup")
+        report = LintReport(diagnostics=[diag, diag])
+        assert len(report.normalize()) == 1
+
+    def test_two_runs_render_identically(self, tmp_path):
+        (tmp_path / "m.py").write_text("import random\ndef f(x=[]):\n    return x\n")
+        first = lint_paths([tmp_path]).render()
+        second = lint_paths([tmp_path]).render()
+        assert first == second
+
+
+class TestStaleBaselineWaivers:
+    def test_apply_baseline_returns_unmatched_waivers(self, tmp_path):
+        target = tmp_path / "legacy.py"
+        target.write_text("import random\n")
+        report = lint_paths([target])
+        stale = report.apply_baseline(
+            [
+                {"rule": "C001", "file": "legacy.py", "reason": "known"},
+                {"rule": "C002", "file": "gone.py", "reason": "fixed long ago"},
+            ]
+        )
+        assert [d.rule for d in report.waived] == ["C001"]
+        assert stale == [{"rule": "C002", "file": "gone.py", "reason": "fixed long ago"}]
+
+    def test_fresh_baseline_has_no_stale_entries(self, tmp_path):
+        target = tmp_path / "legacy.py"
+        target.write_text("import random\n")
+        report = lint_paths([target])
+        assert report.apply_baseline([{"rule": "C001", "file": "legacy.py"}]) == []
+
+
 class TestRealTreeIsClean:
     def test_src_repro_passes(self):
         package_root = Path(__file__).resolve().parent.parent / "src" / "repro"

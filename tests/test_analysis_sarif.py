@@ -1,0 +1,146 @@
+"""SARIF 2.1.0 emitter tests: structural schema conformance + CLI wiring.
+
+There is no jsonschema dependency in the image, so conformance is checked
+structurally against the parts of the SARIF 2.1.0 spec the emitter uses:
+required top-level properties, run/tool/driver shape, result and location
+shapes, rule-index consistency, and suppression marking for waived
+findings. Determinism (same tree → byte-identical SARIF) is asserted too,
+since GitHub code scanning diffs uploads by content.
+"""
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    report_to_sarif,
+    report_to_sarif_json,
+)
+from repro.cli import main
+
+
+def sample_report():
+    report = LintReport()
+    report.add(Diagnostic("C001", Severity.ERROR, "src/x.py:3", "direct import", "use rng"))
+    report.add(Diagnostic("D002", Severity.ERROR, "src/y.py:10", "lambda in pool"))
+    report.waived.append(
+        Diagnostic("C002", Severity.ERROR, "src/z.py:7", "mutable default", "use None")
+    )
+    return report.normalize()
+
+
+def assert_valid_sarif(log: dict) -> None:
+    """Structural SARIF 2.1.0 validation (spec §3: sarifLog, run, result)."""
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA
+    assert isinstance(log["runs"], list) and log["runs"]
+    for run in log["runs"]:
+        driver = run["tool"]["driver"]
+        assert isinstance(driver["name"], str) and driver["name"]
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in ("error", "warning", "note")
+        for result in run["results"]:
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            assert result["ruleId"] in rule_ids
+            if "ruleIndex" in result:
+                assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            for location in result.get("locations", ()):
+                physical = location["physicalLocation"]
+                assert physical["artifactLocation"]["uri"]
+                assert physical["region"]["startLine"] >= 1
+            for suppression in result.get("suppressions", ()):
+                assert suppression["kind"] in ("inSource", "external")
+
+
+class TestSarifEmitter:
+    def test_structurally_valid(self):
+        assert_valid_sarif(report_to_sarif(sample_report()))
+
+    def test_rule_catalog_covers_both_families(self):
+        log = report_to_sarif(LintReport())
+        ids = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"C001", "C006", "D001", "D002", "D003", "D004"} <= ids
+
+    def test_active_findings_are_unsuppressed(self):
+        log = report_to_sarif(sample_report())
+        by_rule = {r["ruleId"]: r for r in log["runs"][0]["results"]}
+        assert "suppressions" not in by_rule["C001"]
+        assert by_rule["C002"]["suppressions"] == [{"kind": "inSource"}]
+
+    def test_locations_carry_path_and_line(self):
+        log = report_to_sarif(sample_report())
+        result = [r for r in log["runs"][0]["results"] if r["ruleId"] == "D002"][0]
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "src/y.py"
+        assert physical["region"]["startLine"] == 10
+
+    def test_hint_is_folded_into_message(self):
+        log = report_to_sarif(sample_report())
+        result = [r for r in log["runs"][0]["results"] if r["ruleId"] == "C001"][0]
+        assert "use rng" in result["message"]["text"]
+
+    def test_serialization_is_deterministic(self):
+        assert report_to_sarif_json(sample_report()) == report_to_sarif_json(sample_report())
+
+    def test_model_lint_locations_without_path_are_allowed(self):
+        report = LintReport()
+        report.add(Diagnostic("M001", Severity.WARNING, "constraint pow_3", "loose"))
+        log = report_to_sarif(report)
+        result = log["runs"][0]["results"][0]
+        assert result["level"] == "warning"
+        assert "locations" not in result
+
+
+class TestSarifCli:
+    def test_format_sarif_emits_valid_log(self, tmp_path, capsys):
+        fixture = tmp_path / "rogue.py"
+        fixture.write_text("import random\n")
+        code = main(["lint", "code", str(fixture), "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1  # exit code still reflects findings
+        assert_valid_sarif(log)
+        assert [r["ruleId"] for r in log["runs"][0]["results"]] == ["C001"]
+
+    def test_output_file_writes_report(self, tmp_path, capsys):
+        fixture = tmp_path / "clean.py"
+        fixture.write_text("x = 1\n")
+        out_file = tmp_path / "lint.sarif"
+        code = main(
+            ["lint", "code", str(fixture), "--format", "sarif", "--output", str(out_file)]
+        )
+        assert code == 0
+        assert_valid_sarif(json.loads(out_file.read_text()))
+        assert str(out_file) in capsys.readouterr().out
+
+    def test_baseline_may_not_waive_flow_rules(self, tmp_path, capsys):
+        fixture = tmp_path / "clean.py"
+        fixture.write_text("x = 1\n")
+        baseline = tmp_path / "waivers.json"
+        baseline.write_text(
+            json.dumps({"waivers": [{"rule": "D001", "file": "clean.py", "reason": "no"}]})
+        )
+        code = main(["lint", "code", str(fixture), "--baseline", str(baseline)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "D001" in err and "inline" in err
+
+    def test_stale_baseline_waiver_is_reported(self, tmp_path, capsys):
+        fixture = tmp_path / "clean.py"
+        fixture.write_text("x = 1\n")
+        baseline = tmp_path / "waivers.json"
+        baseline.write_text(
+            json.dumps({"waivers": [{"rule": "C001", "file": "gone.py", "reason": "old"}]})
+        )
+        code = main(["lint", "code", str(fixture), "--baseline", str(baseline), "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 0
+        assert payload["stale_waivers"] == [
+            {"rule": "C001", "file": "gone.py", "reason": "old"}
+        ]
+        assert "stale baseline waiver" in captured.err
