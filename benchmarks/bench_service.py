@@ -1,0 +1,148 @@
+"""Service benchmark: the HTTP job queue under concurrent client load.
+
+Boots an in-process :class:`~repro.service.DesignServer` on an ephemeral
+port and drives it with the load generator at two concurrency levels,
+cold cache then warm cache, writing the numbers to ``BENCH_service.json``:
+
+- ``c<N>_cold`` — N client threads, fresh tenant namespace: every distinct
+  fingerprint is a real B&B solve; identical in-flight submissions dedupe
+  onto one run (the measured join rate);
+- ``c<N>_warm`` — the same mix re-driven on the same tenant: jobs are
+  finished, so nothing dedupes and every solve answers from the tenant's
+  solution cache.
+
+Each leg reports client-observed submit→result latency (p50/p99/min/max),
+throughput, and the server's dedupe-join delta. Latency includes poll
+granularity — this measures the service as a client sees it, not the bare
+solver.
+
+Run with::
+
+    python benchmarks/bench_service.py [--quick] [--workers N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import DesignServer, run_load  # noqa: E402
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Request mix: two identical S1 designs (dedupe + cache), two distinct
+#: ones (throughput). Widths are small so the benchmark stays seconds-fast.
+_MIX = [
+    {"kind": "design", "soc": "S1", "widths": [16, 16, 16]},
+    {"kind": "design", "soc": "S1", "widths": [16, 16]},
+    {"kind": "design", "soc": "S1", "widths": [32, 16]},
+    {"kind": "design", "soc": "S1", "widths": [16, 16, 16]},
+]
+
+
+class _ServerThread:
+    """A DesignServer on its own event loop, stoppable from the outside."""
+
+    def __init__(self, workers: int, cache_dir: str, state_dir: str):
+        self._started = threading.Event()
+        self._box: dict = {}
+        self._thread = threading.Thread(
+            target=self._run, args=(workers, cache_dir, state_dir), daemon=True
+        )
+
+    def _run(self, workers: int, cache_dir: str, state_dir: str) -> None:
+        async def main() -> None:
+            server = DesignServer(
+                "127.0.0.1", 0, workers=workers, cache_dir=cache_dir, state_dir=state_dir
+            )
+            self._box["port"] = await server.start()
+            self._box["loop"] = asyncio.get_running_loop()
+            self._box["stop"] = asyncio.Event()
+            self._started.set()
+            await self._box["stop"].wait()
+            await server.close()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> str:
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service failed to start")
+        return f"127.0.0.1:{self._box['port']}"
+
+    def __exit__(self, *exc) -> None:
+        self._box["loop"].call_soon_threadsafe(self._box["stop"].set)
+        self._thread.join(timeout=30)
+
+
+def run_benchmark(
+    concurrency_levels: tuple[int, ...],
+    requests_per_client: int,
+    workers: int,
+) -> dict:
+    legs: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        with _ServerThread(workers, f"{tmp}/cache", f"{tmp}/state") as base_url:
+            for clients in concurrency_levels:
+                tenant = f"bench-c{clients}"  # fresh namespace => cold cache
+                for phase in ("cold", "warm"):
+                    leg = f"c{clients}_{phase}"
+                    print(f"[bench_service] {leg}: {clients} clients "
+                          f"x {requests_per_client} requests ...", flush=True)
+                    legs[leg] = run_load(
+                        base_url,
+                        payloads=_MIX,
+                        clients=clients,
+                        requests_per_client=requests_per_client,
+                        tenant=tenant,
+                    )
+                    if legs[leg]["errors"]:
+                        raise RuntimeError(f"{leg}: {legs[leg]['errors']}")
+    cold_legs = [legs[k] for k in legs if k.endswith("_cold")]
+    joins = sum(leg["dedupe"]["joins"] for leg in cold_legs)
+    submitted = sum(leg["dedupe"]["submitted"] for leg in cold_legs)
+    return {
+        "workers": workers,
+        "mix_size": len(_MIX),
+        "requests_per_client": requests_per_client,
+        "concurrency_levels": list(concurrency_levels),
+        "legs": legs,
+        "dedupe_hit_rate_cold": (joins / submitted) if submitted else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller load (CI smoke)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    levels = (2, 4) if args.quick else (2, 6)
+    per_client = 2 if args.quick else 4
+    payload = run_benchmark(levels, per_client, args.workers)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_service] wrote {out}")
+    for leg, stats in sorted(payload["legs"].items()):
+        latency = stats["latency"]
+        print(
+            f"  {leg:10s} p50={latency['p50']:.3f}s p99={latency['p99']:.3f}s "
+            f"throughput={stats['throughput']:.1f} req/s "
+            f"joins={stats['dedupe']['joins']}"
+        )
+    print(f"  dedupe hit rate (cold legs): {payload['dedupe_hit_rate_cold']:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

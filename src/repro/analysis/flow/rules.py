@@ -140,8 +140,9 @@ class CacheKeyCompleteness(ProjectRule):
        taint roots flowing into *any* other call (the solver dispatch) must
        be a subset of the roots hashed into the key: a new solver kwarg
        that skips the fingerprint turns this red;
-    3. **policy completeness** — in a class exposing both
-       ``backend_options`` and ``cache_token``, every field the former
+    3. **protocol completeness** — in a class exposing ``cache_token``
+       alongside an options-producing method (``backend_options`` on a
+       policy, ``request_options`` on a request), every field the producer
        reads must either land in the returned options mapping (hashed
        generically) or be read by ``cache_token``.
     """
@@ -172,8 +173,9 @@ class CacheKeyCompleteness(ProjectRule):
                     "solve_fingerprint ignores the option cache_token protocol: no "
                     "function reachable from it reads `.cache_token`",
                     "canonicalize option values via their cache_token() (see "
-                    "_canonical_option); without it a SolvePolicy-valued option "
-                    "aliases solves with different effective budgets",
+                    "repro.runtime.fingerprint.cache_token_of); without it a "
+                    "SolvePolicy- or SolveRequest-valued option aliases solves "
+                    "with different effective budgets",
                 )
 
     # ------------------------------------------------------- 2: solve plumbing
@@ -247,7 +249,13 @@ class CacheKeyCompleteness(ProjectRule):
                         "before the fingerprint is computed)",
                     )
 
-    # --------------------------------------------------- 3: policy completeness
+    # ------------------------------------------------- 3: protocol completeness
+    #: Methods whose self-attribute reads shape a solve and therefore must
+    #: be covered by the class's ``cache_token`` (or land in the returned,
+    #: generically hashed options mapping). ``backend_options`` is the
+    #: policy shape, ``request_options`` the unified-request shape.
+    OPTION_PRODUCERS = ("backend_options", "request_options")
+
     def _check_policy_class(self, project: Project) -> Iterator[FlowFinding]:
         for module in project:
             for node in ast.walk(module.tree):
@@ -258,24 +266,27 @@ class CacheKeyCompleteness(ProjectRule):
                     for stmt in node.body
                     if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
                 }
-                backend_options = methods.get("backend_options")
                 cache_token = methods.get("cache_token")
-                if backend_options is None or cache_token is None:
+                if cache_token is None:
                     continue
                 token_reads = _self_attr_reads(cache_token)
-                covered = self._dict_covered_fields(backend_options)
-                for attr in sorted(_self_attr_reads(backend_options)):
-                    if attr in token_reads or attr in covered:
+                for producer_name in self.OPTION_PRODUCERS:
+                    producer = methods.get(producer_name)
+                    if producer is None:
                         continue
-                    yield FlowFinding(
-                        module,
-                        backend_options,
-                        f"{node.name}.{attr} configures the backend in "
-                        "backend_options() but reaches neither the returned "
-                        "options mapping nor cache_token()",
-                        "store it into the returned options dict (hashed "
-                        "generically) or add it to cache_token()",
-                    )
+                    covered = self._dict_covered_fields(producer)
+                    for attr in sorted(_self_attr_reads(producer)):
+                        if attr in token_reads or attr in covered:
+                            continue
+                        yield FlowFinding(
+                            module,
+                            producer,
+                            f"{node.name}.{attr} shapes the solve in "
+                            f"{producer_name}() but reaches neither the returned "
+                            "options mapping nor cache_token()",
+                            "store it into the returned options dict (hashed "
+                            "generically) or add it to cache_token()",
+                        )
 
     def _dict_covered_fields(self, method: ast.AST) -> set[str]:
         """Fields stored into a dict that the method returns."""

@@ -32,7 +32,12 @@ The surface groups into:
 ``sweep_widths``, ``min_width``, and ``bus_count_curve`` are the blessed
 names for :func:`repro.core.width_sweep`,
 :func:`repro.core.minimize_width`, and
-:func:`repro.core.explore_bus_counts` respectively.
+:func:`repro.core.explore_bus_counts` respectively; the full alias map is
+:data:`BLESSED_ALIASES`. The whole surface is enumerated by
+:func:`facade_table` (export → defining module → since-PR → alias target),
+rendered into the checked-in ``API.md`` manifest by
+``python -m repro.api``, and pinned against drift by
+``tests/test_api_facade.py``.
 """
 
 from __future__ import annotations
@@ -45,8 +50,11 @@ from repro.analysis import (
     report_to_sarif,
 )
 from repro.core import (
+    REQUEST_KINDS,
     DesignProblem,
+    SolveRequest,
     TamDesign,
+    resolve_soc,
     build_assignment_ilp,
     build_schedule,
     design,
@@ -134,7 +142,15 @@ from repro.wrapper import pareto_widths
 from repro.wrapper.overhead import soc_wrapper_overhead
 
 #: Blessed aliases: the API names the facade documents for the three
-#: sweep/dual drivers (the originals stay exported for continuity).
+#: sweep/dual drivers (the originals stay exported for continuity). This
+#: map is the single source of truth — the assignments below, the manifest
+#: rows, and the facade tests all derive from it.
+BLESSED_ALIASES: dict[str, str] = {
+    "sweep_widths": "width_sweep",
+    "min_width": "minimize_width",
+    "bus_count_curve": "explore_bus_counts",
+}
+
 sweep_widths = width_sweep
 min_width = minimize_width
 bus_count_curve = explore_bus_counts
@@ -155,6 +171,14 @@ __all__ = [
     "generate_synthetic_soc",
     "load_soc",
     "save_soc",
+    # unified request surface
+    "SolveRequest",
+    "REQUEST_KINDS",
+    "resolve_soc",
+    # facade manifest
+    "BLESSED_ALIASES",
+    "facade_table",
+    "render_facade_manifest",
     # exact design flow + typed results
     "design",
     "design_best_architecture",
@@ -247,3 +271,96 @@ __all__ = [
     "TransientSolverError",
     "ValidationError",
 ]
+
+#: PR that introduced each export into the facade. The facade itself
+#: shipped in PR 2, so that is the default; only later additions are
+#: listed (see CHANGES.md for what each PR did).
+_SINCE_PR: dict[str, int] = {
+    # PR 3: observability & resilience
+    "trace_solve": 3,
+    "Tracer": 3,
+    "Span": 3,
+    "MetricsRegistry": 3,
+    "get_metrics": 3,
+    "use_metrics": 3,
+    "SolvePolicy": 3,
+    "FallbackReport": 3,
+    "CheckpointStore": 3,
+    "register_backend": 3,
+    "unregister_backend": 3,
+    "TransientSolverError": 3,
+    # PR 4: solver-core fast path
+    "BranchAndBoundSolver": 4,
+    # PR 6: flow-aware lint engine
+    "lint_project": 6,
+    "report_to_sarif": 6,
+    # PR 7: unified request surface + facade manifest
+    "SolveRequest": 7,
+    "REQUEST_KINDS": 7,
+    "resolve_soc": 7,
+    "BLESSED_ALIASES": 7,
+    "facade_table": 7,
+    "render_facade_manifest": 7,
+}
+
+#: Defining module for exports that are plain values (no ``__module__``).
+_CONSTANT_MODULES: dict[str, str] = {
+    "DEFAULT_CACHE_DIR": "repro.runtime.cache",
+    "EXPERIMENTS": "repro.experiments",
+    "REQUEST_KINDS": "repro.core.request",
+    "BLESSED_ALIASES": "repro.api",
+}
+
+
+def facade_table() -> list[dict[str, object]]:
+    """One row per facade export: name, defining module, since-PR, alias.
+
+    ``module`` is where the object is actually defined (an alias therefore
+    reports its target's home); ``alias_of`` names the canonical export for
+    the blessed aliases and is ``None`` everywhere else. Rows are sorted by
+    export name so the rendering is deterministic.
+    """
+    import sys
+
+    this = sys.modules[__name__]
+    rows: list[dict[str, object]] = []
+    for name in sorted(__all__):
+        obj = getattr(this, name)
+        home = _CONSTANT_MODULES.get(name) or getattr(
+            obj, "__module__", type(obj).__module__
+        )
+        if home == "__main__":  # running as `python -m repro.api`
+            home = "repro.api"
+        rows.append(
+            {
+                "name": name,
+                "module": home,
+                "since": _SINCE_PR.get(name, 2),
+                "alias_of": BLESSED_ALIASES.get(name),
+            }
+        )
+    return rows
+
+
+def render_facade_manifest() -> str:
+    """The checked-in ``API.md`` content, generated from :func:`facade_table`."""
+    lines = [
+        "# `repro.api` export manifest",
+        "",
+        "Every public name, where it is defined, and the PR that added it.",
+        "Generated — regenerate with `PYTHONPATH=src python -m repro.api > API.md`;",
+        "`tests/test_api_facade.py` fails when this file drifts from the live facade.",
+        "",
+        "| Export | Defined in | Since PR | Alias of |",
+        "| --- | --- | --- | --- |",
+    ]
+    for row in facade_table():
+        alias = f"`{row['alias_of']}`" if row["alias_of"] else ""
+        lines.append(
+            f"| `{row['name']}` | `{row['module']}` | {row['since']} | {alias} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via API.md check
+    print(render_facade_manifest(), end="")

@@ -12,7 +12,14 @@ Commands:
   formulation without solving, ``lint code`` enforces repo invariants over
   the source tree (both support ``--json``; exit 1 on error findings);
 - ``experiments`` — run the evaluation harnesses (same as
-  ``python -m repro.experiments``).
+  ``python -m repro.experiments``);
+- ``serve`` — run the HTTP/JSON design service (async job queue over the
+  same solve runtime; see :mod:`repro.service`).
+
+The four solver commands all build one :class:`~repro.api.SolveRequest`
+from their flags and execute it — the CLI, the library, and the service
+share that single construction path, so a request fingerprints (and
+caches) identically no matter which front-end produced it.
 
 The solver commands share the runtime flags ``--jobs N`` (parallel sweep
 fan-out), ``--cache [DIR]`` (memoize solved instances, in memory or on
@@ -42,35 +49,17 @@ from repro.api import (
     Soc,
     SolutionCache,
     SolvePolicy,
+    SolveRequest,
     TamArchitecture,
-    build_d695,
-    build_s1,
-    build_s2,
-    build_s3,
-    bus_count_curve,
-    design,
-    design_best_architecture,
     design_report,
     format_table,
-    generate_synthetic_soc,
     grid_place,
-    load_soc,
-    min_width,
+    resolve_soc,
     trace_solve,
     use_cache,
 )
 
-
-def resolve_soc(spec: str) -> Soc:
-    """Turn an SOC spec string into a system (builtin / synthetic / file)."""
-    builtin = {"S1": build_s1, "S2": build_s2, "S3": build_s3, "D695": build_d695}
-    if spec.upper() in builtin:
-        return builtin[spec.upper()]()
-    if spec.upper().startswith("SYN"):
-        body = spec[3:]
-        count, _, seed = body.partition(":")
-        return generate_synthetic_soc(int(count), seed=int(seed) if seed else 0)
-    return load_soc(spec)
+__all__ = ["main", "build_parser", "resolve_soc"]
 
 
 def _parse_widths(text: str) -> TamArchitecture:
@@ -170,6 +159,29 @@ def _problem_from_args(soc: Soc, arch: TamArchitecture, args) -> DesignProblem:
     )
 
 
+def _request_from_args(kind: str, args) -> SolveRequest:
+    """The unified :class:`SolveRequest` the parsed solver flags describe."""
+    widths = None
+    if getattr(args, "widths", None) is not None:
+        widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
+    return SolveRequest(
+        kind=kind,
+        soc=args.soc,
+        widths=widths,
+        total_width=getattr(args, "total_width", None),
+        num_buses=getattr(args, "buses", None),
+        time_budget=getattr(args, "time_budget", None),
+        max_buses=getattr(args, "max_buses", None),
+        timing=args.timing,
+        power_budget=args.power_budget,
+        max_pair_distance=args.max_distance,
+        backend=args.backend,
+        policy=_policy_from_args(args),
+        jobs=getattr(args, "jobs", 1),
+        options=_solver_options_from_args(args),
+    )
+
+
 def cmd_describe(args) -> int:
     soc = resolve_soc(args.soc)
     print(soc.describe())
@@ -177,48 +189,25 @@ def cmd_describe(args) -> int:
 
 
 def cmd_design(args) -> int:
-    soc = resolve_soc(args.soc)
-    problem = _problem_from_args(soc, _parse_widths(args.widths), args)
-    policy = _policy_from_args(args)
-    solver_options = _solver_options_from_args(args)
+    request = _request_from_args("design", args)
     tracer = None
     with _runtime_scope(args):
         if args.trace is not None:
             with trace_solve() as tracer:
                 # One root span over the whole design: per-phase self times
                 # then partition the traced wall time exactly.
-                with tracer.span("design", soc=soc.name):
-                    result = design(
-                        problem, backend=args.backend, policy=policy, **solver_options
-                    )
+                with tracer.span("design", soc=request.soc):
+                    result = request.run()
         else:
-            result = design(problem, backend=args.backend, policy=policy, **solver_options)
+            result = request.run()
     trace_payload = tracer.to_json() if tracer is not None else None
     if tracer is not None and args.trace:
         with open(args.trace, "w", encoding="utf-8") as fh:
             json.dump(trace_payload, fh, indent=2)
     if args.json:
-        payload = {
-            "soc": soc.name,
-            "widths": list(result.arch.widths),
-            "timing": args.timing,
-            "constraints": problem.constraint_summary(),
-            "status": result.status.value,
-            "makespan": result.makespan,
-            "bus_times": result.bus_times,
-            "wirelength": result.wirelength,
-            "backend": result.backend,
-            "provenance": result.provenance,
-            "assignment": {
-                core.name: int(bus)
-                for core, bus in zip(soc.cores, result.assignment.bus_of)
-            },
-            "stats": result.stats.as_dict(),
-        }
-        if result.fallback is not None:
-            payload["fallback"] = result.fallback.as_dict()
-        if policy is not None:
-            payload["policy"] = policy.as_dict()
+        payload = request.result_payload(result)
+        if request.policy is not None:
+            payload["policy"] = request.policy.as_dict()
         if trace_payload is not None:
             payload["trace"] = trace_payload
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -233,27 +222,15 @@ def cmd_design(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    soc = resolve_soc(args.soc)
-    floorplan = grid_place(soc) if args.max_distance is not None else None
+    request = _request_from_args("sweep", args)
     with _runtime_scope(args):
-        sweep = design_best_architecture(
-            soc,
-            args.total_width,
-            args.buses,
-            timing=args.timing,
-            power_budget=args.power_budget,
-            floorplan=floorplan,
-            max_pair_distance=args.max_distance,
-            backend=args.backend,
-            policy=_policy_from_args(args),
-            **_solver_options_from_args(args),
-        )
+        sweep = request.run()
     rows = [
         ["+".join(str(w) for w in arch.widths), makespan]
         for arch, makespan in sweep.per_architecture
     ]
     print(format_table(["widths", "T* (cycles)"], rows,
-                       title=f"{soc.name}: W={args.total_width} over {args.buses} buses"))
+                       title=f"{sweep.soc_name}: W={args.total_width} over {args.buses} buses"))
     if sweep.best is None:
         print("\nno feasible width distribution")
         return 1
@@ -265,21 +242,9 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_minwidth(args) -> int:
-    soc = resolve_soc(args.soc)
-    floorplan = grid_place(soc) if args.max_distance is not None else None
+    request = _request_from_args("min_width", args)
     with _runtime_scope(args):
-        result = min_width(
-            soc,
-            args.buses,
-            args.time_budget,
-            timing=args.timing,
-            power_budget=args.power_budget,
-            floorplan=floorplan,
-            max_pair_distance=args.max_distance,
-            backend=args.backend,
-            policy=_policy_from_args(args),
-            **_solver_options_from_args(args),
-        )
+        result = request.run()
     print(result.describe())
     print(format_table(
         ["probed W", "T* (cycles)"],
@@ -290,20 +255,15 @@ def cmd_minwidth(args) -> int:
 
 
 def cmd_buscount(args) -> int:
-    soc = resolve_soc(args.soc)
+    request = _request_from_args("bus_count", args)
     with _runtime_scope(args):
-        points = bus_count_curve(
-            soc, args.total_width, args.max_buses,
-            timing=args.timing, power_budget=args.power_budget, backend=args.backend,
-            jobs=args.jobs, policy=_policy_from_args(args),
-            **_solver_options_from_args(args),
-        )
+        points = request.run()
     rows = [
         [p.num_buses, p.makespan, "+".join(str(w) for w in p.arch_widths) if p.arch_widths else None]
         for p in points
     ]
     print(format_table(["NB", "T* (cycles)", "best widths"], rows,
-                       title=f"{soc.name}: bus-count exploration at W={args.total_width}"))
+                       title=f"{request.soc.upper()}: bus-count exploration at W={args.total_width}"))
     return 0
 
 
@@ -413,6 +373,19 @@ def _find_baseline(paths) -> "object | None":
     return None
 
 
+def cmd_serve(args) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else (args.cache if args.cache else None),
+        state_dir=args.state_dir,
+        port_file=args.port_file,
+    )
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -510,6 +483,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", nargs="?", default="all")
     _add_runtime_flags(p)
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("serve", help="run the HTTP/JSON design service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8383,
+                   help="TCP port (0 picks an ephemeral port; default: 8383)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="solver worker threads (default: 2)")
+    p.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+                   metavar="DIR", help="persist solved instances on disk "
+                                       f"(bare --cache stores under {DEFAULT_CACHE_DIR})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the shared solve cache")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="job state root for incumbent checkpoints/streams "
+                        "(default: a temp directory per server)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="write the bound port to FILE once listening "
+                        "(for scripts using --port 0)")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -34,6 +34,7 @@ from repro.core.pareto import width_sweep, power_budget_sweep, distance_budget_s
 from repro.core.dual import minimize_width, explore_bus_counts, WidthMinimization, BusCountPoint
 from repro.core.power_schedule import schedule_with_power_cap, CappedScheduleResult
 from repro.core.report import design_report
+from repro.core.request import REQUEST_KINDS, SolveRequest, resolve_soc
 
 __all__ = [
     "DesignProblem",
@@ -63,4 +64,7 @@ __all__ = [
     "schedule_with_power_cap",
     "CappedScheduleResult",
     "design_report",
+    "REQUEST_KINDS",
+    "SolveRequest",
+    "resolve_soc",
 ]

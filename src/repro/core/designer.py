@@ -15,7 +15,6 @@ much of the design space a tight budget kills.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -122,7 +121,6 @@ def design(
     :class:`~repro.runtime.cache.SolutionCache` memoizes this solve, ``None``
     defers to the active context cache, ``False`` bypasses caching.
     """
-    policy = _shim_designer_limits(policy, solver_options)
     if presolve is not None or branching is not None:
         if backend != "bnb":
             raise ValueError(
@@ -210,33 +208,6 @@ def design(
         wirelength=wirelength,
         fallback=report,
     )
-
-
-def _shim_designer_limits(policy: SolvePolicy | None, options: dict) -> SolvePolicy | None:
-    """Deprecation shim mirroring :meth:`Model.solve`: fold the legacy
-    ``node_limit``/``time_limit`` kwargs into a strict policy here, so the
-    warning points at the ``design()`` call site."""
-    node_limit = options.pop("node_limit", None)
-    time_limit = options.pop("time_limit", None)
-    if node_limit is None and time_limit is None:
-        return policy
-    if policy is not None:
-        raise ValueError(
-            "pass effort budgets through policy=SolvePolicy(...); "
-            "mixing it with the deprecated node_limit/time_limit kwargs is ambiguous"
-        )
-    names = [
-        name
-        for name, value in (("node_limit", node_limit), ("time_limit", time_limit))
-        if value is not None
-    ]
-    warnings.warn(
-        f"{'/'.join(names)} kwargs are deprecated; pass "
-        "policy=SolvePolicy(node_budget=..., deadline=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return SolvePolicy.from_legacy(node_limit=node_limit, time_limit=time_limit)
 
 
 def _degrade(

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -83,31 +82,17 @@ def unregister_backend(name: str) -> None:
     _BACKENDS.pop(name, None)
 
 
-def _shim_legacy_limits(policy: SolvePolicy | None, options: dict) -> SolvePolicy | None:
-    """Deprecation shim: fold ``node_limit=`` / ``time_limit=`` kwargs into a
-    strict :class:`SolvePolicy` (no degradation ladder — legacy callers
-    expected budget exhaustion to surface as an error)."""
-    node_limit = options.pop("node_limit", None)
-    time_limit = options.pop("time_limit", None)
-    if node_limit is None and time_limit is None:
-        return policy
-    if policy is not None:
-        raise ValueError(
-            "pass effort budgets through policy=SolvePolicy(...); "
-            "mixing it with the deprecated node_limit/time_limit kwargs is ambiguous"
+def _reject_legacy_limits(options: dict) -> None:
+    """The PR-3 ``node_limit``/``time_limit`` shims are gone: a
+    :class:`SolvePolicy` is the only way to bound a solve's effort. Direct
+    kwargs are rejected (not forwarded) so the budget can never bypass the
+    policy cache-token in the solve fingerprint."""
+    legacy = [name for name in ("node_limit", "time_limit") if name in options]
+    if legacy:
+        raise TypeError(
+            f"{'/'.join(legacy)} kwargs were removed; pass "
+            "policy=SolvePolicy(node_budget=..., deadline=...) instead"
         )
-    names = [
-        name
-        for name, value in (("node_limit", node_limit), ("time_limit", time_limit))
-        if value is not None
-    ]
-    warnings.warn(
-        f"{'/'.join(names)} kwargs are deprecated; pass "
-        "policy=SolvePolicy(node_budget=..., deadline=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return SolvePolicy.from_legacy(node_limit=node_limit, time_limit=time_limit)
 
 
 @dataclass
@@ -326,9 +311,8 @@ class Model:
         solve can return ``Status.FEASIBLE`` (best incumbent) or
         ``Status.NODE_LIMIT`` (no incumbent found); the degradation ladder
         for the latter lives one level up in :func:`repro.core.design`.
-        The deprecated ``node_limit=`` / ``time_limit=`` kwargs still work
-        as shims that build an equivalent strict policy, emitting a
-        :class:`DeprecationWarning`.
+        The removed legacy ``node_limit=`` / ``time_limit=`` kwargs raise
+        :class:`TypeError` — a policy is the only effort path.
 
         ``lint`` gates the solve on the static model linter
         (:mod:`repro.analysis.model_lint`): ``"warn"`` prints findings to
@@ -363,7 +347,7 @@ class Model:
                     f"{report.errors[0].render()}",
                     report=report,
                 )
-        policy = _shim_legacy_limits(policy, options)
+        _reject_legacy_limits(options)
         effective = dict(options)
         if policy is not None:
             # Policy budgets win over ad-hoc options: the policy is the one

@@ -17,12 +17,14 @@ try and what happens when the budget runs out:
 - **checkpointing** — ``checkpoint_dir`` persists the best incumbent per
   instance fingerprint, so an interrupted sweep resumes warm.
 
-The policy replaces the scattered ``node_limit`` / ``time_limit`` kwargs
-that used to ride on ``Model.solve`` / ``design`` (those survive as
-deprecation shims that build a strict policy). Policies are frozen and
-picklable, so they travel to parallel workers, and expose a canonical
-:meth:`cache_token` so the solve cache can key on the *effective* budget —
-a truncated solve must never be replayed for an uncapped request.
+The policy *is* the effort surface: the legacy ``node_limit`` /
+``time_limit`` kwargs that used to ride on ``Model.solve`` / ``design``
+(and their PR-3 deprecation shims) are gone — both entry points reject
+them with a pointer here. Policies are frozen and picklable, so they
+travel to parallel workers, and expose a canonical :meth:`cache_token`
+(the shared protocol of :mod:`repro.runtime.fingerprint`) so the solve
+cache can key on the *effective* budget — a truncated solve must never be
+replayed for an uncapped request.
 """
 
 from __future__ import annotations
@@ -130,15 +132,29 @@ class SolvePolicy:
         }
 
     @classmethod
-    def from_legacy(
-        cls, node_limit: int | None = None, time_limit: float | None = None
-    ) -> "SolvePolicy":
-        """Policy equivalent of the deprecated kwargs.
+    def from_dict(cls, payload: "dict[str, Any]") -> "SolvePolicy":
+        """Inverse of :meth:`as_dict` (used by request/service payloads).
 
-        Legacy callers expected a hard failure on budget exhaustion, so the
-        shimmed policy has an empty degradation ladder.
+        Unknown keys are rejected so a typo'd budget field cannot silently
+        produce an uncapped solve.
         """
-        return cls(deadline=time_limit, node_budget=node_limit, fallback=())
+        known = {
+            "deadline",
+            "node_budget",
+            "gap_tol",
+            "max_retries",
+            "retry_backoff",
+            "fallback",
+            "fallback_seed",
+            "checkpoint_dir",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown SolvePolicy field(s): {', '.join(unknown)}")
+        data = dict(payload)
+        if "fallback" in data and data["fallback"] is not None:
+            data["fallback"] = tuple(data["fallback"])
+        return cls(**data)
 
 
 @dataclass

@@ -28,6 +28,7 @@ from repro.runtime.cache import (
     solve_fingerprint,
     use_cache,
 )
+from repro.runtime.fingerprint import cache_token_of, token_digest
 from repro.runtime.parallel import run_parallel
 from repro.runtime.telemetry import RunTelemetry
 
@@ -35,11 +36,13 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "SolutionCache",
     "RunTelemetry",
+    "cache_token_of",
     "get_solve_cache",
     "matrix_fingerprint",
     "run_parallel",
     "set_solve_cache",
     "solve_cached",
     "solve_fingerprint",
+    "token_digest",
     "use_cache",
 ]

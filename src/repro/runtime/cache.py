@@ -20,9 +20,11 @@ Why the key is sound (see DESIGN.md §7):
   with their right-hand sides before hashing, so two models that state the
   same constraints in a different order collide onto one key (row order
   never changes the feasible set);
-- backend and solver options (``gap_tol``, ``node_limit``, warm starts …)
-  are part of the key: a different search configuration may legitimately
-  return a different (equally optimal) vertex, so it must never alias.
+- backend and solver options (``gap_tol``, policy effort budgets, warm
+  starts …) are part of the key, canonicalized through the shared
+  ``cache_token()`` protocol (:mod:`repro.runtime.fingerprint`): a
+  different search configuration may legitimately return a different
+  (equally optimal) vertex, so it must never alias.
 
 Storage is a two-level hierarchy: an in-memory LRU (per process) in front
 of an optional on-disk JSON store under ``directory`` (conventionally
@@ -38,6 +40,7 @@ import os
 import tempfile
 from collections import OrderedDict
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
@@ -45,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping
 import numpy as np
 
 from repro.ilp.solution import Solution, SolveStats, Status
+from repro.runtime.fingerprint import cache_token_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports us lazily)
     from repro.ilp.model import MatrixForm, Model
@@ -118,33 +122,27 @@ def matrix_fingerprint(form: "MatrixForm") -> str:
     return h.hexdigest()
 
 
-def _canonical_option(value: Any) -> str:
-    """Deterministic text encoding of one solver option for the key."""
-    token = getattr(value, "cache_token", None)
-    if callable(token):
-        # SolvePolicy and friends expose their key-relevant fields
-        # canonically; repr() would also drag in retry/fallback settings
-        # that never change what a solve returns.
-        return str(token())
-    if isinstance(value, Mapping):
-        # Warm starts map Variable -> value; canonicalize by column index.
-        items = []
-        for key, val in value.items():
-            index = getattr(key, "index", key)
-            items.append((repr(index), repr(float(val))))
-        return "{" + ",".join(f"{k}:{v}" for k, v in sorted(items)) + "}"
-    if isinstance(value, float):
-        return repr(value)
-    return repr(value)
-
-
 def solve_fingerprint(
-    form: "MatrixForm", backend: str = "bnb", options: Mapping[str, Any] | None = None
+    form: "MatrixForm",
+    backend: str = "bnb",
+    options: Mapping[str, Any] | None = None,
+    namespace: str | None = None,
 ) -> str:
-    """Cache key for one solve: instance content + backend + options."""
+    """Cache key for one solve: instance content + backend + options.
+
+    Option values canonicalize through the shared ``cache_token()`` protocol
+    (:func:`repro.runtime.fingerprint.cache_token_of`): an option exposing
+    ``cache_token()`` — a :class:`~repro.obs.SolvePolicy`, a
+    :class:`~repro.core.request.SolveRequest` — names its own
+    result-affecting fields; everything else reduces to deterministic text.
+    ``namespace`` partitions the key space per tenant: the same instance
+    solved under two namespaces never shares a record.
+    """
     parts = [matrix_fingerprint(form), f"backend={backend}"]
+    if namespace is not None:
+        parts.append(f"namespace={namespace}")
     for key in sorted(options or {}):
-        parts.append(f"{key}={_canonical_option(options[key])}")
+        parts.append(f"{key}={cache_token_of(options[key])}")
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
@@ -230,13 +228,32 @@ class SolutionCache:
     directory:
         On-disk store root, or None for memory-only. Created lazily on the
         first write.
+    namespace:
+        Optional tenant namespace. Namespaced caches never alias: the
+        namespace is folded into every fingerprint and the on-disk records
+        live under ``directory/<namespace>/``, so one tenant's records can
+        be purged (or quota'd) without touching another's. The service
+        layer gives each tenant its own namespaced cache over one shared
+        store root.
     """
 
-    def __init__(self, maxsize: int = 1024, directory: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        directory: str | os.PathLike | None = None,
+        namespace: str | None = None,
+    ):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
+        if namespace is not None and (
+            not namespace or not all(c.isalnum() or c in "._-" for c in namespace)
+        ):
+            raise ValueError(
+                f"namespace must be non-empty [A-Za-z0-9._-] text, got {namespace!r}"
+            )
         self.maxsize = maxsize
         self.directory = Path(directory) if directory is not None else None
+        self.namespace = namespace
         self._memory: OrderedDict[str, CacheRecord] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -246,12 +263,15 @@ class SolutionCache:
     def fingerprint(
         self, form: "MatrixForm", backend: str = "bnb", options: Mapping[str, Any] | None = None
     ) -> str:
-        return solve_fingerprint(form, backend=backend, options=options)
+        return solve_fingerprint(
+            form, backend=backend, options=options, namespace=self.namespace
+        )
 
     # ----------------------------------------------------------------- store
     def _path_for(self, key: str) -> Path:
         assert self.directory is not None
-        return self.directory / f"{key}.json"
+        root = self.directory if self.namespace is None else self.directory / self.namespace
+        return root / f"{key}.json"
 
     def _remember(self, key: str, record: CacheRecord) -> None:
         self._memory[key] = record
@@ -290,10 +310,10 @@ class SolutionCache:
         self._remember(key, record)
         self.stores += 1
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
             path = self._path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
             # Write-then-rename so parallel workers never read a torn file.
-            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(record.to_json(), handle)
@@ -324,14 +344,22 @@ class SolutionCache:
 
     # --------------------------------------------------------------- utility
     def clear(self, disk: bool = False) -> None:
-        """Drop the in-memory LRU; with ``disk=True`` also the on-disk store."""
+        """Drop the in-memory LRU; with ``disk=True`` also the on-disk store.
+
+        A namespaced cache only ever clears its own ``directory/<namespace>/``
+        records — tenant isolation holds for purges, not just lookups.
+        """
         self._memory.clear()
-        if disk and self.directory is not None and self.directory.exists():
-            for path in self.directory.glob("*.json"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+        if disk and self.directory is not None:
+            root = (
+                self.directory if self.namespace is None else self.directory / self.namespace
+            )
+            if root.exists():
+                for path in root.glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -348,22 +376,29 @@ class SolutionCache:
 
 
 # --------------------------------------------------------------- active cache
-#: Process-wide active cache consulted by ``Model.solve``; None disables
-#: memoization entirely (the seed behavior).
-_ACTIVE_CACHE: SolutionCache | None = None
+#: Active cache consulted by ``Model.solve``; None disables memoization
+#: entirely (the seed behavior). A ContextVar rather than a module global so
+#: concurrent service workers can each hold a different tenant's namespaced
+#: cache: every thread (and asyncio task) sees only its own installation.
+_ACTIVE_CACHE: ContextVar[SolutionCache | None] = ContextVar(
+    "repro_active_solve_cache", default=None
+)
 
 
 def set_solve_cache(cache: SolutionCache | None) -> SolutionCache | None:
-    """Install ``cache`` as the process-wide solve cache; returns the previous."""
-    global _ACTIVE_CACHE
-    previous = _ACTIVE_CACHE
-    _ACTIVE_CACHE = cache
+    """Install ``cache`` as the active solve cache; returns the previous.
+
+    Scoped to the current thread/task context — a fresh thread starts with
+    no active cache regardless of what its parent installed.
+    """
+    previous = _ACTIVE_CACHE.get()
+    _ACTIVE_CACHE.set(cache)
     return previous
 
 
 def get_solve_cache() -> SolutionCache | None:
     """The currently active solve cache, or None."""
-    return _ACTIVE_CACHE
+    return _ACTIVE_CACHE.get()
 
 
 @contextmanager

@@ -48,13 +48,17 @@ _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
 _pool: ProcessPoolExecutor | None = None
-_pool_key: tuple[int, str | None] | None = None
+_pool_key: tuple[int, str | None, str | None] | None = None
 
 
-def _worker_init(cache_dir: str | None) -> None:
-    """Pool initializer: attach each worker to the shared on-disk cache."""
+def _worker_init(cache_dir: str | None, namespace: str | None = None) -> None:
+    """Pool initializer: attach each worker to the shared on-disk cache.
+
+    ``namespace`` carries the parent cache's tenant namespace across the
+    process boundary, so a namespaced sweep stays isolated in its workers.
+    """
     if cache_dir is not None:
-        set_solve_cache(SolutionCache(directory=cache_dir))
+        set_solve_cache(SolutionCache(directory=cache_dir, namespace=namespace))
 
 
 def resolve_workers(max_workers: int | None) -> int:
@@ -64,15 +68,16 @@ def resolve_workers(max_workers: int | None) -> int:
     return max_workers
 
 
-def _get_pool(workers: int, init_dir: str | None) -> ProcessPoolExecutor:
+def _get_pool(workers: int, init_dir: str | None, namespace: str | None) -> ProcessPoolExecutor:
     """Return the persistent pool for this configuration, creating it once.
 
-    A configuration change (different worker count or cache directory)
-    retires the old pool; sweeps alternating configurations are rare enough
-    that one live pool is the right trade against idle worker processes.
+    A configuration change (different worker count, cache directory, or
+    tenant namespace) retires the old pool; sweeps alternating
+    configurations are rare enough that one live pool is the right trade
+    against idle worker processes.
     """
     global _pool, _pool_key
-    key = (workers, init_dir)
+    key = (workers, init_dir, namespace)
     if _pool is not None and _pool_key == key:
         return _pool
     if _pool is not None:
@@ -80,7 +85,7 @@ def _get_pool(workers: int, init_dir: str | None) -> ProcessPoolExecutor:
     _pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(init_dir,),
+        initargs=(init_dir, namespace),
     )
     _pool_key = key
     return _pool
@@ -134,14 +139,16 @@ def run_parallel(
     if workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
 
+    namespace = None
     if cache_dir is None:
         active = get_solve_cache()
         if active is not None and active.directory is not None:
             cache_dir = active.directory
+            namespace = active.namespace
     init_dir = str(cache_dir) if cache_dir is not None else None
 
     try:
-        pool = _get_pool(workers, init_dir)
+        pool = _get_pool(workers, init_dir, namespace)
         return list(pool.map(fn, work, chunksize=_chunksize(len(work), workers)))
     except (OSError, PermissionError, BrokenProcessPool) as exc:
         shutdown_pool()

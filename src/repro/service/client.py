@@ -1,0 +1,128 @@
+"""Thread-safe stdlib client for the design service.
+
+One :class:`ServiceClient` per base URL; every call opens its own
+``http.client`` connection (the server closes connections per request), so
+a single client instance can be shared across threads — the load generator
+does exactly that.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+from urllib.parse import urlparse
+
+from repro.core.request import SolveRequest
+from repro.obs import now
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict[str, Any]):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Submit / poll / fetch / cancel against one service instance."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        parsed = urlparse(base_url if "//" in base_url else f"http://{base_url}")
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"base_url must be http://host:port, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # --------------------------------------------------------------- plumbing
+    def _call(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, json.loads(data) if data else {}
+        finally:
+            conn.close()
+
+    def _ok(self, method: str, path: str, body: dict[str, Any] | None = None):
+        status, payload = self._call(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -------------------------------------------------------------------- api
+    def health(self) -> bool:
+        return bool(self._ok("GET", "/v1/health").get("ok"))
+
+    def metrics(self) -> dict[str, Any]:
+        return self._ok("GET", "/v1/metrics")
+
+    def submit(
+        self,
+        request: "SolveRequest | dict[str, Any]",
+        tenant: str | None = None,
+        lane: str | None = None,
+    ) -> dict[str, Any]:
+        """Submit a request; returns ``{"job": {...}, "deduped": bool}``."""
+        wire = request.as_payload() if isinstance(request, SolveRequest) else request
+        body: dict[str, Any] = {"request": wire}
+        if tenant is not None:
+            body["tenant"] = tenant
+        if lane is not None:
+            body["lane"] = lane
+        return self._ok("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._ok("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's result payload (raises until it is done)."""
+        return self._ok("GET", f"/v1/jobs/{job_id}/result")["result"]
+
+    def stream(self, job_id: str) -> dict[str, Any]:
+        """Incumbents checkpointed so far: ``{"incumbents": [...], "done": bool}``."""
+        return self._ok("GET", f"/v1/jobs/{job_id}/stream")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._ok("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, interval: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the job finishes; returns its result payload.
+
+        Raises :class:`ServiceError` when the job failed or was cancelled,
+        and :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = now() + timeout
+        while True:
+            status, payload = self._call("GET", f"/v1/jobs/{job_id}/result")
+            if status == 200:
+                return payload["result"]
+            if status in (500, 410):
+                raise ServiceError(status, payload)
+            if status not in (409,):
+                raise ServiceError(status, payload)
+            if now() >= deadline:
+                raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+            time.sleep(interval)
+
+    def run(
+        self,
+        request: "SolveRequest | dict[str, Any]",
+        tenant: str | None = None,
+        lane: str | None = None,
+        timeout: float = 120.0,
+    ) -> dict[str, Any]:
+        """Submit and wait — the one-call convenience path."""
+        job = self.submit(request, tenant=tenant, lane=lane)["job"]
+        return self.wait(job["id"], timeout=timeout)

@@ -1,0 +1,263 @@
+"""Stdlib-only HTTP/JSON front-end over the job scheduler.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, one request per connection — exposing the service API:
+
+==========  =============================  =======================================
+method      path                           meaning
+==========  =============================  =======================================
+GET         ``/v1/health``                 liveness probe
+GET         ``/v1/metrics``                scheduler + solver metrics snapshot
+POST        ``/v1/jobs``                   submit ``{"request": {...}, "tenant"?,
+                                           "lane"?}``; 202 with the job record,
+                                           ``deduped`` true when attached to an
+                                           in-flight identical job
+GET         ``/v1/jobs/<id>``              job status
+GET         ``/v1/jobs/<id>/result``       result payload (409 until finished)
+GET         ``/v1/jobs/<id>/stream``       incumbents checkpointed so far
+DELETE      ``/v1/jobs/<id>``              cancel
+==========  =============================  =======================================
+
+The request body of a submit is the wire form of
+:meth:`repro.core.request.SolveRequest.as_payload`; malformed requests are
+rejected with 400 before anything is enqueued.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.core.request import SolveRequest
+from repro.service.jobs import LANES
+from repro.service.scheduler import JobScheduler
+from repro.util.errors import ReproError
+
+_MAX_BODY = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class DesignServer:
+    """The service: a scheduler plus its HTTP listener."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache_dir: str | None = None,
+        state_dir: str | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.scheduler = JobScheduler(
+            workers=workers, cache_dir=cache_dir, state_dir=state_dir
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # ---------------------------------------------------------------- lifecycle
+    async def start(self) -> int:
+        """Bind, start workers, and return the actual port (for port 0)."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------- wire
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception as exc:  # noqa: BLE001 - never kill the acceptor
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body exceeds {_MAX_BODY} bytes")
+        if length:
+            body = await reader.readexactly(length)
+        return await self._route(method.upper(), path.split("?", 1)[0], body)
+
+    # ------------------------------------------------------------------ routes
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        segments = [s for s in path.split("/") if s]
+        if segments[:1] != ["v1"]:
+            raise _HttpError(404, f"no such path: {path}")
+        rest = segments[1:]
+        if rest == ["health"]:
+            self._expect(method, "GET")
+            return 200, {"ok": True}
+        if rest == ["metrics"]:
+            self._expect(method, "GET")
+            return 200, self.scheduler.stats()
+        if rest == ["jobs"]:
+            self._expect(method, "POST")
+            return await self._submit(body)
+        if len(rest) in (2, 3) and rest[0] == "jobs":
+            job = self.scheduler.get(rest[1])
+            if job is None:
+                raise _HttpError(404, f"no such job: {rest[1]}")
+            if len(rest) == 2:
+                if method == "DELETE":
+                    job = await self.scheduler.cancel(job.id)
+                    return 200, {"job": job.as_payload()}
+                self._expect(method, "GET")
+                return 200, {"job": job.as_payload()}
+            self._expect(method, "GET")
+            if rest[2] == "result":
+                return self._result(job)
+            if rest[2] == "stream":
+                return 200, {
+                    "job": job.as_payload(),
+                    "incumbents": self.scheduler.incumbents(job),
+                    "done": job.finished,
+                }
+        raise _HttpError(404, f"no such path: {path}")
+
+    @staticmethod
+    def _expect(method: str, allowed: str) -> None:
+        if method != allowed:
+            raise _HttpError(405, f"use {allowed} on this path")
+
+    async def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "request" not in payload:
+            raise _HttpError(400, 'body must be {"request": {...}}')
+        lane = payload.get("lane")
+        if lane is not None and lane not in LANES:
+            raise _HttpError(400, f"unknown lane {lane!r}; expected one of {list(LANES)}")
+        tenant = payload.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise _HttpError(400, "tenant must be a string")
+        try:
+            request = SolveRequest.from_payload(payload["request"])
+        except (ReproError, ValueError, TypeError) as exc:
+            raise _HttpError(400, f"invalid request: {exc}") from exc
+        try:
+            job, deduped = await self.scheduler.submit(request, tenant=tenant, lane=lane)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        return 202, {"job": job.as_payload(), "deduped": deduped}
+
+    def _result(self, job) -> tuple[int, dict[str, Any]]:
+        if job.status == "done":
+            return 200, {"job": job.as_payload(), "result": job.result}
+        if job.status == "failed":
+            return 500, {"job": job.as_payload(), "error": job.error}
+        if job.status == "cancelled":
+            return 410, {"job": job.as_payload(), "error": "job was cancelled"}
+        return 409, {"job": job.as_payload(), "error": "job not finished"}
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8383,
+    workers: int = 2,
+    cache_dir: str | None = None,
+    state_dir: str | None = None,
+    port_file: str | None = None,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    With ``port=0`` an ephemeral port is chosen; the bound address is
+    printed (and written to ``port_file`` when given) so scripts can find
+    it. Runs until interrupted.
+    """
+    import tempfile
+
+    async def _main() -> None:
+        state = state_dir or tempfile.mkdtemp(prefix="repro-service-")
+        server = DesignServer(
+            host=host, port=port, workers=workers, cache_dir=cache_dir, state_dir=state
+        )
+        bound = await server.start()
+        print(f"repro service listening on http://{host}:{bound}", flush=True)
+        if port_file:
+            with open(port_file, "w", encoding="utf-8") as fh:
+                fh.write(str(bound))
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,115 @@
+"""Job records for the design service.
+
+A :class:`Job` wraps one :class:`~repro.core.request.SolveRequest` with the
+queue-side state the scheduler and the HTTP layer share: identity, lane,
+tenant, lifecycle status, timestamps, and — once finished — either the
+JSON result payload or the error text. Jobs are plain mutable records; all
+mutation happens on the scheduler's event loop (or, for the terminal
+transition, under the scheduler's completion callback), so the HTTP layer
+only ever reads them.
+
+Deduplication identity is ``(tenant, request.fingerprint())``: two tenants
+submitting the same request are distinct jobs (their caches are namespaced
+apart), while N submissions of one fingerprint by one tenant share a
+single job and therefore a single solve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.request import SolveRequest
+from repro.obs import now
+
+#: Lifecycle states a job moves through (terminal: done / failed / cancelled).
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Scheduler lanes. ``interactive`` is for single-instance solves a human
+#: is waiting on; ``batch`` for sweep-shaped fan-out work. The scheduler
+#: round-robins between them so a burst of batch jobs cannot starve
+#: interactive latency.
+LANES = ("interactive", "batch")
+
+#: Default lane per request kind: single-solve kinds are interactive,
+#: enumeration kinds are batch.
+DEFAULT_LANES = {
+    "design": "interactive",
+    "min_width": "interactive",
+    "sweep": "batch",
+    "bus_count": "batch",
+}
+
+_ids = itertools.count(1)
+
+
+def _next_job_id() -> str:
+    return f"job-{next(_ids):06d}"
+
+
+@dataclass
+class Job:
+    """One submitted solve with its queue-side lifecycle state."""
+
+    request: SolveRequest
+    lane: str
+    tenant: str | None = None
+    id: str = field(default_factory=_next_job_id)
+    fingerprint: str = ""
+    status: str = "queued"
+    submitted_at: float = field(default_factory=now)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    #: Number of submissions folded into this job beyond the first.
+    joined: int = 0
+    #: Private incumbent-checkpoint directory (set when streaming is on).
+    checkpoint_dir: str | None = None
+    #: Set when a cancel arrived while the solve was already running; the
+    #: computation cannot be interrupted, but its result is discarded.
+    cancel_requested: bool = False
+    #: Per-job phase timings from the job-local trace span (filled on finish).
+    trace: dict[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.lane not in LANES:
+            raise ValueError(f"unknown lane {self.lane!r}; expected one of {list(LANES)}")
+        if not self.fingerprint:
+            self.fingerprint = self.request.fingerprint()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    @property
+    def wait_time(self) -> float | None:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def dedupe_key(self) -> tuple[str | None, str]:
+        return (self.tenant, self.fingerprint)
+
+    def as_payload(self) -> dict[str, Any]:
+        """JSON-ready status view (the result travels separately)."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.request.kind,
+            "lane": self.lane,
+            "tenant": self.tenant,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "joined": self.joined,
+        }
+        if self.wait_time is not None:
+            payload["wait_time"] = self.wait_time
+        if self.started_at is not None and self.finished_at is not None:
+            payload["run_time"] = self.finished_at - self.started_at
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload

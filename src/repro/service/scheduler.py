@@ -1,0 +1,311 @@
+"""Async job scheduler: fair-share lanes, dedupe, tenant caches.
+
+The scheduler owns everything between "a request arrived" and "its result
+payload exists":
+
+- **two fair-share lanes** — ``interactive`` and ``batch`` are served
+  round-robin: after dispatching from one lane the next dispatch prefers
+  the other, so a burst of batch sweeps cannot starve a human waiting on a
+  single design (and vice versa). Within a lane, FIFO.
+- **fingerprint dedupe** — an in-flight (queued or running) job per
+  ``(tenant, fingerprint)``: further submissions of the same request join
+  the existing job and receive the same result. N concurrent clients
+  asking for one solve cost exactly one B&B run.
+- **tenant cache namespaces** — each tenant's solves go through a
+  :class:`~repro.runtime.cache.SolutionCache` namespaced to the tenant
+  over one shared store root, so records never alias across tenants and a
+  tenant purge touches only its own records.
+- **incumbent streaming** — jobs whose request carries a
+  :class:`~repro.obs.SolvePolicy` get a private checkpoint directory; the
+  B&B solver persists improving incumbents there
+  (:class:`~repro.obs.CheckpointStore`), and the HTTP layer reads them
+  back while the job is still running.
+- **observability** — ``service.*`` metrics (submissions, dedupe joins,
+  queue depth per lane, lane wait, run time) on the process registry, and
+  a per-job tracer whose phase totals land on the job record.
+
+Solves run on a thread pool (``workers`` threads). The active solve cache
+is a context variable, so each worker thread installs its tenant's cache
+without affecting the others.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.core.request import SolveRequest
+from repro.obs import Tracer, get_metrics, now
+from repro.runtime import SolutionCache, use_cache
+from repro.service.jobs import DEFAULT_LANES, LANES, Job
+
+#: Tenant key for requests submitted without a tenant.
+_PUBLIC = None
+
+
+class JobScheduler:
+    """Owns the job table, the two lanes, and the solver thread pool."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: str | None = None,
+        state_dir: str | None = None,
+        cache_maxsize: int = 1024,
+    ):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.state_dir = Path(state_dir) if state_dir else None
+        self.cache_maxsize = cache_maxsize
+        self._jobs: dict[str, Job] = {}
+        self._active: dict[tuple[str | None, str], Job] = {}
+        self._lanes: dict[str, deque[Job]] = {lane: deque() for lane in LANES}
+        self._not_empty = asyncio.Condition()
+        self._turn = "interactive"
+        self._caches: dict[str | None, SolutionCache] = {}
+        self._cache_lock = threading.Lock()
+        self._tasks: list[asyncio.Task] = []
+        self._pool = None
+        self._closed = False
+
+    # ---------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"service-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------ submit
+    async def submit(
+        self,
+        request: SolveRequest,
+        tenant: str | None = None,
+        lane: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Enqueue ``request`` (or join the in-flight identical job).
+
+        Returns ``(job, deduped)``; ``deduped`` is True when the submission
+        attached to an existing queued/running job instead of creating one.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        metrics = get_metrics()
+        metrics.counter("service.submitted").inc()
+        key = (tenant, request.fingerprint())
+        existing = self._active.get(key)
+        if existing is not None and not existing.finished:
+            existing.joined += 1
+            metrics.counter("service.dedupe_joins").inc()
+            return existing, True
+        if lane is None:
+            lane = DEFAULT_LANES[request.kind]
+        job = Job(request=request, lane=lane, tenant=tenant, fingerprint=key[1])
+        self._jobs[job.id] = job
+        self._active[key] = job
+        async with self._not_empty:
+            self._lanes[lane].append(job)
+            self._not_empty.notify()
+        self._gauge_depths()
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    async def cancel(self, job_id: str) -> Job | None:
+        """Cancel a job: dequeue it if still queued, else discard its result.
+
+        Either way the dedupe entry is dropped immediately, so a fresh
+        submission of the same fingerprint starts a new solve rather than
+        attaching to a cancelled one.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.finished:
+            return job
+        self._active.pop(job.dedupe_key(), None)
+        if job.status == "queued":
+            async with self._not_empty:
+                try:
+                    self._lanes[job.lane].remove(job)
+                except ValueError:
+                    pass
+            job.status = "cancelled"
+            job.finished_at = now()
+            self._gauge_depths()
+        else:
+            job.cancel_requested = True
+        get_metrics().counter("service.cancelled").inc()
+        return job
+
+    # ------------------------------------------------------------------ workers
+    async def _next_job(self) -> Job:
+        async with self._not_empty:
+            while not any(self._lanes.values()):
+                await self._not_empty.wait()
+            order = [self._turn] + [lane for lane in LANES if lane != self._turn]
+            for lane in order:
+                if self._lanes[lane]:
+                    job = self._lanes[lane].popleft()
+                    break
+            # Fair share: the next dispatch prefers the other lane.
+            self._turn = next(l for l in LANES if l != lane)
+        self._gauge_depths()
+        return job
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        metrics = get_metrics()
+        while True:
+            job = await self._next_job()
+            if job.status != "queued":  # cancelled while waiting for a worker
+                continue
+            job.status = "running"
+            job.started_at = now()
+            metrics.histogram(f"service.lane_wait.{job.lane}").observe(job.wait_time)
+            try:
+                payload = await loop.run_in_executor(self._pool, self._run_job, job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - job errors become payloads
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                metrics.counter("service.failed").inc()
+            else:
+                if job.cancel_requested:
+                    job.status = "cancelled"
+                else:
+                    job.result = payload
+                    job.status = "done"
+                    metrics.counter("service.completed").inc()
+            job.finished_at = now()
+            metrics.histogram("service.run_time").observe(
+                job.finished_at - job.started_at
+            )
+            # Drop the dedupe entry only if it still points at this job (a
+            # cancel may already have replaced it with a fresh submission).
+            if self._active.get(job.dedupe_key()) is job:
+                self._active.pop(job.dedupe_key(), None)
+
+    # ------------------------------------------------------------ thread side
+    def _tenant_cache(self, tenant: str | None) -> SolutionCache:
+        with self._cache_lock:
+            cache = self._caches.get(tenant)
+            if cache is None:
+                cache = SolutionCache(
+                    maxsize=self.cache_maxsize,
+                    directory=self.cache_dir,
+                    namespace=tenant,
+                )
+                self._caches[tenant] = cache
+            return cache
+
+    def _effective_request(self, job: Job) -> SolveRequest:
+        """The request actually executed: checkpointing rides on the policy.
+
+        Jobs carrying a :class:`SolvePolicy` get a private checkpoint
+        directory under the state root so their incumbents stream; the
+        override never enters the fingerprint (``checkpoint_dir`` is
+        excluded from the policy's cache token), so dedupe is unaffected.
+        """
+        request = job.request
+        if self.state_dir is None or request.policy is None:
+            return request
+        job_dir = self.state_dir / "jobs" / job.id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        job.checkpoint_dir = str(job_dir)
+        policy = request.policy.with_overrides(checkpoint_dir=str(job_dir))
+        return request.with_overrides(policy=policy)
+
+    def _run_job(self, job: Job) -> dict[str, Any]:
+        """Executed on a worker thread: tenant cache + traced solve."""
+        cache = self._tenant_cache(job.tenant)
+        request = self._effective_request(job)
+        tracer = Tracer()
+        with use_cache(cache):
+            with tracer.span("service.job", job=job.id, kind=request.kind):
+                payload = request.run_payload()
+        job.trace = {"phases": tracer.phase_totals()}
+        return payload
+
+    # --------------------------------------------------------------- inspection
+    def incumbents(self, job: Job) -> list[dict[str, Any]]:
+        """Incumbents checkpointed so far by ``job``'s solve, best first.
+
+        Empty for jobs without a policy (nothing streams) and before the
+        first incumbent lands. Objectives are in the model's sense.
+        """
+        if job.checkpoint_dir is None:
+            return []
+        import json
+
+        entries = []
+        for path in sorted(Path(job.checkpoint_dir).glob("incumbent-*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict) or "objective" not in payload:
+                continue
+            entries.append(
+                {
+                    "model_fingerprint": path.stem.removeprefix("incumbent-"),
+                    "objective": payload["objective"],
+                }
+            )
+        return sorted(entries, key=lambda e: e["objective"])
+
+    def _gauge_depths(self) -> None:
+        metrics = get_metrics()
+        for lane, queue in self._lanes.items():
+            metrics.gauge(f"service.queue_depth.{lane}").set(len(queue))
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready service statistics for the metrics endpoint."""
+        metrics = get_metrics()
+        submitted = metrics.counter("service.submitted").value
+        joins = metrics.counter("service.dedupe_joins").value
+        return {
+            "jobs": {
+                "total": len(self._jobs),
+                "by_status": {
+                    status: sum(1 for j in self._jobs.values() if j.status == status)
+                    for status in ("queued", "running", "done", "failed", "cancelled")
+                },
+            },
+            "queues": {lane: len(q) for lane, q in self._lanes.items()},
+            "dedupe": {
+                "submitted": submitted,
+                "joins": joins,
+                "join_rate": (joins / submitted) if submitted else 0.0,
+            },
+            "caches": {
+                (tenant or ""): cache.stats_summary()
+                for tenant, cache in sorted(
+                    self._caches.items(), key=lambda kv: kv[0] or ""
+                )
+            },
+            "metrics": metrics.snapshot(),
+        }

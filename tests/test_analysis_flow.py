@@ -198,11 +198,11 @@ class TestD001SeededMutations:
         assert d_rules(self.run_rules(mutable_tree)) == []
 
     def test_deleting_cache_token_canonicalization_fires(self, mutable_tree):
-        cache = mutable_tree / "runtime" / "cache.py"
-        text = cache.read_text()
-        mutated = re.sub(r"(?m)^.*cache_token.*$", "", text)
-        assert mutated != text, "expected a cache_token branch to delete"
-        cache.write_text(mutated)
+        fingerprint = mutable_tree / "runtime" / "fingerprint.py"
+        text = fingerprint.read_text()
+        needle = 'getattr(value, "cache_token", None)'
+        assert needle in text, "expected the protocol probe to delete"
+        fingerprint.write_text(text.replace(needle, "None"))
         report = self.run_rules(mutable_tree)
         assert "D001" in d_rules(report)
         assert any("cache_token" in d.message for d in report.diagnostics)
@@ -248,6 +248,29 @@ class TestD001SeededMutations:
         report = run_project_rules(project)
         assert d_rules(report) == ["D001"]
         assert "lp_method" in report.diagnostics[0].message
+
+    def test_request_field_outside_token_and_options_fires(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "req.py": """\
+                    class Request:
+                        def request_options(self):
+                            options = {}
+                            options["backend"] = self.backend
+                            if self.shortcut:
+                                pass
+                            return options
+
+                        def cache_token(self):
+                            return (self.backend,)
+                    """
+            },
+        )
+        report = run_project_rules(project)
+        assert d_rules(report) == ["D001"]
+        assert "shortcut" in report.diagnostics[0].message
+        assert "request_options" in report.diagnostics[0].message
 
 
 class TestD002PoolPurity:

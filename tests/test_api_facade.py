@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import repro.api as api
 from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestFacadeSurface:
@@ -20,6 +23,13 @@ class TestFacadeSurface:
         assert api.sweep_widths is api.width_sweep
         assert api.min_width is api.minimize_width
         assert api.bus_count_curve is api.explore_bus_counts
+
+    def test_blessed_alias_map_matches_the_bindings(self):
+        # BLESSED_ALIASES is the single source of truth: every entry must
+        # be bound to the canonical object, and both ends must be exported.
+        for alias, target in api.BLESSED_ALIASES.items():
+            assert getattr(api, alias) is getattr(api, target)
+            assert alias in api.__all__ and target in api.__all__
 
     def test_core_surface_spans_the_paper_flow(self):
         # One name from each documented group must be present.
@@ -44,6 +54,44 @@ class TestFacadeSurface:
         report = api.lint_paths(["examples"])
         c005 = [d for d in report if d.rule == "C005"]
         assert c005 == []
+
+
+class TestFacadeManifest:
+    def test_table_covers_all_exactly(self):
+        rows = api.facade_table()
+        assert [row["name"] for row in rows] == sorted(api.__all__)
+
+    def test_rows_report_real_homes(self):
+        for row in api.facade_table():
+            assert str(row["module"]).startswith("repro"), row
+            # The module must be importable and actually hold the object —
+            # by name, or (for facade renames like EXPERIMENTS ->
+            # experiments.REGISTRY) by identity under any name.
+            module = __import__(str(row["module"]), fromlist=["_"])
+            name = str(row["alias_of"] or row["name"])
+            obj = getattr(api, str(row["name"]))
+            assert hasattr(module, name) or any(
+                getattr(module, attr) is obj for attr in dir(module)
+            ), row
+
+    def test_alias_rows_point_at_exported_targets(self):
+        rows = {row["name"]: row for row in api.facade_table()}
+        aliased = {
+            name: row["alias_of"] for name, row in rows.items() if row["alias_of"]
+        }
+        assert aliased == api.BLESSED_ALIASES
+        for alias, target in aliased.items():
+            assert target in rows
+            assert rows[alias]["module"] == rows[target]["module"]
+
+    def test_since_values_are_sane(self):
+        for row in api.facade_table():
+            assert 1 <= int(str(row["since"])) <= 7, row
+
+    def test_checked_in_manifest_matches_live_facade(self):
+        manifest = REPO_ROOT / "API.md"
+        assert manifest.exists(), "run: PYTHONPATH=src python -m repro.api > API.md"
+        assert manifest.read_text(encoding="utf-8") == api.render_facade_manifest()
 
 
 class TestCliJsonTelemetry:

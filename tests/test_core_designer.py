@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.core import DesignProblem, design, design_best_architecture
 from repro.ilp import Status
 from repro.layout import grid_place
+from repro.obs import SolvePolicy
 from repro.soc import generate_synthetic_soc
 from repro.tam import TamArchitecture, exhaustive_optimal
 from repro.util.errors import InfeasibleError, SolverError
@@ -104,11 +105,17 @@ class TestDesignConstrained:
         ).makespan
         assert constrained >= base - 1e-9
 
-    def test_node_limit_raises_solver_error(self, s2):
+    def test_exhausted_strict_policy_raises_solver_error(self, s2):
         arch = TamArchitecture([32, 16, 16])
         problem = DesignProblem(soc=s2, arch=arch, timing="serial")
         with pytest.raises(SolverError):
-            design(problem, node_limit=1, dive=False)
+            design(problem, policy=SolvePolicy(node_budget=1, fallback=()), dive=False)
+
+    def test_legacy_limit_kwargs_are_rejected(self, s2):
+        arch = TamArchitecture([32, 16, 16])
+        problem = DesignProblem(soc=s2, arch=arch, timing="serial")
+        with pytest.raises(TypeError, match="SolvePolicy"):
+            design(problem, node_limit=1)
 
 
 class TestBestArchitecture:

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ilp import INTEGER, BranchAndBoundSolver, Model, Status, quicksum
+from repro.obs import SolvePolicy
 
 
 def knapsack_model(weights, profits, capacity):
@@ -89,14 +90,21 @@ class TestStatuses:
         m.maximize(x)
         assert m.solve().status is Status.UNBOUNDED
 
-    def test_node_limit_reported(self):
+    def test_node_budget_reported(self):
         # A knapsack big enough to need more than 1 node.
         rng = np.random.default_rng(0)
         weights = rng.integers(5, 40, size=18).tolist()
         profits = rng.integers(5, 40, size=18).tolist()
         m, _ = knapsack_model(weights, profits, int(sum(weights) * 0.4))
-        sol = m.solve(node_limit=2, dive=False)
+        sol = m.solve(policy=SolvePolicy(node_budget=2, fallback=()), dive=False)
         assert sol.status in (Status.NODE_LIMIT, Status.FEASIBLE)
+
+    def test_legacy_limit_kwargs_are_rejected(self):
+        m, _ = knapsack_model([4, 3, 2], [5, 4, 3], 6)
+        with pytest.raises(TypeError, match="SolvePolicy"):
+            m.solve(node_limit=2)
+        with pytest.raises(TypeError, match="SolvePolicy"):
+            m.solve(time_limit=1.0)
 
     def test_reading_values_of_infeasible_raises(self):
         m = Model()

@@ -1,10 +1,10 @@
 """SolvePolicy semantics: budgets, retries, degradation, cache keying.
 
 Covers the resilient anytime-solve path end to end: policy validation and
-backend-option mapping, the legacy-kwarg deprecation shims, transient-error
-retry via a fault-injection backend, heuristic fallback with provenance,
-the capped-solve cache-key regression, incumbent checkpointing, and the
-parallel metrics-equivalence invariant.
+backend-option mapping, rejection of the removed legacy kwargs,
+transient-error retry via a fault-injection backend, heuristic fallback
+with provenance, the capped-solve cache-key regression, incumbent
+checkpointing, and the parallel metrics-equivalence invariant.
 """
 
 from __future__ import annotations
@@ -75,11 +75,13 @@ class TestPolicyObject:
         assert a.cache_token() == b.cache_token()
         assert a.cache_token() != c.cache_token()
 
-    def test_from_legacy_is_strict(self):
-        policy = SolvePolicy.from_legacy(node_limit=3, time_limit=1.5)
-        assert policy.node_budget == 3
-        assert policy.deadline == 1.5
-        assert policy.fallback == ()
+    def test_dict_round_trip(self):
+        policy = SolvePolicy(deadline=1.5, node_budget=3, fallback=("lpt",))
+        assert SolvePolicy.from_dict(policy.as_dict()) == policy
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="node_limit"):
+            SolvePolicy.from_dict({"node_limit": 3})
 
     def test_policy_is_picklable(self):
         import pickle
@@ -88,28 +90,20 @@ class TestPolicyObject:
         assert pickle.loads(pickle.dumps(policy)) == policy
 
 
-class TestDeprecationShims:
-    def test_model_solve_node_limit_warns_once(self):
+class TestLegacyKwargRemoval:
+    def test_model_solve_rejects_node_limit(self):
         model = knapsack_model()
-        with pytest.warns(DeprecationWarning, match="node_limit") as record:
+        with pytest.raises(TypeError, match="SolvePolicy"):
             model.solve(node_limit=1000, cache=False)
-        assert len(record) == 1
 
-    def test_design_time_limit_warns_once(self, s1, arch3):
+    def test_design_rejects_time_limit(self, s1, arch3):
         problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
-        with pytest.warns(DeprecationWarning, match="time_limit") as record:
+        with pytest.raises(TypeError, match="SolvePolicy"):
             design(problem, time_limit=60.0, cache=False)
-        assert len(record) == 1
 
-    def test_legacy_kwargs_keep_raising_on_exhaustion(self, s1, arch3):
-        problem = DesignProblem(soc=s1, arch=arch3, timing="serial")
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(SolverError):
-                design(problem, node_limit=1, dive=False, cache=False)
-
-    def test_mixing_policy_and_legacy_kwargs_is_an_error(self):
+    def test_rejection_happens_even_with_a_policy(self):
         model = knapsack_model()
-        with pytest.raises(ValueError, match="ambiguous"):
+        with pytest.raises(TypeError, match="SolvePolicy"):
             model.solve(policy=SolvePolicy(node_budget=5), node_limit=3, cache=False)
 
 
