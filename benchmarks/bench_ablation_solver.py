@@ -6,12 +6,15 @@ that every configuration returns the same optimum:
 
 - the root rounding *dive* (early incumbent for pruning);
 - the *branching rule* (most-fractional vs first-index);
-- *root cover cuts* (knapsack strengthening — a no-op on pure TAM rows).
+- *branch-and-cut* (lifted cover + clique cuts under the default
+  :class:`~repro.api.CutPolicy` — cover-only strengthening on knapsacks,
+  a no-op on pure TAM rows).
 """
 
 import pytest
 
 from repro.api import (
+    CutPolicy,
     DesignProblem,
     Model,
     TamArchitecture,
@@ -41,7 +44,7 @@ CONFIGS = {
     "baseline": {},
     "no_dive": {"dive": False},
     "first_branching": {"branching": "first"},
-    "root_cuts": {"root_cuts": 3},
+    "cuts": {"cut_policy": CutPolicy()},
 }
 
 

@@ -10,7 +10,12 @@ harness) under four solver configurations and writes the numbers to
   exactly the pre-fast-path solver, same grid;
 - ``fast_warm`` — defaults re-run on the populated disk cache (every solve
   answered from the store);
-- ``fast_cold_jobsN`` — defaults, cold cache, parallel fan-out.
+- ``fast_cold_jobsN`` — defaults, cold cache, parallel fan-out;
+- ``cuts_off`` / ``cuts_on`` — the same sweep under a tight layout budget
+  (grid floorplan, ``max_pair_distance=3.0``) with branch-and-cut disabled
+  vs the default :class:`~repro.api.CutPolicy` — the pairwise exclusion
+  rows give the clique separator real conflict structure, so this pair
+  isolates what the cuts buy.
 
 Besides wall time the script records the search-effort counters (B&B
 nodes, LP solves, presolve fixings/prunes) per leg — node counts are
@@ -36,10 +41,17 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import (  # noqa: E402
+    CutPolicy,
+    MetricsRegistry,
     RunTelemetry,
     SolutionCache,
+    SolvePolicy,
+    SolverOptions,
     build_s1,
+    design_best_architecture,
+    grid_place,
     use_cache,
+    use_metrics,
     width_sweep,
 )
 from repro.obs import now  # noqa: E402
@@ -52,11 +64,28 @@ _BASELINE_PATH = Path(__file__).resolve().parent / "bench_solver_baseline.json"
 #: the recorded baseline (nodes are deterministic; seconds are not).
 _NODE_REGRESSION_TOLERANCE = 0.20
 
+#: CI gate: branch-and-cut must shrink the layout-constrained tree by at
+#: least this factor vs the same sweep with cuts disabled.
+_CUTS_MIN_NODE_REDUCTION = 1.5
+
+#: Layout budget for the cuts legs. Tight enough that the pairwise
+#: exclusion rows carry real conflict structure (every distance class of
+#: the S1 grid floorplan above 2.67 is excluded), so clique separation has
+#: something to cut.
+_CUTS_MAX_PAIR_DISTANCE = 3.0
+
 
 def _grid(quick: bool) -> dict:
     return dict(
         bus_counts=(2,) if quick else (2, 3),
         total_widths=[8, 16, 24] if quick else [8, 16, 24, 32, 40, 48],
+    )
+
+
+def _cuts_grid(quick: bool) -> dict:
+    return dict(
+        bus_counts=(2,) if quick else (2, 3),
+        total_widths=[16, 24] if quick else [16, 24, 32],
     )
 
 
@@ -83,16 +112,51 @@ def _run_sweep(soc, grid: dict, jobs: int, **solver_options) -> dict:
     }
 
 
+def _run_layout_sweep(soc, grid: dict, cuts: CutPolicy) -> dict:
+    """The same width sweep under a tight layout budget, cuts on or off.
+
+    Counters come from the metrics registry, not sweep telemetry: a tight
+    layout budget makes many candidate architectures *infeasible*, and the
+    node work spent proving that (where cuts help most) is only visible to
+    the per-solve metrics — sweep telemetry records feasible designs only.
+    """
+    floorplan = grid_place(soc)
+    policy = SolvePolicy(solver=SolverOptions(cuts=cuts))
+    registry = MetricsRegistry()
+    start = now()
+    with use_metrics(registry):
+        for num_buses in grid["bus_counts"]:
+            for width in grid["total_widths"]:
+                design_best_architecture(
+                    soc, width, num_buses, timing="serial",
+                    floorplan=floorplan,
+                    max_pair_distance=_CUTS_MAX_PAIR_DISTANCE,
+                    policy=policy,
+                )
+    elapsed = now() - start
+    counts = registry.counts()
+    return {
+        "seconds": round(elapsed, 3),
+        "jobs": 1,
+        "nodes": counts.get("solve.nodes", 0),
+        "lp_solves": counts.get("solve.lp_solves", 0),
+        "cuts": counts.get("solve.cuts", 0),
+    }
+
+
 def run_bench(quick: bool, jobs: int) -> dict:
     soc = build_s1()
     grid = _grid(quick)
     results: dict[str, dict] = {}
 
+    baseline_policy = SolvePolicy(
+        solver=SolverOptions(
+            presolve=False, branching="most_fractional", cuts=CutPolicy.disabled()
+        )
+    )
     with tempfile.TemporaryDirectory(prefix="repro-bench-solver-") as tmp:
         results["fast_cold"] = _run_sweep(soc, grid, jobs=1)
-        results["baseline_cold"] = _run_sweep(
-            soc, grid, jobs=1, presolve=False, branching="most_fractional"
-        )
+        results["baseline_cold"] = _run_sweep(soc, grid, jobs=1, policy=baseline_policy)
         warm_dir = os.path.join(tmp, "warm")
         with use_cache(SolutionCache(directory=warm_dir)):
             _run_sweep(soc, grid, jobs=1)  # populate
@@ -100,11 +164,20 @@ def run_bench(quick: bool, jobs: int) -> dict:
         assert results["fast_warm"]["nodes"] == 0, "warm re-run must be fully cached"
         results[f"fast_cold_jobs{jobs}"] = _run_sweep(soc, grid, jobs=jobs)
 
+    cuts_grid = _cuts_grid(quick)
+    results["cuts_off"] = _run_layout_sweep(soc, cuts_grid, CutPolicy.disabled())
+    results["cuts_on"] = _run_layout_sweep(soc, cuts_grid, CutPolicy())
+    assert results["cuts_off"]["cuts"] == 0
+
     fast, base = results["fast_cold"], results["baseline_cold"]
     return {
         "benchmark": "F1 width sweep, solver fast path",
         "soc": soc.name,
         "grid": {k: list(v) for k, v in grid.items()},
+        "cuts_grid": {
+            **{k: list(v) for k, v in cuts_grid.items()},
+            "max_pair_distance": _CUTS_MAX_PAIR_DISTANCE,
+        },
         "quick": quick,
         "results": results,
         "speedup": {
@@ -115,6 +188,9 @@ def run_bench(quick: bool, jobs: int) -> dict:
                 fast["seconds"]
                 / max(results[f"fast_cold_jobs{jobs}"]["seconds"], 1e-9),
                 2,
+            ),
+            "cuts_node_reduction": round(
+                results["cuts_off"]["nodes"] / max(results["cuts_on"]["nodes"], 1), 2
             ),
         },
     }
@@ -143,6 +219,31 @@ def check_baseline(payload: dict) -> int:
             file=sys.stderr,
         )
         return 1
+    reduction = payload["speedup"]["cuts_node_reduction"]
+    print(f"cuts check ({key}): {reduction}x node reduction "
+          f"(floor {_CUTS_MIN_NODE_REDUCTION}x)")
+    if reduction < _CUTS_MIN_NODE_REDUCTION:
+        print(
+            f"REGRESSION: branch-and-cut node reduction {reduction}x is below "
+            f"the {_CUTS_MIN_NODE_REDUCTION}x floor on the layout-constrained "
+            "sweep",
+            file=sys.stderr,
+        )
+        return 1
+    cuts_recorded = recorded.get("cuts_on_nodes")
+    if cuts_recorded is not None:
+        cuts_nodes = payload["results"]["cuts_on"]["nodes"]
+        cuts_limit = cuts_recorded * (1.0 + _NODE_REGRESSION_TOLERANCE)
+        print(f"cuts-on node check ({key}): {cuts_nodes} vs baseline "
+              f"{cuts_recorded} (limit {cuts_limit:.0f})")
+        if cuts_nodes > cuts_limit:
+            print(
+                f"REGRESSION: cuts-on cold node count {cuts_nodes} exceeds "
+                f"baseline {cuts_recorded} by more than "
+                f"{_NODE_REGRESSION_TOLERANCE:.0%}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -154,6 +255,7 @@ def record_baseline(payload: dict) -> None:
     baseline[key] = {
         "nodes": payload["results"]["fast_cold"]["nodes"],
         "lp_solves": payload["results"]["fast_cold"]["lp_solves"],
+        "cuts_on_nodes": payload["results"]["cuts_on"]["nodes"],
         "grid": payload["grid"],
     }
     _BASELINE_PATH.write_text(
@@ -187,7 +289,8 @@ def main(argv: list[str] | None = None) -> int:
               f"LPs={row['lp_solves']:<7d} jobs={row['jobs']}")
     s = payload["speedup"]
     print(f"speedups: cold wall {s['cold_wall_time']}x, nodes {s['node_reduction']}x, "
-          f"LPs {s['lp_solve_reduction']}x, parallel {s['parallel_vs_serial_cold']}x")
+          f"LPs {s['lp_solve_reduction']}x, parallel {s['parallel_vs_serial_cold']}x, "
+          f"cuts nodes {s['cuts_node_reduction']}x")
     print(f"wrote {args.out}")
 
     if args.record_baseline:

@@ -88,10 +88,13 @@ from repro.ilp.model import register_backend, unregister_backend
 from repro.ilp.solution import Solution, SolveStats, Status
 from repro.layout import Floorplan, anneal_place, bus_wirelength, grid_place, tam_wirelength
 from repro.obs import (
+    DEFAULT_CUT_POLICY,
     CheckpointStore,
+    CutPolicy,
     FallbackReport,
     MetricsRegistry,
     SolvePolicy,
+    SolverOptions,
     Span,
     Tracer,
     get_metrics,
@@ -243,6 +246,9 @@ __all__ = [
     "get_metrics",
     "use_metrics",
     "SolvePolicy",
+    "SolverOptions",
+    "CutPolicy",
+    "DEFAULT_CUT_POLICY",
     "FallbackReport",
     "CheckpointStore",
     "register_backend",
@@ -301,11 +307,16 @@ _SINCE_PR: dict[str, int] = {
     "BLESSED_ALIASES": 7,
     "facade_table": 7,
     "render_facade_manifest": 7,
+    # PR 8: branch-and-cut + structured solver options
+    "CutPolicy": 8,
+    "SolverOptions": 8,
+    "DEFAULT_CUT_POLICY": 8,
 }
 
 #: Defining module for exports that are plain values (no ``__module__``).
 _CONSTANT_MODULES: dict[str, str] = {
     "DEFAULT_CACHE_DIR": "repro.runtime.cache",
+    "DEFAULT_CUT_POLICY": "repro.obs.policy",
     "EXPERIMENTS": "repro.experiments",
     "REQUEST_KINDS": "repro.core.request",
     "BLESSED_ALIASES": "repro.api",

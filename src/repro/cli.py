@@ -25,8 +25,12 @@ The solver commands share the runtime flags ``--jobs N`` (parallel sweep
 fan-out), ``--cache [DIR]`` (memoize solved instances, in memory or on
 disk), and ``--no-cache`` — plus the anytime-solve flags ``--deadline`` /
 ``--node-budget`` / ``--retries`` / ``--no-fallback`` that build a
-:class:`~repro.api.SolvePolicy`. ``design --trace [FILE]`` additionally
-records a span trace and prints its flame summary.
+:class:`~repro.api.SolvePolicy`, and the bnb solver knobs
+``--no-presolve`` / ``--branching`` / ``--cuts`` / ``--no-cuts`` /
+``--cut-rounds`` that ride its structured
+:class:`~repro.api.SolverOptions` block (branch-and-cut is on by
+default; ``--no-cuts`` disables it). ``design --trace [FILE]``
+additionally records a span trace and prints its flame summary.
 
 The SOC argument accepts the builtin names ``S1``/``S2``/``S3``,
 ``SYN<n>[:seed]`` for a synthetic system, or a path to a ``.soc`` file.
@@ -44,12 +48,14 @@ import sys
 
 from repro.api import (
     DEFAULT_CACHE_DIR,
+    CutPolicy,
     DesignProblem,
     ReproError,
     Soc,
     SolutionCache,
     SolvePolicy,
     SolveRequest,
+    SolverOptions,
     TamArchitecture,
     design_report,
     format_table,
@@ -86,21 +92,50 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
                         help="node presolve: bound propagation + reduced-cost fixing "
                              "(default: on; --no-presolve restores the plain search; "
                              "bnb backend only)")
+    parser.add_argument("--cuts", action=argparse.BooleanOptionalAction, default=None,
+                        help="branch-and-cut separation: conflict-graph clique cuts + "
+                             "lifted cover cuts (default: on; --no-cuts disables; "
+                             "bnb backend only)")
+    parser.add_argument("--cut-rounds", type=int, default=None, metavar="N",
+                        help="separation rounds at the root node (implies --cuts; "
+                             "bnb backend only)")
 
 
-def _solver_options_from_args(args) -> dict:
-    """Solver fast-path options the flags explicitly set (bnb backend only)."""
-    options = {}
+def _solver_block_from_args(args) -> SolverOptions | None:
+    """The structured SolverOptions block the flags explicitly set.
+
+    Solver knobs ride on ``SolvePolicy.solver`` — not on flat request
+    options — so CLI, library, and service requests fingerprint
+    identically for identical settings.
+    """
+    from repro.api import ValidationError
+
+    if getattr(args, "cuts", None) is False and getattr(args, "cut_rounds", None):
+        raise ValidationError("--no-cuts and --cut-rounds contradict each other")
+    cuts = None
+    if getattr(args, "cuts", None) is False:
+        cuts = CutPolicy.disabled()
+    elif getattr(args, "cut_rounds", None) is not None:
+        cuts = CutPolicy(rounds=args.cut_rounds)
+    elif getattr(args, "cuts", None) is True:
+        cuts = CutPolicy()
+    block = {}
     if getattr(args, "branching", None) is not None:
-        options["branching"] = args.branching
+        block["branching"] = args.branching
     if getattr(args, "presolve", None) is not None:
-        options["presolve"] = args.presolve
-    if options and args.backend != "bnb":
-        from repro.api import ValidationError
-
-        flags = "/".join(f"--{k.replace('_', '-')}" for k in options)
-        raise ValidationError(f"{flags} only apply to the bnb backend, not {args.backend!r}")
-    return options
+        block["presolve"] = args.presolve
+    if cuts is not None:
+        block["cuts"] = cuts
+    if not block:
+        return None
+    if args.backend != "bnb":
+        flags = {"branching": "--branching", "presolve": "--presolve",
+                 "cuts": "--cuts/--no-cuts/--cut-rounds"}
+        listed = "/".join(flags[key] for key in block)
+        raise ValidationError(
+            f"{listed} only apply to the bnb backend, not {args.backend!r}"
+        )
+    return SolverOptions(**block)
 
 
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
@@ -128,14 +163,16 @@ def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
 
 def _policy_from_args(args) -> SolvePolicy | None:
     """Build the SolvePolicy the flags describe (None = exact, uncapped)."""
+    solver = _solver_block_from_args(args)
     if (args.deadline is None and args.node_budget is None
-            and not args.retries and not args.no_fallback):
+            and not args.retries and not args.no_fallback and solver is None):
         return None
     return SolvePolicy(
         deadline=args.deadline,
         node_budget=args.node_budget,
         max_retries=args.retries,
         fallback=() if args.no_fallback else SolvePolicy().fallback,
+        solver=solver,
     )
 
 
@@ -178,7 +215,6 @@ def _request_from_args(kind: str, args) -> SolveRequest:
         backend=args.backend,
         policy=_policy_from_args(args),
         jobs=getattr(args, "jobs", 1),
-        options=_solver_options_from_args(args),
     )
 
 

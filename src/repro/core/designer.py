@@ -15,6 +15,7 @@ much of the design space a tight budget kills.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,7 +25,7 @@ from repro.core.problem import DesignProblem
 from repro.ilp.solution import SolveStats, Status
 from repro.layout.floorplan import Floorplan
 from repro.layout.routing import tam_wirelength
-from repro.obs import FallbackReport, SolvePolicy, get_metrics, now, span
+from repro.obs import DEFAULT_CUT_POLICY, FallbackReport, SolvePolicy, get_metrics, now, span
 from repro.runtime.telemetry import RunTelemetry
 from repro.soc.system import Soc
 from repro.tam.architecture import TamArchitecture
@@ -98,10 +99,16 @@ def design(
 ) -> TamDesign:
     """Solve ``problem`` — to proven optimality, or as far as a policy allows.
 
-    ``presolve`` and ``branching`` are the branch-and-bound fast-path knobs
-    (node presolve on/off; ``"pseudocost"`` / ``"most_fractional"`` /
-    ``"first"``). ``None`` keeps the solver defaults (both fast paths on);
-    they only apply to the bnb backend and are rejected elsewhere.
+    Solver knobs travel on ``policy.solver``
+    (:class:`~repro.obs.SolverOptions`: presolve, branching, a
+    :class:`~repro.obs.CutPolicy` cuts block, checkpoint interval); they
+    only apply to the bnb backend and are rejected elsewhere. When nothing
+    chose a cut policy, the designer turns branch-and-cut on with
+    :data:`~repro.obs.DEFAULT_CUT_POLICY` — the TAM formulations are rich
+    in conflict structure and separation is a no-op when they are not.
+    The flat ``presolve=`` / ``branching=`` / ``checkpoint_interval=``
+    kwargs still work for one release behind a
+    :class:`DeprecationWarning`.
 
     Without a ``policy`` the solve is exact: :class:`InfeasibleError` when
     the constraints admit no assignment, :class:`SolverError` if the backend
@@ -122,6 +129,14 @@ def design(
     defers to the active context cache, ``False`` bypasses caching.
     """
     if presolve is not None or branching is not None:
+        warnings.warn(
+            "the flat presolve=/branching= kwargs of design() are deprecated "
+            "and will be removed next release; pass "
+            "policy=SolvePolicy(solver=SolverOptions(presolve=..., branching=...)) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if backend != "bnb":
             raise ValueError(
                 "presolve/branching are branch-and-bound knobs; "
@@ -131,6 +146,14 @@ def design(
             solver_options.setdefault("presolve", presolve)
         if branching is not None:
             solver_options.setdefault("branching", branching)
+    if "checkpoint_interval" in solver_options:
+        warnings.warn(
+            "passing checkpoint_interval= to design() directly is deprecated "
+            "and will be removed next release; pass policy=SolvePolicy("
+            "solver=SolverOptions(checkpoint_interval=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     contradictions = problem.contradictions()
     if contradictions:
         names = problem.soc.core_names
@@ -148,6 +171,16 @@ def design(
         # Test times are integral cycle counts: stop once the bound is
         # within one cycle of the incumbent.
         solver_options["gap_tol"] = 1.0 - 1e-6
+    if (
+        backend == "bnb"
+        and "cut_policy" not in solver_options
+        and "root_cuts" not in solver_options
+        and (policy is None or policy.solver is None or policy.solver.cuts is None)
+    ):
+        # Branch-and-cut by default: separation only ever strengthens the
+        # relaxation (never the optimum) and no-ops on instances without
+        # conflict/knapsack structure. CutPolicy.disabled() opts out.
+        solver_options["cut_policy"] = DEFAULT_CUT_POLICY
     if warm_start_heuristic and backend == "bnb" and "warm_start" not in solver_options:
         from repro.core.baselines import lpt_assignment
 

@@ -89,9 +89,13 @@ class SolveRequest:
 
     ``soc`` is a spec string (see :func:`resolve_soc`), not a live object:
     requests must be picklable, serializable, and content-addressable.
-    ``options`` holds extra solver kwargs (``presolve``, ``branching``,
-    ``gap_tol``, ...) as a sorted tuple of pairs so equal requests compare
-    and hash equal regardless of construction order.
+    ``options`` holds extra JSON-scalar solver kwargs (``gap_tol``, ...)
+    as a sorted tuple of pairs so equal requests compare and hash equal
+    regardless of construction order; structured solver settings
+    (presolve, branching, the branch-and-cut :class:`~repro.obs.CutPolicy`)
+    belong on ``policy.solver`` (:class:`~repro.obs.SolverOptions`), which
+    serializes with the policy and reaches the fingerprint through its
+    cache token.
     """
 
     kind: str

@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import warnings
 
 import numpy as np
 
@@ -37,7 +38,7 @@ from repro.ilp.presolve import LB_TIGHTENED, propagate_bounds, reduced_cost_tigh
 from repro.ilp.solution import Solution, SolveStats, Status
 from repro.obs import get_metrics, node_event, now, span
 from repro.obs import event as trace_event
-from repro.obs.policy import CheckpointStore
+from repro.obs.policy import CheckpointStore, CutPolicy
 from repro.util.errors import SolverError
 
 _INT_TOL = 1e-6
@@ -75,9 +76,18 @@ class BranchAndBoundSolver:
         exactly.
     dive:
         Whether to run the rounding dive at the root for an early incumbent.
+    cut_policy:
+        A :class:`~repro.obs.policy.CutPolicy` turning on cutting-plane
+        separation (None = off): maximal-clique cuts from the conflict
+        graph plus lifted knapsack covers, separated in rounds at the
+        root and (``max_depth > 0``) at shallow tree nodes, deduplicated
+        and aged out through a shared :class:`~repro.ilp.cuts.CutPool`.
+        Every cut is valid for the integer hull, so the active cut rows
+        stay in the LP for every node.
     root_cuts:
-        Rounds of knapsack cover cuts applied at the root (0 = off). Valid
-        for the integer hull, so the cut rows stay active in every node.
+        Deprecated spelling of ``cut_policy`` (``root_cuts=N`` maps to
+        ``CutPolicy.legacy_root_cuts(N)``: N cover-only root rounds).
+        Accepted for one release behind a :class:`DeprecationWarning`.
     presolve:
         Node presolve (default on): integer bound propagation per node and
         reduced-cost fixing from the root LP duals. ``presolve=False``
@@ -111,7 +121,8 @@ class BranchAndBoundSolver:
         lp_method: str = "scipy",
         branching: str = "pseudocost",
         dive: bool = True,
-        root_cuts: int = 0,
+        cut_policy: CutPolicy | None = None,
+        root_cuts: int | None = None,
         presolve: bool = True,
         warm_start: dict | None = None,
         checkpoint_dir: str | None = None,
@@ -119,6 +130,19 @@ class BranchAndBoundSolver:
     ):
         if branching not in ("pseudocost", "most_fractional", "first"):
             raise ValueError(f"unknown branching rule {branching!r}")
+        if root_cuts is not None:
+            warnings.warn(
+                "root_cuts is deprecated and will be removed next release; "
+                "pass cut_policy=CutPolicy(...) instead (root_cuts=N maps to "
+                "CutPolicy.legacy_root_cuts(N))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if cut_policy is not None:
+                raise ValueError(
+                    "pass either cut_policy or the deprecated root_cuts, not both"
+                )
+            cut_policy = CutPolicy.legacy_root_cuts(int(root_cuts))
         self.model = model
         self.node_limit = node_limit
         self.gap_tol = gap_tol
@@ -126,12 +150,26 @@ class BranchAndBoundSolver:
         self.lp_method = lp_method
         self.branching = branching
         self.dive = dive
-        self.root_cuts = root_cuts
+        self.cut_policy = cut_policy
         self.presolve = bool(presolve)
         self.checkpoint_interval = float(checkpoint_interval)
 
         self._form = model.to_matrix_form()
         self._workspace = LpWorkspace(self._form)
+        # Cuts append rows to a rebuilt self._form; the base form stays
+        # untouched so separation always derives from original rows and
+        # the cache/checkpoint fingerprints stay cut-independent.
+        self._base_form = self._form
+        self._cuts_enabled = cut_policy is not None and cut_policy.enabled
+        self._cut_pool = None
+        self._conflicts = None
+        if self._cuts_enabled:
+            from repro.ilp.cuts import CutPool
+
+            assert cut_policy is not None
+            self._cut_pool = CutPool(
+                max_size=cut_policy.max_pool, max_age=cut_policy.max_age
+            )
         self._int_indices = np.flatnonzero(self._form.integer_mask)
         self._int_mask = self._form.integer_mask
         # Root bounds shared by every node materialization; reduced-cost
@@ -213,6 +251,8 @@ class BranchAndBoundSolver:
             metrics.counter("solve.presolve_fixings").inc(self._stats.presolve_fixings)
             metrics.counter("solve.presolve_pruned").inc(self._stats.presolve_pruned)
             metrics.counter("solve.pseudocost_branches").inc(self._stats.pseudocost_branches)
+            metrics.counter("solve.cuts").inc(self._stats.cuts)
+            metrics.counter("solve.cut_rounds").inc(self._stats.cut_rounds)
             metrics.histogram("solve.wall_time").observe(self._stats.wall_time)
             if self._stats.best_bound is not None:
                 metrics.gauge("solve.best_bound").set(self._stats.best_bound)
@@ -387,6 +427,107 @@ class BranchAndBoundSolver:
                 return
             current = result.x
 
+    # ----------------------------------------------------------- separation
+    def _count_cuts(self, added: list) -> None:
+        self._stats.cuts += len(added)
+        for cut in added:
+            if cut.kind == "clique":
+                self._stats.clique_cuts += 1
+            else:
+                self._stats.cover_cuts += 1
+
+    def _rebuild_with_cuts(self) -> None:
+        """Reassemble the working LP as base rows + the active cut pool.
+
+        The cut rows also join the node-presolve propagation tables, so a
+        clique cut propagates (fixing one member to 1 zeroes the rest).
+        """
+        from repro.ilp.cuts import append_cuts
+
+        assert self._cut_pool is not None
+        pairs = [cut.as_pair(self._base_form.num_vars) for cut in self._cut_pool.active]
+        self._form = append_cuts(self._base_form, pairs)
+        self._workspace = LpWorkspace(self._form)
+
+    def _separate_root(self, root: LpResult) -> LpResult:
+        """Separation rounds at the root; returns the final root relaxation."""
+        from repro.ilp.conflict import ConflictGraph
+        from repro.ilp.cuts import generate_cuts
+
+        policy = self.cut_policy
+        assert policy is not None and self._cut_pool is not None
+        if policy.clique and self._conflicts is None:
+            with span("conflict_graph") as graph_span:
+                self._conflicts = ConflictGraph.from_matrix_form(self._base_form)
+                graph_span.attrs["edges"] = self._conflicts.num_edges
+        with span("cut_separation", rounds=policy.rounds) as sep_span:
+            for _ in range(policy.rounds):
+                dropped = self._cut_pool.age_and_prune(root.x)
+                self._stats.cuts_dropped += len(dropped)
+                fresh = generate_cuts(self._base_form, root.x, policy, self._conflicts)
+                added = [cut for cut in fresh if self._cut_pool.add(cut)]
+                if not added and not dropped:
+                    break
+                self._count_cuts(added)
+                self._rebuild_with_cuts()
+                root = self._solve_node(
+                    self._base_lb, self._base_ub, want_reduced_costs=self.presolve
+                )
+                if root.status == "infeasible":
+                    # Cuts are valid for the integer hull, so an infeasible
+                    # cut-strengthened root proves integer infeasibility.
+                    break
+                if root.status != "optimal":  # only numerical noise lands here
+                    raise SolverError("root LP failed after adding cuts")
+                self._stats.cut_rounds += 1
+                trace_event(
+                    "cut_round",
+                    added=len(added),
+                    dropped=len(dropped),
+                    active=len(self._cut_pool),
+                    bound=root.objective,
+                )
+                if self._fractional_index(root.x) is None:
+                    break
+            sep_span.attrs["cuts"] = self._stats.cuts
+            sep_span.attrs["active"] = len(self._cut_pool)
+        if self._stats.cuts == 0 and (
+            self._conflicts is None or self._conflicts.num_edges == 0
+        ):
+            # Nothing separated at the root and no conflict structure to
+            # try again with: skip in-tree separation entirely so
+            # unconstrained instances pay nothing per node.
+            self._cuts_enabled = False
+        return root
+
+    def _separate_at_node(
+        self, result: LpResult, lb: np.ndarray, ub: np.ndarray
+    ) -> LpResult | None:
+        """One separation round at a shallow tree node.
+
+        Cuts derive from the *base* rows, never from node bounds, so they
+        are globally valid and simply join the shared pool. Returns the
+        re-solved node relaxation, or None when nothing new separated.
+        """
+        from repro.ilp.cuts import generate_cuts
+
+        policy = self.cut_policy
+        assert policy is not None and self._cut_pool is not None
+        fresh = generate_cuts(self._base_form, result.x, policy, self._conflicts)
+        added = [cut for cut in fresh if self._cut_pool.add(cut)]
+        if not added:
+            return None
+        self._count_cuts(added)
+        self._stats.cut_rounds += 1
+        self._rebuild_with_cuts()
+        trace_event(
+            "cut_round",
+            node=self._stats.nodes,
+            added=len(added),
+            active=len(self._cut_pool),
+        )
+        return self._solve_node(lb, ub)
+
     def _search(self, start: float) -> Status:
         if self.presolve:
             with span("root_presolve") as presolve_span:
@@ -420,21 +561,12 @@ class BranchAndBoundSolver:
             self._stats.gap = 0.0
             return Status.OPTIMAL
 
-        with span("presolve", cuts=self.root_cuts, dive=self.dive):
-            for _ in range(self.root_cuts):
-                from repro.ilp.cuts import append_cuts, generate_cover_cuts
-
-                cuts = generate_cover_cuts(self._form, root.x)
-                if not cuts:
-                    break
-                self._form = append_cuts(self._form, cuts)
-                self._workspace = LpWorkspace(self._form)
-                self._stats.cuts += len(cuts)
-                root = self._solve_node(
-                    self._base_lb, self._base_ub, want_reduced_costs=self.presolve
-                )
-                if root.status != "optimal":  # cuts are valid: only numerical noise lands here
-                    raise SolverError("root LP failed after adding cover cuts")
+        cut_rounds = self.cut_policy.rounds if self._cuts_enabled else 0
+        with span("presolve", cut_rounds=cut_rounds, dive=self.dive):
+            if self._cuts_enabled:
+                root = self._separate_root(root)
+                if root.status == "infeasible":
+                    return Status.INFEASIBLE
                 if self._fractional_index(root.x) is None:
                     self._try_update_incumbent(root.x, root.objective)
                     self._stats.best_bound = root.objective
@@ -540,6 +672,19 @@ class BranchAndBoundSolver:
                 continue  # infeasible subtree (unbounded cannot appear below a bounded root)
             if result.objective >= self._cutoff():
                 continue
+
+            if (
+                self._cuts_enabled
+                and self.cut_policy is not None
+                and 0 < depth <= self.cut_policy.max_depth
+            ):
+                separated = self._separate_at_node(result, lb, ub)
+                if separated is not None:
+                    result = separated
+                    if result.status != "optimal":
+                        continue  # pool cuts emptied this node's box: prune
+                    if result.objective >= self._cutoff():
+                        continue
 
             j = self._select_branch(result.x)
             if j is None:

@@ -1,19 +1,30 @@
-"""Knapsack cover cuts.
+"""Cutting planes: lifted knapsack covers, clique cuts, and the cut pool.
 
-A classic strengthening for 0/1 rows: given a constraint
-``sum a_j x_j <= b`` over binaries with ``a_j >= 0``, any *cover* C (a set
-with ``sum_{j in C} a_j > b``) yields the valid cut
+Cover cuts are the classic strengthening for 0/1 rows: given a
+constraint ``sum a_j x_j <= b`` over binaries with ``a_j >= 0``, any
+*cover* C (a set with ``sum_{j in C} a_j > b``) yields the valid cut
 ``sum_{j in C} x_j <= |C| - 1``. Separation uses the standard greedy
 heuristic: pick variables by ascending ``1 - x*_j`` until the weights
 exceed ``b``; the cover cuts off ``x*`` iff ``sum_{j in C}(1 - x*_j) < 1``.
+With ``lift=True`` the cover is *extended*: every support variable at
+least as heavy as the heaviest cover member joins the left-hand side at
+the same right-hand side — any ``|C|`` members of the extension weigh at
+least as much as C itself, so the inequality stays valid while strictly
+dominating the plain cover cut.
 
-The branch-and-bound solver applies a few rounds of these at the root when
-``root_cuts > 0`` — an optional ablation knob (the TAM assignment ILPs have
-equality rows, which cover cuts don't touch, so the knob mostly matters for
-knapsack-like side constraints and the generic-MILP use of the substrate).
+Clique cuts come from the conflict graph (:mod:`repro.ilp.conflict`).
+Both kinds flow through one :class:`CutPool` owned by the
+branch-and-bound solver: the pool deduplicates cuts by their support
+signature, caps how many are active, and retires cuts that stay slack
+for several consecutive separation rounds (see
+:class:`~repro.obs.policy.CutPolicy`). The low-level
+``generate_cover_cuts`` / ``append_cuts`` helpers keep their PR-4
+signatures for direct use.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,13 +38,15 @@ def _binary_mask(form: MatrixForm) -> np.ndarray:
 
 
 def generate_cover_cuts(
-    form: MatrixForm, x: np.ndarray, max_cuts: int = 20
+    form: MatrixForm, x: np.ndarray, max_cuts: int = 20, lift: bool = False
 ) -> list[tuple[np.ndarray, float]]:
     """Return cover cuts of ``form``'s UB rows violated by the LP point ``x``.
 
     Each cut is ``(row, rhs)`` with ``row @ x <= rhs`` valid for every
     integer point and violated by ``x``. Rows must be pure non-negative
-    binary knapsacks to participate; others are skipped.
+    binary knapsacks to participate; others are skipped. With ``lift``
+    the cover is extended by the heavy non-cover support (same rhs),
+    which never weakens the cut.
     """
     binary = _binary_mask(form)
     cuts: list[tuple[np.ndarray, float]] = []
@@ -65,8 +78,19 @@ def generate_cover_cuts(
         if slack >= 1.0 - _TOL:
             continue  # not violated by x
 
+        members = cover
+        if lift:
+            # Extended cover: any |C| members of E(C) weigh at least as
+            # much as C (every extension item outweighs every cover
+            # item), so sum_{E(C)} x <= |C| - 1 remains valid.
+            a_max = max(row[j] for j in cover)
+            in_cover = set(cover)
+            members = cover + [
+                int(j) for j in support
+                if j not in in_cover and row[j] >= a_max - _TOL
+            ]
         cut_row = np.zeros(form.num_vars)
-        cut_row[cover] = 1.0
+        cut_row[members] = 1.0
         cuts.append((cut_row, float(len(cover) - 1)))
     return cuts
 
@@ -88,3 +112,112 @@ def append_cuts(form: MatrixForm, cuts: list[tuple[np.ndarray, float]]) -> Matri
         ub=form.ub,
         integer_mask=form.integer_mask,
     )
+
+
+# --------------------------------------------------------------------- pool
+@dataclass
+class Cut:
+    """One cutting plane ``sum coefs[i] * x[cols[i]] <= rhs``."""
+
+    cols: tuple[int, ...]
+    coefs: tuple[float, ...]
+    rhs: float
+    kind: str  # "clique" | "cover"
+    violation: float = 0.0
+    age: int = field(default=0, compare=False)
+
+    @property
+    def key(self) -> tuple:
+        """Support signature used for pool deduplication (kind-agnostic)."""
+        terms = tuple(sorted(zip(self.cols, (round(c, 9) for c in self.coefs))))
+        return (terms, round(self.rhs, 9))
+
+    def activity(self, x: np.ndarray) -> float:
+        return float(sum(c * x[j] for j, c in zip(self.cols, self.coefs)))
+
+    def as_pair(self, num_vars: int) -> tuple[np.ndarray, float]:
+        """Dense ``(row, rhs)`` form for :func:`append_cuts`."""
+        row = np.zeros(num_vars)
+        row[list(self.cols)] = self.coefs
+        return row, self.rhs
+
+
+class CutPool:
+    """Active cuts with dedup, a size cap, and slack-based aging.
+
+    ``add`` rejects duplicates (by support signature) and anything past
+    the capacity; ``age_and_prune`` bumps the age of every cut slack at
+    the current LP point, resets it for binding cuts, and drops cuts
+    whose age exceeds ``max_age`` — keeping the rebuilt LP workspace
+    small across separation rounds.
+    """
+
+    def __init__(self, max_size: int = 256, max_age: int = 3):
+        self.max_size = max_size
+        self.max_age = max_age
+        self._by_key: dict[tuple, Cut] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def active(self) -> list[Cut]:
+        return list(self._by_key.values())
+
+    def add(self, cut: Cut) -> bool:
+        """Admit ``cut`` unless it is a duplicate or the pool is full."""
+        key = cut.key
+        if key in self._by_key or len(self._by_key) >= self.max_size:
+            return False
+        self._by_key[key] = cut
+        return True
+
+    def age_and_prune(self, x: np.ndarray, tol: float = _TOL) -> list[Cut]:
+        """Age cuts slack at ``x``; drop and return the expired ones."""
+        dropped: list[Cut] = []
+        for key, cut in list(self._by_key.items()):
+            if cut.rhs - cut.activity(x) > tol:
+                cut.age += 1
+            else:
+                cut.age = 0
+            if cut.age > self.max_age:
+                dropped.append(self._by_key.pop(key))
+        return dropped
+
+
+def generate_cuts(form, x, policy, graph=None) -> list[Cut]:
+    """One separation round at the LP point ``x`` under ``policy``.
+
+    ``form`` must be the *base* matrix (without pool cuts): separation
+    only ever derives from original rows, so every emitted cut is valid
+    for the integer hull regardless of which node requested it. Returns
+    at most ``policy.max_cuts_per_round`` cuts, most violated first.
+    """
+    cuts: list[Cut] = []
+    if policy.clique and graph is not None:
+        for cols, violation in graph.separate(
+            x, max_cliques=policy.max_cuts_per_round,
+            min_violation=policy.min_violation,
+        ):
+            cuts.append(
+                Cut(cols, (1.0,) * len(cols), 1.0, "clique", violation)
+            )
+    if policy.cover:
+        for row, rhs in generate_cover_cuts(
+            form, x, max_cuts=policy.max_cuts_per_round, lift=True
+        ):
+            support = np.flatnonzero(row)
+            violation = float(row @ x) - float(rhs)
+            if violation < policy.min_violation:
+                continue
+            cuts.append(
+                Cut(
+                    tuple(int(j) for j in support),
+                    tuple(float(row[j]) for j in support),
+                    float(rhs),
+                    "cover",
+                    violation,
+                )
+            )
+    cuts.sort(key=lambda cut: (-cut.violation, cut.kind, cut.cols))
+    return cuts[: policy.max_cuts_per_round]

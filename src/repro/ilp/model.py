@@ -301,7 +301,9 @@ class Model:
         BranchAndBoundSolver`; ``backend="scipy"`` uses HiGHS via
         ``scipy.optimize.milp``; other names resolve through
         :func:`register_backend`. Options are forwarded to the backend
-        (``gap_tol``, ``dive``, ``root_cuts``, ``warm_start`` for bnb).
+        (``gap_tol``, ``dive``, ``cut_policy``, ``warm_start`` for bnb; the
+        legacy ``root_cuts=N`` spelling still works one release behind a
+        :class:`DeprecationWarning`).
 
         ``policy`` is a :class:`~repro.obs.SolvePolicy` bounding the solve:
         its deadline / node budget / gap tolerance map onto the backend's

@@ -38,6 +38,13 @@ class SolveStats:
     LP-solved nodes and ``lp_solves >= nodes`` stays true), and
     ``pseudocost_branches`` the branchings decided by pseudocost scores
     rather than the most-fractional fallback.
+
+    The cut counters describe branch-and-cut separation (see
+    :class:`~repro.obs.policy.CutPolicy`): ``cuts`` is the total number
+    of cutting planes admitted to the pool, split into ``clique_cuts``
+    and ``cover_cuts`` by family; ``cut_rounds`` counts separation
+    rounds that changed the LP, and ``cuts_dropped`` the cuts the pool
+    aged out for staying slack. :meth:`cut_summary` bundles them.
     """
 
     nodes: int = 0
@@ -49,6 +56,10 @@ class SolveStats:
     best_bound: float | None = None
     gap: float | None = None
     cuts: int = 0
+    cut_rounds: int = 0
+    clique_cuts: int = 0
+    cover_cuts: int = 0
+    cuts_dropped: int = 0
     cache_hit: bool = False
     retries: int = 0
     presolve_fixings: int = 0
@@ -60,6 +71,16 @@ class SolveStats:
         from dataclasses import asdict
 
         return asdict(self)
+
+    def cut_summary(self) -> dict:
+        """The branch-and-cut counters as one mapping (stable key order)."""
+        return {
+            "cuts": self.cuts,
+            "cut_rounds": self.cut_rounds,
+            "clique_cuts": self.clique_cuts,
+            "cover_cuts": self.cover_cuts,
+            "cuts_dropped": self.cuts_dropped,
+        }
 
 
 @dataclass

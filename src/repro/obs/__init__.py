@@ -11,8 +11,9 @@ Everything time- and effort-related flows through this package:
 - :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
   counters / gauges / histograms the solver stack writes into;
 - :mod:`repro.obs.policy` — :class:`SolvePolicy` (deadline, node budget,
-  retry/backoff, degradation ladder, incumbent checkpointing) and the
-  :class:`FallbackReport` provenance record.
+  retry/backoff, degradation ladder, incumbent checkpointing), its
+  structured :class:`SolverOptions` / :class:`CutPolicy` solver block,
+  and the :class:`FallbackReport` provenance record.
 
 The blessed public names (re-exported by :mod:`repro.api`): ``SolvePolicy``,
 ``FallbackReport``, ``MetricsRegistry``, ``trace_solve``, ``get_metrics``.
@@ -29,11 +30,15 @@ from repro.obs.metrics import (
     use_metrics,
 )
 from repro.obs.policy import (
+    BRANCHING_RULES,
+    DEFAULT_CUT_POLICY,
     DEFAULT_FALLBACK,
     FALLBACK_RUNGS,
     CheckpointStore,
+    CutPolicy,
     FallbackReport,
     SolvePolicy,
+    SolverOptions,
 )
 from repro.obs.tracing import (
     Span,
@@ -47,8 +52,11 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BRANCHING_RULES",
     "CheckpointStore",
     "Counter",
+    "CutPolicy",
+    "DEFAULT_CUT_POLICY",
     "DEFAULT_FALLBACK",
     "FALLBACK_RUNGS",
     "FallbackReport",
@@ -56,6 +64,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SolvePolicy",
+    "SolverOptions",
     "Span",
     "Stopwatch",
     "Tracer",

@@ -32,6 +32,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
@@ -41,6 +43,216 @@ FALLBACK_RUNGS = ("lpt", "sa")
 
 #: Default degradation ladder on budget exhaustion without an incumbent.
 DEFAULT_FALLBACK = ("lpt", "sa")
+
+#: Branching rules :class:`~repro.ilp.branch_and_bound.BranchAndBoundSolver`
+#: accepts; validated here so a typo fails at policy construction, not
+#: mid-sweep inside a worker process.
+BRANCHING_RULES = ("most_fractional", "pseudocost", "first")
+
+
+@dataclass(frozen=True)
+class CutPolicy:
+    """How (and whether) the B&B solver separates cutting planes.
+
+    The solver derives a conflict graph from the pairwise-exclusion
+    structure of the matrix and separates maximal-clique cuts
+    (``sum x <= 1``) plus lifted knapsack cover cuts, in up to ``rounds``
+    rounds at the root node and — when ``max_depth > 0`` — one round at
+    tree nodes no deeper than ``max_depth``. A shared cut pool
+    deduplicates cuts, keeps at most ``max_pool`` active, and retires a
+    cut after it has been slack for ``max_age`` consecutive rounds.
+
+    Cut settings change what a solve returns (node counts, provenance,
+    possibly which optimal vertex is reported), so every field
+    contributes to :meth:`cache_token` and therefore to the solve-cache
+    fingerprint (flow rule D001 audits this).
+    """
+
+    rounds: int = 3
+    max_cuts_per_round: int = 32
+    clique: bool = True
+    cover: bool = True
+    max_depth: int = 2
+    min_violation: float = 1e-4
+    max_pool: int = 256
+    max_age: int = 3
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError(f"rounds cannot be negative, got {self.rounds}")
+        if self.max_cuts_per_round <= 0:
+            raise ValueError(
+                f"max_cuts_per_round must be positive, got {self.max_cuts_per_round}"
+            )
+        if self.max_depth < 0:
+            raise ValueError(f"max_depth cannot be negative, got {self.max_depth}")
+        if self.min_violation <= 0:
+            raise ValueError(
+                f"min_violation must be positive, got {self.min_violation}"
+            )
+        if self.max_pool <= 0:
+            raise ValueError(f"max_pool must be positive, got {self.max_pool}")
+        if self.max_age < 1:
+            raise ValueError(f"max_age must be at least 1, got {self.max_age}")
+
+    # ------------------------------------------------------------ derivations
+    @property
+    def enabled(self) -> bool:
+        """True when any separation at all may run."""
+        return (self.clique or self.cover) and (self.rounds > 0 or self.max_depth > 0)
+
+    @classmethod
+    def disabled(cls) -> "CutPolicy":
+        """An explicit cuts-off policy (distinct from *unset*, which lets
+        the designer apply its default)."""
+        return cls(rounds=0, max_depth=0)
+
+    @classmethod
+    def legacy_root_cuts(cls, rounds: int) -> "CutPolicy":
+        """The policy equivalent of the retired ``root_cuts=N`` kwarg:
+        N cover-only rounds at the root, 20 cuts per round."""
+        if rounds <= 0:
+            return cls.disabled()
+        return cls(
+            rounds=rounds, max_cuts_per_round=20, clique=False, cover=True, max_depth=0
+        )
+
+    def backend_options(self) -> dict[str, Any]:
+        """The solver kwargs this cut policy implies (bnb only)."""
+        return {"cut_policy": self}
+
+    def cache_token(self) -> str:
+        """Canonical text of every field — all of them shape the result."""
+        return (
+            f"cuts(rounds={self.rounds!r},max_cuts_per_round={self.max_cuts_per_round!r},"
+            f"clique={self.clique!r},cover={self.cover!r},max_depth={self.max_depth!r},"
+            f"min_violation={self.min_violation!r},max_pool={self.max_pool!r},"
+            f"max_age={self.max_age!r})"
+        )
+
+    def with_overrides(self, **changes) -> "CutPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "max_cuts_per_round": self.max_cuts_per_round,
+            "clique": self.clique,
+            "cover": self.cover,
+            "max_depth": self.max_depth,
+            "min_violation": self.min_violation,
+            "max_pool": self.max_pool,
+            "max_age": self.max_age,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "Mapping[str, Any]") -> "CutPolicy":
+        known = {
+            "rounds",
+            "max_cuts_per_round",
+            "clique",
+            "cover",
+            "max_depth",
+            "min_violation",
+            "max_pool",
+            "max_age",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown CutPolicy field(s): {', '.join(unknown)}")
+        return cls(**dict(payload))
+
+
+#: The cut policy ``design()`` applies when nothing chose one explicitly.
+DEFAULT_CUT_POLICY = CutPolicy()
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Structured B&B solver knobs, riding on :class:`SolvePolicy`.
+
+    Collapses the formerly scattered flat kwargs (``presolve``,
+    ``branching``, ``root_cuts``, ``checkpoint_interval``) into one
+    frozen, picklable, fingerprintable block. ``None`` means "solver
+    default" for every field.
+    """
+
+    presolve: bool | None = None
+    branching: str | None = None
+    cuts: CutPolicy | None = None
+    checkpoint_interval: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.branching is not None and self.branching not in BRANCHING_RULES:
+            raise ValueError(
+                f"unknown branching rule {self.branching!r}; "
+                f"known: {list(BRANCHING_RULES)}"
+            )
+        if self.cuts is not None and not isinstance(self.cuts, CutPolicy):
+            raise TypeError(
+                f"cuts must be a CutPolicy or None, got {type(self.cuts).__name__}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {self.checkpoint_interval}"
+            )
+
+    def backend_options(self, backend: str = "bnb") -> dict[str, Any]:
+        """The solver kwargs this block implies for ``backend``."""
+        options: dict[str, Any] = {}
+        if backend != "bnb":
+            return options
+        if self.presolve is not None:
+            options["presolve"] = self.presolve
+        if self.branching is not None:
+            options["branching"] = self.branching
+        if self.checkpoint_interval is not None:
+            options["checkpoint_interval"] = self.checkpoint_interval
+        if self.cuts is not None:
+            # Forwarded as a block: the cut kwargs name their own cache
+            # token, so `cuts` must be read by cache_token() below — flow
+            # rule D001 audits exactly that pairing.
+            for key, value in self.cuts.backend_options().items():
+                options[key] = value
+        return options
+
+    def cache_token(self) -> str:
+        """Canonical text of every field — all of them shape the result."""
+        cuts = "-" if self.cuts is None else self.cuts.cache_token()
+        return (
+            f"solver(presolve={self.presolve!r},branching={self.branching!r},"
+            f"cuts={cuts},checkpoint_interval={self.checkpoint_interval!r})"
+        )
+
+    def with_overrides(self, **changes) -> "SolverOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "presolve": self.presolve,
+            "branching": self.branching,
+            "cuts": None if self.cuts is None else self.cuts.as_dict(),
+            "checkpoint_interval": self.checkpoint_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "Mapping[str, Any]") -> "SolverOptions":
+        known = {"presolve", "branching", "cuts", "checkpoint_interval"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown SolverOptions field(s): {', '.join(unknown)}")
+        data = dict(payload)
+        cuts = data.get("cuts")
+        if isinstance(cuts, Mapping):
+            data["cuts"] = CutPolicy.from_dict(cuts)
+        return cls(**data)
+
+
+#: Flat ``SolvePolicy.from_dict`` spellings still accepted, one release,
+#: behind a DeprecationWarning; they fold into the nested ``solver`` block.
+_FLAT_SOLVER_KEYS = ("presolve", "branching", "root_cuts", "checkpoint_interval")
 
 
 @dataclass(frozen=True)
@@ -55,8 +267,13 @@ class SolvePolicy:
     fallback: tuple[str, ...] = DEFAULT_FALLBACK
     fallback_seed: int = 0
     checkpoint_dir: str | None = None
+    solver: SolverOptions | None = None
 
     def __post_init__(self) -> None:
+        if self.solver is not None and not isinstance(self.solver, SolverOptions):
+            raise TypeError(
+                f"solver must be a SolverOptions or None, got {type(self.solver).__name__}"
+            )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
         if self.node_budget is not None and self.node_budget <= 0:
@@ -92,27 +309,34 @@ class SolvePolicy:
         if backend == "scipy":
             if self.deadline is not None:
                 options["time_limit"] = self.deadline
-            return options
-        if self.node_budget is not None:
-            options["node_limit"] = self.node_budget
-        if self.deadline is not None:
-            options["time_limit"] = self.deadline
-        if self.gap_tol is not None:
-            options["gap_tol"] = self.gap_tol
-        if self.checkpoint_dir is not None:
-            options["checkpoint_dir"] = self.checkpoint_dir
+        else:
+            if self.node_budget is not None:
+                options["node_limit"] = self.node_budget
+            if self.deadline is not None:
+                options["time_limit"] = self.deadline
+            if self.gap_tol is not None:
+                options["gap_tol"] = self.gap_tol
+            if self.checkpoint_dir is not None:
+                options["checkpoint_dir"] = self.checkpoint_dir
+        if self.solver is not None:
+            # Forwarded as a block: the nested kwargs carry their own cache
+            # tokens, so `solver` must be read by cache_token() — flow rule
+            # D001 audits exactly that pairing.
+            for key, value in self.solver.backend_options(backend).items():
+                options[key] = value
         return options
 
     def cache_token(self) -> str:
         """Canonical text of the fields that change what a solve returns.
 
-        Only the effort budget matters for the cache key: retries and the
-        fallback ladder re-run or replace a solve but never alter what a
-        completed solve would have produced.
+        The effort budget and the solver block matter for the cache key:
+        retries and the fallback ladder re-run or replace a solve but
+        never alter what a completed solve would have produced.
         """
+        solver = "-" if self.solver is None else self.solver.cache_token()
         return (
             f"policy(deadline={self.deadline!r},node_budget={self.node_budget!r},"
-            f"gap_tol={self.gap_tol!r})"
+            f"gap_tol={self.gap_tol!r},solver={solver})"
         )
 
     def with_overrides(self, **changes) -> "SolvePolicy":
@@ -129,14 +353,19 @@ class SolvePolicy:
             "fallback": list(self.fallback),
             "fallback_seed": self.fallback_seed,
             "checkpoint_dir": self.checkpoint_dir,
+            "solver": None if self.solver is None else self.solver.as_dict(),
         }
 
     @classmethod
-    def from_dict(cls, payload: "dict[str, Any]") -> "SolvePolicy":
+    def from_dict(cls, payload: "Mapping[str, Any]") -> "SolvePolicy":
         """Inverse of :meth:`as_dict` (used by request/service payloads).
 
         Unknown keys are rejected so a typo'd budget field cannot silently
-        produce an uncapped solve.
+        produce an uncapped solve. The retired flat solver spellings
+        (``presolve``, ``branching``, ``root_cuts``,
+        ``checkpoint_interval``) are still accepted for one release —
+        behind a :class:`DeprecationWarning` — and fold into the nested
+        ``solver`` block.
         """
         known = {
             "deadline",
@@ -147,11 +376,40 @@ class SolvePolicy:
             "fallback",
             "fallback_seed",
             "checkpoint_dir",
-        }
+            "solver",
+        } | set(_FLAT_SOLVER_KEYS)
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ValueError(f"unknown SolvePolicy field(s): {', '.join(unknown)}")
         data = dict(payload)
+        flat = {key: data.pop(key) for key in _FLAT_SOLVER_KEYS if key in data}
+        if flat:
+            warnings.warn(
+                f"flat solver key(s) {sorted(flat)} in SolvePolicy.from_dict are "
+                "deprecated and will be rejected next release; nest them under "
+                "'solver', e.g. {'solver': {'presolve': ..., 'branching': ..., "
+                "'cuts': {'rounds': ...}}} (SolverOptions / CutPolicy)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            nested = data.get("solver")
+            if isinstance(nested, Mapping):
+                nested = SolverOptions.from_dict(nested)
+            nested_dict = {} if nested is None else dict(nested.as_dict())
+            for key, value in flat.items():
+                target = "cuts" if key == "root_cuts" else key
+                if nested_dict.get(target) is not None:
+                    raise ValueError(
+                        f"SolvePolicy.from_dict got both flat {key!r} and "
+                        f"solver.{target}; use the nested spelling only"
+                    )
+                if key == "root_cuts":
+                    nested_dict["cuts"] = CutPolicy.legacy_root_cuts(int(value)).as_dict()
+                else:
+                    nested_dict[target] = value
+            data["solver"] = SolverOptions.from_dict(nested_dict)
+        elif isinstance(data.get("solver"), Mapping):
+            data["solver"] = SolverOptions.from_dict(data["solver"])
         if "fallback" in data and data["fallback"] is not None:
             data["fallback"] = tuple(data["fallback"])
         return cls(**data)

@@ -60,8 +60,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: changes so stale stores are ignored rather than misread. v2: solver fast
 #: path (presolve + pseudocost branching) — objectives are unchanged but
 #: tie-broken assignments and the persisted work counters may differ, so
-#: records written by the v1 solver are not replayed.
-_FORMAT_VERSION = 2
+#: records written by the v1 solver are not replayed. v3: branch-and-cut —
+#: new persisted cut counters (cut_rounds/clique_cuts/cover_cuts/
+#: cuts_dropped) and cut-dependent tie-broken assignments.
+_FORMAT_VERSION = 3
 
 #: SolveStats fields persisted with a record (work counters of the original
 #: solve, kept so a cached solution still reports its provenance).
@@ -75,6 +77,10 @@ _STATS_FIELDS = (
     "best_bound",
     "gap",
     "cuts",
+    "cut_rounds",
+    "clique_cuts",
+    "cover_cuts",
+    "cuts_dropped",
     "retries",
     "presolve_fixings",
     "presolve_pruned",

@@ -34,6 +34,7 @@ class RunTelemetry:
     incumbent_updates: int = 0
     presolve_fixings: int = 0
     presolve_pruned: int = 0
+    cuts: int = 0
     wall_time: float = 0.0
     jobs: int = 1
     retries: int = 0
@@ -52,6 +53,7 @@ class RunTelemetry:
         self.incumbent_updates += stats.incumbent_updates
         self.presolve_fixings += stats.presolve_fixings
         self.presolve_pruned += stats.presolve_pruned
+        self.cuts += stats.cuts
         self.wall_time += stats.wall_time
         self.retries += stats.retries
 
@@ -77,6 +79,7 @@ class RunTelemetry:
         self.incumbent_updates += other.incumbent_updates
         self.presolve_fixings += other.presolve_fixings
         self.presolve_pruned += other.presolve_pruned
+        self.cuts += other.cuts
         self.wall_time += other.wall_time
         self.retries += other.retries
         self.fallbacks += other.fallbacks

@@ -227,6 +227,33 @@ class TestD001SeededMutations:
         assert offenders, "new result-affecting kwarg skipped the fingerprint"
         assert any("branching_hint" in d.message for d in offenders)
 
+    def test_deleting_solver_block_token_contribution_fires(self, mutable_tree):
+        # PR-8 regression guard: SolvePolicy.cache_token must keep reading
+        # the nested solver block; dropping it would alias cuts-on and
+        # cuts-off solves to one cache entry.
+        policy = mutable_tree / "obs" / "policy.py"
+        text = policy.read_text()
+        needle = 'solver = "-" if self.solver is None else self.solver.cache_token()'
+        assert needle in text, "expected the solver-block token read to delete"
+        policy.write_text(text.replace(needle, 'solver = "-"'))
+        report = self.run_rules(mutable_tree)
+        offenders = [d for d in report.diagnostics if d.rule == "D001"]
+        assert offenders, "solver block dropped from the policy token undetected"
+        assert any("solver" in d.message for d in offenders)
+
+    def test_deleting_cut_policy_token_contribution_fires(self, mutable_tree):
+        # Same guard one level down: SolverOptions.cache_token must keep
+        # reading the CutPolicy field it forwards to the backend.
+        policy = mutable_tree / "obs" / "policy.py"
+        text = policy.read_text()
+        needle = 'cuts = "-" if self.cuts is None else self.cuts.cache_token()'
+        assert needle in text, "expected the cuts token read to delete"
+        policy.write_text(text.replace(needle, 'cuts = "-"'))
+        report = self.run_rules(mutable_tree)
+        offenders = [d for d in report.diagnostics if d.rule == "D001"]
+        assert offenders, "cut policy dropped from the solver token undetected"
+        assert any("cuts" in d.message for d in offenders)
+
     def test_policy_field_outside_token_and_options_fires(self, tmp_path):
         project = project_from(
             tmp_path,

@@ -162,6 +162,58 @@ class TestCliConstructsRequests:
         assert request.policy is not None
         assert request.policy.node_budget == 7
 
+    def test_cut_flags_reach_the_policy_solver_block(self):
+        from repro.obs import CutPolicy
+
+        args = build_parser().parse_args(["design", "S1", "--widths", "16,16", "--cuts"])
+        request = _request_from_args("design", args)
+        assert request.policy.solver.cuts == CutPolicy()
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--no-cuts"]
+        )
+        request = _request_from_args("design", args)
+        assert request.policy.solver.cuts == CutPolicy.disabled()
+        assert not request.policy.solver.cuts.enabled
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--cut-rounds", "5"]
+        )
+        request = _request_from_args("design", args)
+        assert request.policy.solver.cuts.rounds == 5
+
+    def test_contradictory_cut_flags_rejected(self):
+        from repro.util.errors import ValidationError
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--no-cuts", "--cut-rounds", "3"]
+        )
+        with pytest.raises(ValidationError, match="contradict"):
+            _request_from_args("design", args)
+
+    def test_cut_flags_rejected_for_non_bnb_backend(self):
+        from repro.util.errors import ValidationError
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--backend", "scipy", "--cuts"]
+        )
+        with pytest.raises(ValidationError, match="bnb"):
+            _request_from_args("design", args)
+
+    def test_cut_flags_are_fingerprint_stable_on_the_wire(self):
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--cut-rounds", "2"]
+        )
+        request = _request_from_args("design", args)
+        rebuilt = SolveRequest.from_payload(request.as_payload())
+        assert rebuilt == request
+        assert rebuilt.fingerprint() == request.fingerprint()
+        plain = _request_from_args(
+            "design",
+            build_parser().parse_args(["design", "S1", "--widths", "16,16"]),
+        )
+        assert plain.fingerprint() != request.fingerprint()
+
     def test_sweep_args_fingerprint_identically_across_flag_order(self):
         a = build_parser().parse_args(
             ["sweep", "S1", "--total-width", "24", "--buses", "2"]

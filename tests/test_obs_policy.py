@@ -16,9 +16,12 @@ from repro.ilp import Model, quicksum
 from repro.ilp.model import register_backend, unregister_backend
 from repro.ilp.solution import Status
 from repro.obs import (
+    DEFAULT_CUT_POLICY,
     CheckpointStore,
+    CutPolicy,
     FallbackReport,
     SolvePolicy,
+    SolverOptions,
     trace_solve,
     use_metrics,
 )
@@ -87,6 +90,121 @@ class TestPolicyObject:
         import pickle
 
         policy = SolvePolicy(deadline=1.0, fallback=("lpt",))
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestCutPolicyObject:
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            CutPolicy(rounds=-1)
+        with pytest.raises(ValueError):
+            CutPolicy(max_cuts_per_round=0)
+        with pytest.raises(ValueError):
+            CutPolicy(min_violation=-1.0)
+        with pytest.raises(ValueError):
+            CutPolicy(max_pool=0)
+
+    def test_enabled_flag(self):
+        assert DEFAULT_CUT_POLICY.enabled
+        assert not CutPolicy.disabled().enabled
+        assert not CutPolicy(clique=False, cover=False).enabled
+        assert CutPolicy(rounds=0, max_depth=2).enabled  # in-tree only
+
+    def test_legacy_root_cuts_mapping(self):
+        legacy = CutPolicy.legacy_root_cuts(4)
+        assert legacy.rounds == 4
+        assert legacy.cover and not legacy.clique
+        assert legacy.max_depth == 0  # old root_cuts never cut in-tree
+        assert not CutPolicy.legacy_root_cuts(0).enabled
+
+    def test_dict_round_trip_and_unknown_keys(self):
+        policy = CutPolicy(rounds=5, clique=False, max_depth=1)
+        assert CutPolicy.from_dict(policy.as_dict()) == policy
+        with pytest.raises(ValueError, match="gomory"):
+            CutPolicy.from_dict({"gomory": True})
+
+    def test_cache_token_distinguishes_every_field(self):
+        base = CutPolicy()
+        tokens = {base.cache_token()}
+        for change in (
+            {"rounds": 9},
+            {"max_cuts_per_round": 9},
+            {"clique": False},
+            {"cover": False},
+            {"max_depth": 9},
+            {"min_violation": 0.5},
+            {"max_pool": 9},
+            {"max_age": 9},
+        ):
+            tokens.add(base.with_overrides(**change).cache_token())
+        assert len(tokens) == 9
+
+
+class TestSolverOptionsBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverOptions(branching="steepest")
+        with pytest.raises(TypeError):
+            SolverOptions(cuts={"rounds": 3})
+        with pytest.raises(ValueError):
+            SolverOptions(checkpoint_interval=0)
+
+    def test_backend_options_forwarding(self):
+        block = SolverOptions(presolve=False, cuts=CutPolicy(rounds=2))
+        options = block.backend_options("bnb")
+        assert options["presolve"] is False
+        assert options["cut_policy"] == CutPolicy(rounds=2)
+        assert "branching" not in options
+        # non-bnb backends understand none of these knobs
+        assert block.backend_options("scipy") == {}
+
+    def test_policy_carries_solver_block_to_backend(self):
+        policy = SolvePolicy(
+            node_budget=7, solver=SolverOptions(branching="first", cuts=CutPolicy())
+        )
+        options = policy.backend_options("bnb")
+        assert options["node_limit"] == 7
+        assert options["branching"] == "first"
+        assert options["cut_policy"] == CutPolicy()
+        assert policy.backend_options("scipy") == {}
+
+    def test_cache_token_covers_the_block(self):
+        bare = SolvePolicy(node_budget=5)
+        cuts_on = SolvePolicy(node_budget=5, solver=SolverOptions(cuts=CutPolicy()))
+        cuts_off = SolvePolicy(
+            node_budget=5, solver=SolverOptions(cuts=CutPolicy.disabled())
+        )
+        tokens = {p.cache_token() for p in (bare, cuts_on, cuts_off)}
+        assert len(tokens) == 3
+
+    def test_nested_dict_round_trip(self):
+        policy = SolvePolicy(
+            deadline=1.5,
+            solver=SolverOptions(
+                presolve=True, branching="pseudocost", cuts=CutPolicy(max_depth=1)
+            ),
+        )
+        assert SolvePolicy.from_dict(policy.as_dict()) == policy
+
+    def test_flat_keys_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="presolve"):
+            policy = SolvePolicy.from_dict({"node_budget": 3, "presolve": False})
+        assert policy.node_budget == 3
+        assert policy.solver == SolverOptions(presolve=False)
+        with pytest.warns(DeprecationWarning, match="root_cuts"):
+            policy = SolvePolicy.from_dict({"root_cuts": 2})
+        assert policy.solver.cuts == CutPolicy.legacy_root_cuts(2)
+
+    def test_flat_and_nested_conflict_rejected(self):
+        payload = {"presolve": False, "solver": {"presolve": True}}
+        with pytest.raises(ValueError, match="both"):
+            with pytest.warns(DeprecationWarning):
+                SolvePolicy.from_dict(payload)
+
+    def test_block_is_picklable(self):
+        import pickle
+
+        policy = SolvePolicy(solver=SolverOptions(cuts=CutPolicy(rounds=1)))
         assert pickle.loads(pickle.dumps(policy)) == policy
 
 

@@ -325,6 +325,26 @@ class TestHttpRoundTrip:
         objectives = [entry["objective"] for entry in stream["incumbents"]]
         assert objectives == sorted(objectives)
 
+    def test_cut_policy_request_round_trips(self, service):
+        from repro.obs import CutPolicy, SolverOptions
+
+        client = ServiceClient(service)
+        policy = SolvePolicy(solver=SolverOptions(cuts=CutPolicy(rounds=2)))
+        request = make_request(backend="bnb", policy=policy)
+        # The wire form carries the solver block: a reconstructed request
+        # fingerprints identically, and cuts-off is a different job.
+        rebuilt = SolveRequest.from_payload(request.as_payload())
+        assert rebuilt.fingerprint() == request.fingerprint()
+        off = make_request(
+            backend="bnb",
+            policy=SolvePolicy(solver=SolverOptions(cuts=CutPolicy.disabled())),
+        )
+        assert off.fingerprint() != request.fingerprint()
+        submitted = client.submit(request)
+        result = client.wait(submitted["job"]["id"], timeout=60)
+        assert result["status"] == "optimal"
+        assert result["makespan"] > 0
+
     def test_cancelled_job_result_is_410(self, service, backend):
         backend.gate.clear()
         client = ServiceClient(service)
