@@ -15,14 +15,22 @@ harness) under four solver configurations and writes the numbers to
   (grid floorplan, ``max_pair_distance=3.0``) with branch-and-cut disabled
   vs the default :class:`~repro.api.CutPolicy` — the pairwise exclusion
   rows give the clique separator real conflict structure, so this pair
-  isolates what the cuts buy.
+  isolates what the cuts buy;
+- ``presolve_off`` / ``presolve_on`` / ``warm_start`` — the PR-9 ladder on
+  the same grid: root presolve and warm starts both off (the PR-8 solver),
+  root presolve alone, then root presolve + warm-started node LPs (the
+  defaults). ``presolve_off`` vs ``warm_start`` is the headline
+  cold-wall-time step.
 
 Besides wall time the script records the search-effort counters (B&B
-nodes, LP solves, presolve fixings/prunes) per leg — node counts are
-machine-independent, so CI regression-checks them instead of seconds:
-with ``--check`` the run compares its fast-path node count against the
-checked-in ``benchmarks/bench_solver_baseline.json`` and exits 1 on a
->20% regression. ``--record-baseline`` refreshes that file.
+nodes, LP solves, presolve fixings/prunes, warm LP solves/fallbacks) per
+leg — node counts are machine-independent, so CI regression-checks them
+instead of seconds: with ``--check`` the run compares its fast-path node
+count against the checked-in ``benchmarks/bench_solver_baseline.json``
+and exits 1 on a >20% regression, and additionally requires the
+``warm_start`` leg to answer at least 90% of its node LPs from the warm
+engine (the warm-vs-cold re-solve floor). ``--record-baseline`` refreshes
+that file.
 
 Run with::
 
@@ -43,6 +51,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.api import (  # noqa: E402
     CutPolicy,
     MetricsRegistry,
+    PresolvePolicy,
     RunTelemetry,
     SolutionCache,
     SolvePolicy,
@@ -67,6 +76,12 @@ _NODE_REGRESSION_TOLERANCE = 0.20
 #: CI gate: branch-and-cut must shrink the layout-constrained tree by at
 #: least this factor vs the same sweep with cuts disabled.
 _CUTS_MIN_NODE_REDUCTION = 1.5
+
+#: CI gate: on the warm_start leg, at least this share of node LPs must be
+#: answered by the revised dual simplex reoptimizing from a parent basis
+#: (the rest fell back to cold re-solves on numerical trouble). The share
+#: is deterministic for a fixed grid, unlike seconds.
+_WARM_MIN_LP_SHARE = 0.9
 
 #: Layout budget for the cuts legs. Tight enough that the pairwise
 #: exclusion rows carry real conflict structure (every distance class of
@@ -107,6 +122,10 @@ def _run_sweep(soc, grid: dict, jobs: int, **solver_options) -> dict:
         "lp_solves": telemetry.lp_solves,
         "presolve_fixings": telemetry.presolve_fixings,
         "presolve_pruned": telemetry.presolve_pruned,
+        "root_cols_removed": telemetry.root_cols_removed,
+        "root_rows_removed": telemetry.root_rows_removed,
+        "warm_lp_solves": telemetry.warm_lp_solves,
+        "warm_lp_fallbacks": telemetry.warm_lp_fallbacks,
         "cache_hits": telemetry.cache_hits,
         "solves": telemetry.solves,
     }
@@ -151,12 +170,29 @@ def run_bench(quick: bool, jobs: int) -> dict:
 
     baseline_policy = SolvePolicy(
         solver=SolverOptions(
-            presolve=False, branching="most_fractional", cuts=CutPolicy.disabled()
+            presolve=False,
+            branching="most_fractional",
+            cuts=CutPolicy.disabled(),
+            root_presolve=PresolvePolicy.disabled(),
+            warm_start=False,
         )
     )
+    # The PR-9 ladder: the PR-8 solver (fast path + cuts, but no root
+    # presolve and cold node LPs), then each new layer switched on.
+    pr8_policy = SolvePolicy(
+        solver=SolverOptions(
+            root_presolve=PresolvePolicy.disabled(), warm_start=False
+        )
+    )
+    presolve_only_policy = SolvePolicy(solver=SolverOptions(warm_start=False))
     with tempfile.TemporaryDirectory(prefix="repro-bench-solver-") as tmp:
         results["fast_cold"] = _run_sweep(soc, grid, jobs=1)
         results["baseline_cold"] = _run_sweep(soc, grid, jobs=1, policy=baseline_policy)
+        results["presolve_off"] = _run_sweep(soc, grid, jobs=1, policy=pr8_policy)
+        results["presolve_on"] = _run_sweep(
+            soc, grid, jobs=1, policy=presolve_only_policy
+        )
+        results["warm_start"] = _run_sweep(soc, grid, jobs=1)  # = the defaults
         warm_dir = os.path.join(tmp, "warm")
         with use_cache(SolutionCache(directory=warm_dir)):
             _run_sweep(soc, grid, jobs=1)  # populate
@@ -191,6 +227,18 @@ def run_bench(quick: bool, jobs: int) -> dict:
             ),
             "cuts_node_reduction": round(
                 results["cuts_off"]["nodes"] / max(results["cuts_on"]["nodes"], 1), 2
+            ),
+            # The PR-9 headline: cold wall-time step from the PR-8 solver to
+            # root presolve + warm-started node LPs on the same grid.
+            "presolve_warm_step": round(
+                results["presolve_off"]["seconds"]
+                / max(results["warm_start"]["seconds"], 1e-9),
+                2,
+            ),
+            "warm_lp_share": round(
+                results["warm_start"]["warm_lp_solves"]
+                / max(results["warm_start"]["lp_solves"], 1),
+                3,
             ),
         },
     }
@@ -230,6 +278,17 @@ def check_baseline(payload: dict) -> int:
             file=sys.stderr,
         )
         return 1
+    share = payload["speedup"]["warm_lp_share"]
+    print(f"warm-share check ({key}): {share:.1%} of node LPs answered warm "
+          f"(floor {_WARM_MIN_LP_SHARE:.0%})")
+    if share < _WARM_MIN_LP_SHARE:
+        print(
+            f"REGRESSION: only {share:.1%} of node LPs on the warm_start leg "
+            f"were answered by the warm dual simplex (floor "
+            f"{_WARM_MIN_LP_SHARE:.0%}); the rest re-solved cold",
+            file=sys.stderr,
+        )
+        return 1
     cuts_recorded = recorded.get("cuts_on_nodes")
     if cuts_recorded is not None:
         cuts_nodes = payload["results"]["cuts_on"]["nodes"]
@@ -256,6 +315,7 @@ def record_baseline(payload: dict) -> None:
         "nodes": payload["results"]["fast_cold"]["nodes"],
         "lp_solves": payload["results"]["fast_cold"]["lp_solves"],
         "cuts_on_nodes": payload["results"]["cuts_on"]["nodes"],
+        "warm_lp_share": payload["speedup"]["warm_lp_share"],
         "grid": payload["grid"],
     }
     _BASELINE_PATH.write_text(
@@ -290,7 +350,9 @@ def main(argv: list[str] | None = None) -> int:
     s = payload["speedup"]
     print(f"speedups: cold wall {s['cold_wall_time']}x, nodes {s['node_reduction']}x, "
           f"LPs {s['lp_solve_reduction']}x, parallel {s['parallel_vs_serial_cold']}x, "
-          f"cuts nodes {s['cuts_node_reduction']}x")
+          f"cuts nodes {s['cuts_node_reduction']}x, "
+          f"presolve+warm step {s['presolve_warm_step']}x "
+          f"(warm share {s['warm_lp_share']:.0%})")
     print(f"wrote {args.out}")
 
     if args.record_baseline:

@@ -89,10 +89,12 @@ from repro.ilp.solution import Solution, SolveStats, Status
 from repro.layout import Floorplan, anneal_place, bus_wirelength, grid_place, tam_wirelength
 from repro.obs import (
     DEFAULT_CUT_POLICY,
+    DEFAULT_PRESOLVE_POLICY,
     CheckpointStore,
     CutPolicy,
     FallbackReport,
     MetricsRegistry,
+    PresolvePolicy,
     SolvePolicy,
     SolverOptions,
     Span,
@@ -249,6 +251,8 @@ __all__ = [
     "SolverOptions",
     "CutPolicy",
     "DEFAULT_CUT_POLICY",
+    "PresolvePolicy",
+    "DEFAULT_PRESOLVE_POLICY",
     "FallbackReport",
     "CheckpointStore",
     "register_backend",
@@ -311,12 +315,16 @@ _SINCE_PR: dict[str, int] = {
     "CutPolicy": 8,
     "SolverOptions": 8,
     "DEFAULT_CUT_POLICY": 8,
+    # PR 9: root presolve + warm-started node LPs
+    "PresolvePolicy": 9,
+    "DEFAULT_PRESOLVE_POLICY": 9,
 }
 
 #: Defining module for exports that are plain values (no ``__module__``).
 _CONSTANT_MODULES: dict[str, str] = {
     "DEFAULT_CACHE_DIR": "repro.runtime.cache",
     "DEFAULT_CUT_POLICY": "repro.obs.policy",
+    "DEFAULT_PRESOLVE_POLICY": "repro.obs.policy",
     "EXPERIMENTS": "repro.experiments",
     "REQUEST_KINDS": "repro.core.request",
     "BLESSED_ALIASES": "repro.api",

@@ -27,9 +27,11 @@ disk), and ``--no-cache`` — plus the anytime-solve flags ``--deadline`` /
 ``--node-budget`` / ``--retries`` / ``--no-fallback`` that build a
 :class:`~repro.api.SolvePolicy`, and the bnb solver knobs
 ``--no-presolve`` / ``--branching`` / ``--cuts`` / ``--no-cuts`` /
-``--cut-rounds`` that ride its structured
-:class:`~repro.api.SolverOptions` block (branch-and-cut is on by
-default; ``--no-cuts`` disables it). ``design --trace [FILE]``
+``--cut-rounds`` / ``--root-presolve`` / ``--no-root-presolve`` /
+``--warm-lps`` / ``--no-warm-lps`` that ride its structured
+:class:`~repro.api.SolverOptions` block (branch-and-cut, root model
+presolve, and warm-started node LPs are all on by default; the
+``--no-*`` forms disable them). ``design --trace [FILE]``
 additionally records a span trace and prints its flame summary.
 
 The SOC argument accepts the builtin names ``S1``/``S2``/``S3``,
@@ -99,6 +101,17 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cut-rounds", type=int, default=None, metavar="N",
                         help="separation rounds at the root node (implies --cuts; "
                              "bnb backend only)")
+    parser.add_argument("--root-presolve", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="root model presolve: dual fixing, singleton "
+                             "substitution, coefficient tightening, row cleanup "
+                             "(default: on; --no-root-presolve searches the "
+                             "original model; bnb backend only)")
+    parser.add_argument("--warm-lps", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="warm-start node LPs from the parent basis via the "
+                             "revised dual simplex (default: on; --no-warm-lps "
+                             "cold-solves every node; bnb backend only)")
 
 
 def _solver_block_from_args(args) -> SolverOptions | None:
@@ -108,7 +121,7 @@ def _solver_block_from_args(args) -> SolverOptions | None:
     options — so CLI, library, and service requests fingerprint
     identically for identical settings.
     """
-    from repro.api import ValidationError
+    from repro.api import PresolvePolicy, ValidationError
 
     if getattr(args, "cuts", None) is False and getattr(args, "cut_rounds", None):
         raise ValidationError("--no-cuts and --cut-rounds contradict each other")
@@ -119,6 +132,11 @@ def _solver_block_from_args(args) -> SolverOptions | None:
         cuts = CutPolicy(rounds=args.cut_rounds)
     elif getattr(args, "cuts", None) is True:
         cuts = CutPolicy()
+    root_presolve = None
+    if getattr(args, "root_presolve", None) is False:
+        root_presolve = PresolvePolicy.disabled()
+    elif getattr(args, "root_presolve", None) is True:
+        root_presolve = PresolvePolicy()
     block = {}
     if getattr(args, "branching", None) is not None:
         block["branching"] = args.branching
@@ -126,11 +144,17 @@ def _solver_block_from_args(args) -> SolverOptions | None:
         block["presolve"] = args.presolve
     if cuts is not None:
         block["cuts"] = cuts
+    if root_presolve is not None:
+        block["root_presolve"] = root_presolve
+    if getattr(args, "warm_lps", None) is not None:
+        block["warm_start"] = args.warm_lps
     if not block:
         return None
     if args.backend != "bnb":
         flags = {"branching": "--branching", "presolve": "--presolve",
-                 "cuts": "--cuts/--no-cuts/--cut-rounds"}
+                 "cuts": "--cuts/--no-cuts/--cut-rounds",
+                 "root_presolve": "--root-presolve/--no-root-presolve",
+                 "warm_start": "--warm-lps/--no-warm-lps"}
         listed = "/".join(flags[key] for key in block)
         raise ValidationError(
             f"{listed} only apply to the bnb backend, not {args.backend!r}"

@@ -101,11 +101,17 @@ def design(
 
     Solver knobs travel on ``policy.solver``
     (:class:`~repro.obs.SolverOptions`: presolve, branching, a
-    :class:`~repro.obs.CutPolicy` cuts block, checkpoint interval); they
+    :class:`~repro.obs.CutPolicy` cuts block, a root-model
+    :class:`~repro.obs.PresolvePolicy`, the ``warm_start`` node-LP
+    toggle, checkpoint interval); they
     only apply to the bnb backend and are rejected elsewhere. When nothing
     chose a cut policy, the designer turns branch-and-cut on with
     :data:`~repro.obs.DEFAULT_CUT_POLICY` — the TAM formulations are rich
     in conflict structure and separation is a no-op when they are not.
+    Root presolve and warm-started node LPs are likewise on by default
+    inside the solver itself (see DESIGN.md §13); disable them per request
+    with ``SolverOptions(root_presolve=PresolvePolicy.disabled(),
+    warm_start=False)``.
     The flat ``presolve=`` / ``branching=`` / ``checkpoint_interval=``
     kwargs still work for one release behind a
     :class:`DeprecationWarning`.

@@ -92,7 +92,9 @@ class SolveRequest:
     ``options`` holds extra JSON-scalar solver kwargs (``gap_tol``, ...)
     as a sorted tuple of pairs so equal requests compare and hash equal
     regardless of construction order; structured solver settings
-    (presolve, branching, the branch-and-cut :class:`~repro.obs.CutPolicy`)
+    (presolve, branching, the branch-and-cut :class:`~repro.obs.CutPolicy`,
+    the root-model :class:`~repro.obs.PresolvePolicy`, and the
+    ``warm_start`` node-LP toggle)
     belong on ``policy.solver`` (:class:`~repro.obs.SolverOptions`), which
     serializes with the policy and reaches the fingerprint through its
     cache token.

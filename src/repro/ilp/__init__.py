@@ -8,8 +8,13 @@ our from-scratch replacement:
   built with Python operators (``2 * x + y <= 3``);
 - :mod:`repro.ilp.model` — the :class:`Model` container with validation and
   standard-form export;
-- :mod:`repro.ilp.simplex` — a dense two-phase revised simplex for the LP
-  relaxations (Bland's rule, bounded variables);
+- :mod:`repro.ilp.simplex` — two LP engines: a dense two-phase tableau
+  simplex for cold solves (Bland's rule, bounded variables) and a revised
+  dual simplex (:class:`~repro.ilp.simplex.RevisedSimplex`) that
+  reoptimizes node LPs warm from a parent :class:`~repro.ilp.simplex.Basis`;
+- :mod:`repro.ilp.presolve_root` — root model presolve (dual fixing,
+  singleton substitution, coefficient tightening, row cleanup) with exact
+  postsolve back to the original variable space;
 - :mod:`repro.ilp.branch_and_bound` — best-first branch and bound with a
   diving heuristic for early incumbents;
 - :mod:`repro.ilp.scipy_backend` — a thin adapter around
@@ -43,7 +48,14 @@ from repro.ilp.expr import (
 )
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStats, Status
-from repro.ilp.simplex import SimplexResult, solve_lp_simplex
+from repro.ilp.presolve_root import Postsolve, PresolveResult, presolve_root
+from repro.ilp.simplex import (
+    Basis,
+    RevisedSimplex,
+    SimplexResult,
+    WarmLpResult,
+    solve_lp_simplex,
+)
 from repro.ilp.branch_and_bound import BranchAndBoundSolver
 from repro.ilp.scipy_backend import solve_with_scipy
 
@@ -65,6 +77,12 @@ __all__ = [
     "Status",
     "SimplexResult",
     "solve_lp_simplex",
+    "Basis",
+    "RevisedSimplex",
+    "WarmLpResult",
+    "Postsolve",
+    "PresolveResult",
+    "presolve_root",
     "BranchAndBoundSolver",
     "solve_with_scipy",
 ]

@@ -2,8 +2,15 @@
 
 The solver operates on the dense :class:`~repro.ilp.model.MatrixForm` of a
 model through a precomputed :class:`~repro.ilp.lp.LpWorkspace`, so the
-scipy constraint handles are derived once, not per node. The search runs a
-fast path on every node:
+scipy constraint handles are derived once, not per node. Before the search
+starts, **root presolve** (:mod:`repro.ilp.presolve_root`, gated by a
+:class:`~repro.obs.policy.PresolvePolicy`) shrinks the model itself —
+dual fixing, singleton substitution, coefficient tightening, row cleanup —
+and the whole search then runs in the reduced space; every incumbent is
+mapped back through the recorded ``Postsolve`` before it is stored, so
+cache records, checkpoints, and fingerprints stay in original variable
+space and are presolve-independent. The search runs a fast path on every
+node:
 
 - **delta-bound nodes** — heap entries carry only the chain of bound
   changes along their tree path (a shared-tail linked list of
@@ -13,6 +20,13 @@ fast path on every node:
   bounds (with the incumbent as an objective cutoff row) plus reduced-cost
   fixing from the root LP duals, pruning or shrinking subtrees before any
   LP is solved (see :mod:`repro.ilp.presolve`);
+- **warm-started node LPs** (default on) — each heap entry also carries
+  its parent's simplex :class:`~repro.ilp.simplex.Basis`; a child differs
+  from its parent by bound tightenings only, which keep that basis dual
+  feasible, so the bounded revised dual simplex reoptimizes in a few
+  pivots instead of a cold ``lp_method`` solve — and its monotone dual
+  bound prunes the node early once it crosses the incumbent cutoff.
+  Numerical doubt of any kind falls back to the cold engine;
 - **pseudocost branching** (default) — branching scores learned from the
   observed objective degradations of earlier branchings, falling back to
   most-fractional until history exists.
@@ -33,12 +47,19 @@ import warnings
 import numpy as np
 
 from repro.ilp.lp import LpResult, LpWorkspace, solve_matrix_lp
-from repro.ilp.model import Model
+from repro.ilp.model import MatrixForm, Model
 from repro.ilp.presolve import LB_TIGHTENED, propagate_bounds, reduced_cost_tighten
+from repro.ilp.presolve_root import Postsolve, presolve_root
+from repro.ilp.simplex import Basis, RevisedSimplex
 from repro.ilp.solution import Solution, SolveStats, Status
 from repro.obs import get_metrics, node_event, now, span
 from repro.obs import event as trace_event
-from repro.obs.policy import CheckpointStore, CutPolicy
+from repro.obs.policy import (
+    DEFAULT_PRESOLVE_POLICY,
+    CheckpointStore,
+    CutPolicy,
+    PresolvePolicy,
+)
 from repro.util.errors import SolverError
 
 _INT_TOL = 1e-6
@@ -93,6 +114,18 @@ class BranchAndBoundSolver:
         reduced-cost fixing from the root LP duals. ``presolve=False``
         restores the plain LP-per-node search. Never changes the optimum —
         only the work needed to prove it.
+    root_presolve:
+        A :class:`~repro.obs.policy.PresolvePolicy` for the one-time model
+        reduction before the search (None = the default policy, on).
+        Pass ``PresolvePolicy.disabled()`` to search the original model.
+        Exact for the integer program; incumbents are postsolved back to
+        original variable space before they are stored anywhere.
+    lp_warm_start:
+        Warm-started node LPs (None = on): re-solve each child node with
+        the bounded revised dual simplex starting from the parent basis,
+        falling back to the cold ``lp_method`` engine on any numerical
+        doubt. ``lp_method`` only selects the *cold* engine — warm
+        re-solves always run our own :class:`~repro.ilp.simplex.RevisedSimplex`.
     warm_start:
         Optional feasible assignment ``{Variable: value}`` used as the
         initial incumbent (e.g. a greedy heuristic's solution). Validated
@@ -124,6 +157,8 @@ class BranchAndBoundSolver:
         cut_policy: CutPolicy | None = None,
         root_cuts: int | None = None,
         presolve: bool = True,
+        root_presolve: PresolvePolicy | None = None,
+        lp_warm_start: bool | None = None,
         warm_start: dict | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_interval: float = 1.0,
@@ -152,14 +187,12 @@ class BranchAndBoundSolver:
         self.dive = dive
         self.cut_policy = cut_policy
         self.presolve = bool(presolve)
+        self.root_presolve = (
+            DEFAULT_PRESOLVE_POLICY if root_presolve is None else root_presolve
+        )
+        self.lp_warm_start = True if lp_warm_start is None else bool(lp_warm_start)
         self.checkpoint_interval = float(checkpoint_interval)
 
-        self._form = model.to_matrix_form()
-        self._workspace = LpWorkspace(self._form)
-        # Cuts append rows to a rebuilt self._form; the base form stays
-        # untouched so separation always derives from original rows and
-        # the cache/checkpoint fingerprints stay cut-independent.
-        self._base_form = self._form
         self._cuts_enabled = cut_policy is not None and cut_policy.enabled
         self._cut_pool = None
         self._conflicts = None
@@ -170,17 +203,14 @@ class BranchAndBoundSolver:
             self._cut_pool = CutPool(
                 max_size=cut_policy.max_pool, max_age=cut_policy.max_age
             )
-        self._int_indices = np.flatnonzero(self._form.integer_mask)
-        self._int_mask = self._form.integer_mask
-        # Root bounds shared by every node materialization; reduced-cost
-        # fixing tightens these globally as the incumbent improves.
-        self._base_lb = self._form.lb.copy()
-        self._base_ub = self._form.ub.copy()
-        n = self._form.num_vars
-        self._pc_dn = np.zeros(n)
-        self._pc_up = np.zeros(n)
-        self._pc_dn_n = np.zeros(n, dtype=np.int64)
-        self._pc_up_n = np.zeros(n, dtype=np.int64)
+        # The original form anchors everything that outlives this solve:
+        # checkpoint fingerprints, incumbents, the returned values. Root
+        # presolve later rebinds the *search* arrays to a reduced form via
+        # _bind_form; _postsolve maps between the two spaces.
+        self._orig_form = model.to_matrix_form()
+        self._orig_int_indices = np.flatnonzero(self._orig_form.integer_mask)
+        self._postsolve: Postsolve | None = None
+        self._bind_form(self._orig_form)
         self._root_obj: float | None = None
         self._root_rc: np.ndarray | None = None
         self._root_lb: np.ndarray | None = None
@@ -196,11 +226,37 @@ class BranchAndBoundSolver:
             from repro.runtime.cache import matrix_fingerprint
 
             self._checkpoints = CheckpointStore(checkpoint_dir)
-            self._fingerprint = matrix_fingerprint(self._form)
+            self._fingerprint = matrix_fingerprint(self._orig_form)
         if warm_start is not None:
             self._install_warm_start(warm_start)
         if self._checkpoints is not None:
             self._resume_from_checkpoint()
+
+    def _bind_form(self, form: MatrixForm) -> None:
+        """Point the search machinery at ``form`` (original or reduced).
+
+        Cuts append rows to a rebuilt ``self._form``; ``self._base_form``
+        stays at the bound form so separation always derives from uncut
+        rows and cut validity survives pool rebuilds.
+        """
+        self._form = form
+        self._base_form = form
+        self._workspace = LpWorkspace(form)
+        self._int_indices = np.flatnonzero(form.integer_mask)
+        self._int_mask = form.integer_mask
+        # Root bounds shared by every node materialization; reduced-cost
+        # fixing tightens these globally as the incumbent improves.
+        self._base_lb = form.lb.copy()
+        self._base_ub = form.ub.copy()
+        n = form.num_vars
+        self._pc_dn = np.zeros(n)
+        self._pc_up = np.zeros(n)
+        self._pc_dn_n = np.zeros(n, dtype=np.int64)
+        self._pc_up_n = np.zeros(n, dtype=np.int64)
+        self._basis_generation = 0
+        self._warm_engine = (
+            RevisedSimplex(form, generation=0) if self.lp_warm_start else None
+        )
 
     def _install_warm_start(self, values: dict) -> None:
         from repro.util.errors import ValidationError
@@ -210,7 +266,7 @@ class BranchAndBoundSolver:
             raise ValidationError(
                 "warm start is not feasible for the model: " + "; ".join(problems[:3])
             )
-        x = np.zeros(self._form.num_vars)
+        x = np.zeros(self._orig_form.num_vars)
         for var, value in values.items():
             x[var.index] = value
         sign = 1.0 if self.model.sense == "min" else -1.0
@@ -224,7 +280,7 @@ class BranchAndBoundSolver:
         if payload is None:
             return
         values = payload.get("values") or []
-        if len(values) != self._form.num_vars:
+        if len(values) != self._orig_form.num_vars:
             return
         by_var = {var: float(values[var.index]) for var in self.model.variables}
         if self.model.check_solution(by_var):
@@ -253,6 +309,10 @@ class BranchAndBoundSolver:
             metrics.counter("solve.pseudocost_branches").inc(self._stats.pseudocost_branches)
             metrics.counter("solve.cuts").inc(self._stats.cuts)
             metrics.counter("solve.cut_rounds").inc(self._stats.cut_rounds)
+            metrics.counter("solve.root_cols_removed").inc(self._stats.root_cols_removed)
+            metrics.counter("solve.root_rows_removed").inc(self._stats.root_rows_removed)
+            metrics.counter("solve.warm_lp_solves").inc(self._stats.warm_lp_solves)
+            metrics.counter("solve.warm_lp_fallbacks").inc(self._stats.warm_lp_fallbacks)
             metrics.histogram("solve.wall_time").observe(self._stats.wall_time)
             if self._stats.best_bound is not None:
                 metrics.gauge("solve.best_bound").set(self._stats.best_bound)
@@ -260,10 +320,45 @@ class BranchAndBoundSolver:
 
     # ------------------------------------------------------------ internals
     def _solve_node(
-        self, lb: np.ndarray, ub: np.ndarray, want_reduced_costs: bool = False
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        want_reduced_costs: bool = False,
+        basis: Basis | None = None,
+        cutoff: float | None = None,
     ) -> LpResult:
+        """One node LP: warm dual-simplex reoptimization when available.
+
+        ``basis`` is the parent's optimal basis (the engine ignores it when
+        its generation is stale — cut rounds rebuild the matrix). The warm
+        engine's three healthy outcomes map directly: ``optimal`` (after a
+        residual check of the claimed point), ``infeasible``, and
+        ``cutoff`` (the monotone dual bound crossed ``cutoff``; the caller
+        prunes). Anything else — or a failed residual check — re-solves
+        cold with ``lp_method``.
+        """
         self._stats.lp_solves += 1
         lp_start = now()
+        if self._warm_engine is not None:
+            warm = self._warm_engine.solve(lb, ub, basis=basis, cutoff=cutoff)
+            if warm.status == "optimal" and self._warm_point_ok(warm.x, lb, ub):
+                self._stats.warm_lp_solves += 1
+                self._stats.lp_time += now() - lp_start
+                self._stats.lp_iterations += warm.iterations
+                return LpResult(
+                    "optimal",
+                    warm.x,
+                    warm.objective,
+                    warm.iterations,
+                    reduced_costs=warm.reduced_costs,
+                    basis=warm.basis,
+                )
+            if warm.status in ("infeasible", "cutoff"):
+                self._stats.warm_lp_solves += 1
+                self._stats.lp_time += now() - lp_start
+                self._stats.lp_iterations += warm.iterations
+                return LpResult(warm.status, None, warm.objective, warm.iterations)
+            self._stats.warm_lp_fallbacks += 1
         result = solve_matrix_lp(
             self._form,
             lb=lb,
@@ -275,6 +370,17 @@ class BranchAndBoundSolver:
         self._stats.lp_time += now() - lp_start
         self._stats.lp_iterations += result.iterations
         return result
+
+    def _warm_point_ok(self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> bool:
+        """Cheap residual guard on a warm-claimed optimum before trusting it."""
+        if np.any(x < lb - 1e-6) or np.any(x > ub + 1e-6):
+            return False
+        form = self._form
+        if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + 1e-6):
+            return False
+        if form.a_eq.size and np.any(np.abs(form.a_eq @ x - form.b_eq) > 1e-6):
+            return False
+        return True
 
     def _cutoff(self) -> float:
         """Objective value at/above which a solution cannot matter."""
@@ -366,9 +472,16 @@ class BranchAndBoundSolver:
             trace_event("reduced_cost_fixing", fixed=fixed, incumbent=self._incumbent_obj)
 
     def _try_update_incumbent(self, x: np.ndarray, objective: float) -> None:
+        """Install an *original-space* candidate as the incumbent.
+
+        Presolve folds fixed/substituted columns into the constant term, so
+        a reduced-space objective equals the original-space one — the
+        cutoff needs no translation, only the vector does (see
+        :meth:`_accept_candidate` for search-space candidates).
+        """
         if objective < self._incumbent_obj - 1e-12:
             snapped = x.copy()
-            snapped[self._int_indices] = np.round(snapped[self._int_indices])
+            snapped[self._orig_int_indices] = np.round(snapped[self._orig_int_indices])
             self._incumbent_x = snapped
             self._incumbent_obj = objective
             self._stats.incumbent_updates += 1
@@ -376,6 +489,12 @@ class BranchAndBoundSolver:
             get_metrics().histogram("solve.incumbent_objective").observe(objective)
             self._apply_reduced_cost_fixing()
             self._save_checkpoint(debounce=True)
+
+    def _accept_candidate(self, x: np.ndarray, objective: float) -> None:
+        """Map a *search-space* candidate back and install it."""
+        if self._postsolve is not None and not self._postsolve.identity:
+            x = self._postsolve.restore(x)
+        self._try_update_incumbent(x, objective)
 
     def _save_checkpoint(self, debounce: bool) -> None:
         """Persist the incumbent, at most once per ``checkpoint_interval``."""
@@ -402,7 +521,7 @@ class BranchAndBoundSolver:
         if self._checkpoint_dirty:
             self._save_checkpoint(debounce=False)
 
-    def _dive_for_incumbent(self, x: np.ndarray) -> None:
+    def _dive_for_incumbent(self, x: np.ndarray, basis: Basis | None = None) -> None:
         """Round-and-refix dive from the root relaxation.
 
         Repeatedly fixes the most fractional integer variable to its nearest
@@ -417,14 +536,15 @@ class BranchAndBoundSolver:
             j = self._fractional_index(current)
             if j is None:
                 obj = float(self._form.c @ current) + self._form.c0
-                self._try_update_incumbent(current, obj)
+                self._accept_candidate(current, obj)
                 return
             value = float(round(current[j]))
             value = min(max(value, lb[j]), ub[j])
             lb[j] = ub[j] = value
-            result = self._solve_node(lb, ub)
+            result = self._solve_node(lb, ub, basis=basis)
             if result.status != "optimal":
                 return
+            basis = result.basis
             current = result.x
 
     # ----------------------------------------------------------- separation
@@ -448,6 +568,14 @@ class BranchAndBoundSolver:
         pairs = [cut.as_pair(self._base_form.num_vars) for cut in self._cut_pool.active]
         self._form = append_cuts(self._base_form, pairs)
         self._workspace = LpWorkspace(self._form)
+        # The constraint matrix changed shape: bump the basis generation so
+        # every basis snapshot taken against the old matrix goes stale, and
+        # refit the warm engine to the cut-extended rows.
+        self._basis_generation += 1
+        if self._warm_engine is not None:
+            self._warm_engine = RevisedSimplex(
+                self._form, generation=self._basis_generation
+            )
 
     def _separate_root(self, root: LpResult) -> LpResult:
         """Separation rounds at the root; returns the final root relaxation."""
@@ -529,6 +657,36 @@ class BranchAndBoundSolver:
         return self._solve_node(lb, ub)
 
     def _search(self, start: float) -> Status:
+        if self.root_presolve.enabled:
+            with span("root_model_presolve") as model_span:
+                reduction = presolve_root(self._orig_form, self.root_presolve)
+                self._stats.root_presolve_rounds = reduction.stats["rounds"]
+                self._stats.root_cols_removed = reduction.stats["cols_removed"]
+                self._stats.root_rows_removed = reduction.stats["rows_removed"]
+                self._stats.root_coeffs_tightened = reduction.stats["coeffs_tightened"]
+                model_span.attrs.update(reduction.stats)
+            if reduction.status == "infeasible":
+                return Status.INFEASIBLE
+            self._postsolve = reduction.postsolve
+            reduced = reduction.form
+            if reduced.num_vars == 0:
+                # Everything was fixed; validate the leftover constant rows
+                # (row cleanup may be gated off) and restore the point.
+                ok = (not reduced.a_ub.size or bool(np.all(reduced.b_ub >= -1e-6))) and (
+                    not reduced.a_eq.size or bool(np.all(np.abs(reduced.b_eq) <= 1e-6))
+                )
+                if not ok:
+                    return Status.INFEASIBLE
+                x = reduction.postsolve.restore(np.zeros(0))
+                objective = float(self._orig_form.c @ x) + self._orig_form.c0
+                self._try_update_incumbent(x, objective)
+                self._stats.best_bound = objective
+                self._stats.gap = 0.0
+                return Status.OPTIMAL
+            # Bind even on an identity column mapping: bound tightening and
+            # row cleanup change the form without touching any column.
+            self._bind_form(reduced)
+
         if self.presolve:
             with span("root_presolve") as presolve_span:
                 feasible, changes = propagate_bounds(
@@ -556,7 +714,7 @@ class BranchAndBoundSolver:
 
         frac = self._fractional_index(root.x)
         if frac is None:
-            self._try_update_incumbent(root.x, root.objective)
+            self._accept_candidate(root.x, root.objective)
             self._stats.best_bound = root.objective
             self._stats.gap = 0.0
             return Status.OPTIMAL
@@ -568,7 +726,7 @@ class BranchAndBoundSolver:
                 if root.status == "infeasible":
                     return Status.INFEASIBLE
                 if self._fractional_index(root.x) is None:
-                    self._try_update_incumbent(root.x, root.objective)
+                    self._accept_candidate(root.x, root.objective)
                     self._stats.best_bound = root.objective
                     self._stats.gap = 0.0
                     return Status.OPTIMAL
@@ -581,7 +739,7 @@ class BranchAndBoundSolver:
             self._root_ub = self._base_ub.copy()
 
             if self.dive:
-                self._dive_for_incumbent(root.x)
+                self._dive_for_incumbent(root.x, basis=root.basis)
             self._apply_reduced_cost_fixing()
 
         with span("bnb_search") as search_span:
@@ -616,17 +774,20 @@ class BranchAndBoundSolver:
     def _best_first(self, start: float, root: LpResult) -> Status:
         """The best-first loop over delta-bound nodes.
 
-        Heap entries are ``(bound, tick, depth, chain, branch_info)``:
-        ``chain`` is the delta chain materialized lazily at pop time and
+        Heap entries are ``(bound, tick, depth, chain, branch_info, basis)``:
+        ``chain`` is the delta chain materialized lazily at pop time,
         ``branch_info = (column, direction, parent_objective, fraction)``
-        feeds the pseudocost update once the node's LP resolves.
+        feeds the pseudocost update once the node's LP resolves, and
+        ``basis`` is the parent node's optimal simplex basis — both
+        children warm-start from it (the tick tie-breaker guarantees tuple
+        comparison never reaches it).
         """
         counter = itertools.count()  # heap tie-breaker
-        heap: list[tuple[float, int, int, tuple | None, tuple | None]] = []
-        heapq.heappush(heap, (root.objective, next(counter), 0, None, None))
+        heap: list[tuple[float, int, int, tuple | None, tuple | None, Basis | None]] = []
+        heapq.heappush(heap, (root.objective, next(counter), 0, None, None, root.basis))
 
         while heap:
-            bound, _, depth, chain, branch_info = heapq.heappop(heap)
+            bound, _, depth, chain, branch_info, parent_basis = heapq.heappop(heap)
             self._stats.best_bound = bound
             incumbent = None if self._incumbent_x is None else self._incumbent_obj
             node_event(depth=depth, bound=bound, incumbent=incumbent)
@@ -664,12 +825,20 @@ class BranchAndBoundSolver:
                     for delta in changes:
                         chain = (chain, *delta)
 
-            result = self._solve_node(lb, ub)
+            node_cutoff = self._cutoff()
+            result = self._solve_node(
+                lb,
+                ub,
+                basis=parent_basis,
+                cutoff=node_cutoff if math.isfinite(node_cutoff) else None,
+            )
             self._stats.nodes += 1
             if branch_info is not None and result.status == "optimal":
                 self._update_pseudocost(branch_info, result.objective)
             if result.status != "optimal":
-                continue  # infeasible subtree (unbounded cannot appear below a bounded root)
+                # Infeasible subtree, or a warm "cutoff" bound-prune
+                # (unbounded cannot appear below a bounded root).
+                continue
             if result.objective >= self._cutoff():
                 continue
 
@@ -688,7 +857,7 @@ class BranchAndBoundSolver:
 
             j = self._select_branch(result.x)
             if j is None:
-                self._try_update_incumbent(result.x, result.objective)
+                self._accept_candidate(result.x, result.objective)
                 continue
 
             value = result.x[j]
@@ -698,12 +867,12 @@ class BranchAndBoundSolver:
             heapq.heappush(
                 heap,
                 (result.objective, next(counter), depth + 1, down_chain,
-                 (j, -1, result.objective, frac)),
+                 (j, -1, result.objective, frac), result.basis),
             )
             heapq.heappush(
                 heap,
                 (result.objective, next(counter), depth + 1, up_chain,
-                 (j, +1, result.objective, frac)),
+                 (j, +1, result.objective, frac), result.basis),
             )
 
         if self._incumbent_x is None:

@@ -1,14 +1,22 @@
 """LP relaxation solving, shared by the model front-end and branch & bound.
 
-Two interchangeable engines solve the relaxation of a
-:class:`~repro.ilp.model.MatrixForm`:
+Two interchangeable *cold-start* engines solve the relaxation of a
+:class:`~repro.ilp.model.MatrixForm` through :func:`solve_matrix_lp`:
 
-- ``"scipy"`` — ``scipy.optimize.linprog`` with the HiGHS dual simplex
-  (fast; the default inside branch and bound);
+- ``"scipy"`` — ``scipy.optimize.linprog`` with the HiGHS dual simplex;
 - ``"simplex"`` — our own two-phase tableau simplex from
-  :mod:`repro.ilp.simplex` (slower; fully self-contained).
+  :mod:`repro.ilp.simplex`, fully self-contained and inspectable.
 
-Both are exercised against each other by the property-based tests.
+Inside branch and bound, ``lp_method`` selects which of these handles the
+*cold* solves: the root LP when warm starts are off, and any node whose
+warm re-solve bailed out. Healthy warm re-solves never come through this
+module — they run on :class:`repro.ilp.simplex.RevisedSimplex`, which
+reoptimizes dual-simplex-style from the parent node's basis and returns
+an :class:`LpResult` carrying that basis for the children. So
+``lp_method="simplex"`` composes with warm starts: it only changes the
+fallback engine, not the warm path (see DESIGN.md §13).
+
+All engines are exercised against each other by the property-based tests.
 """
 
 from __future__ import annotations
@@ -31,13 +39,19 @@ class LpResult:
     ``reduced_costs`` carries the per-column dual values (lower-bound plus
     upper-bound marginals) when the caller asked for them and the engine
     provides them; branch and bound feeds them to reduced-cost fixing.
+    ``basis`` is the optimal :class:`~repro.ilp.simplex.Basis` when the
+    warm engine produced this result — child nodes reoptimize from it.
+    A ``"cutoff"`` status means the warm engine proved the LP bound is
+    above the caller's objective cutoff without finishing the solve; the
+    node prunes with no ``x``.
     """
 
-    status: str  # "optimal" | "infeasible" | "unbounded" | "error"
+    status: str  # "optimal" | "infeasible" | "unbounded" | "cutoff" | "error"
     x: np.ndarray | None
     objective: float | None
     iterations: int = 0
     reduced_costs: np.ndarray | None = None
+    basis: object | None = None
 
 
 class LpWorkspace:

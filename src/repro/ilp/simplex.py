@@ -1,25 +1,38 @@
-"""A dense two-phase tableau simplex with Bland's anti-cycling rule.
+"""From-scratch LP engines: a tableau simplex and a revised dual simplex.
 
-This is the from-scratch LP engine promised in DESIGN.md. It is not meant to
-beat HiGHS; it exists so the whole reproduction can run with zero reliance on
-external solver behaviour, and so the branch-and-bound solver has a fully
-inspectable fallback. The test suite cross-checks it against
-``scipy.optimize.linprog`` on randomized instances.
+Two engines live here, promised in DESIGN.md so the whole reproduction can
+run with zero reliance on external solver behaviour:
 
-The entry point :func:`solve_lp_simplex` accepts the general bounded form
+- :func:`solve_lp_simplex` — a dense two-phase *tableau* simplex with
+  Bland's anti-cycling rule. Cold-start only; it reduces the bounded form
+  to standard form (shift/split variables, explicit slack rows) and is the
+  fully inspectable reference engine, cross-checked against
+  ``scipy.optimize.linprog`` on randomized instances.
+
+- :class:`RevisedSimplex` — a bounded-variable *revised dual* simplex that
+  exposes and accepts a :class:`Basis`. Branch and bound re-solves a child
+  node's LP warm from the parent basis: a child differs from its parent by
+  bound tightenings only, which leave the parent's reduced costs (and
+  therefore dual feasibility) intact, so reoptimization typically takes a
+  handful of dual pivots instead of a cold solve. An objective ``cutoff``
+  turns the monotone dual bound into an early node prune. Anything
+  numerically doubtful — singular basis, dual infeasibility that status
+  flips cannot repair, tiny pivots, iteration cap — returns a ``fallback``
+  result and the caller re-solves cold (see DESIGN.md §13).
+
+Both engines accept the general bounded form
 
     min c'x   s.t.  A_ub x <= b_ub,  A_eq x = b_eq,  lb <= x <= ub
-
-and internally reduces it to standard form (equalities over non-negative
-variables) by shifting finite lower bounds, splitting free variables, and
-adding slack rows for upper bounds and inequalities.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.ilp.model import MatrixForm
 
 _TOL = 1e-9
 
@@ -274,3 +287,265 @@ def solve_lp_simplex(
         else:
             x[j] = result.x[col] - result.x[col + 1]
     return SimplexResult("optimal", x, float(result.objective + obj_offset), result.iterations)
+
+
+# --------------------------------------------------------------------------
+# Revised dual simplex with bound handling and basis warm starts.
+
+#: Nonbasic-at-lower / nonbasic-at-upper / nonbasic-free / basic.
+NB_LOWER, NB_UPPER, NB_FREE, IN_BASIS = 0, 1, 2, 3
+
+#: Dual-feasibility / pivot-eligibility tolerance.
+_DTOL = 1e-9
+#: Primal feasibility tolerance for basic values.
+_PTOL = 1e-7
+
+
+@dataclass
+class Basis:
+    """A simplex basis snapshot, shareable between parent and child nodes.
+
+    ``basic[r]`` is the column (structural then slack) basic in row ``r``;
+    ``status`` tags every column. ``generation`` identifies the constraint
+    matrix the basis was factorized against — cut rounds rebuild the matrix
+    and bump the engine's generation, which invalidates stale bases.
+    """
+
+    basic: np.ndarray
+    status: np.ndarray
+    generation: int = 0
+
+
+@dataclass
+class WarmLpResult:
+    """Outcome of a :class:`RevisedSimplex` solve.
+
+    ``status`` is ``"optimal"``, ``"infeasible"``, ``"cutoff"`` (the dual
+    bound crossed the caller's objective cutoff — a proven node prune), or
+    ``"fallback"`` (numerical trouble; re-solve cold).
+    """
+
+    status: str
+    x: np.ndarray | None
+    objective: float | None
+    iterations: int = 0
+    reduced_costs: np.ndarray | None = None
+    basis: Basis | None = None
+
+
+class RevisedSimplex:
+    """Bounded-variable revised dual simplex over one constraint matrix.
+
+    Built once per ``MatrixForm``: the working matrix is ``W = [A | I]``
+    with one slack per row (``<=`` rows get a ``[0, inf)`` slack, equality
+    rows a ``[0, 0]`` one), so only the variable bounds change between
+    solves. ``solve`` accepts per-node ``lb``/``ub`` overrides plus an
+    optional parent :class:`Basis`; the basis inverse is kept explicitly
+    and updated by product-form pivots with periodic refactorization.
+    """
+
+    def __init__(
+        self,
+        form: MatrixForm,
+        generation: int = 0,
+        max_iter: int = 5000,
+        refactor_every: int = 40,
+    ):
+        n = form.num_vars
+        m_ub = form.a_ub.shape[0] if form.a_ub.size else 0
+        m_eq = form.a_eq.shape[0] if form.a_eq.size else 0
+        m = m_ub + m_eq
+        blocks = []
+        rhs = []
+        if m_ub:
+            blocks.append(form.a_ub)
+            rhs.append(form.b_ub)
+        if m_eq:
+            blocks.append(form.a_eq)
+            rhs.append(form.b_eq)
+        a = np.vstack(blocks) if blocks else np.zeros((0, n))
+        self.w = np.hstack([a, np.eye(m)]) if m else np.zeros((0, n))
+        self.b = np.concatenate(rhs) if rhs else np.zeros(0)
+        self.c = np.concatenate([form.c.astype(float), np.zeros(m)])
+        self.c0 = float(form.c0)
+        self.n = n
+        self.m = m
+        self.slack_lb = np.zeros(m)
+        self.slack_ub = np.concatenate([np.full(m_ub, math.inf), np.zeros(m_eq)])
+        self.generation = generation
+        self.max_iter = max_iter
+        self.refactor_every = refactor_every
+
+    # ------------------------------------------------------------------ basis
+    def initial_basis(self, lb: np.ndarray, ub: np.ndarray) -> Basis | None:
+        """The all-slack basis with dual-feasible nonbasic statuses.
+
+        With every slack basic the dual prices are zero and each structural
+        reduced cost equals its objective coefficient, so dual feasibility
+        is a matter of parking each column at the right bound: positive
+        cost at the lower bound, negative at the upper. A column that needs
+        an infinite bound for that cannot be made dual feasible here —
+        returns ``None`` and the caller solves cold.
+        """
+        n, m = self.n, self.m
+        status = np.empty(n + m, dtype=np.int8)
+        c = self.c[:n]
+        lo_ok = np.isfinite(lb)
+        up_ok = np.isfinite(ub)
+        status[:n] = np.where(
+            c > _DTOL,
+            NB_LOWER,
+            np.where(
+                c < -_DTOL,
+                NB_UPPER,
+                np.where(lo_ok, NB_LOWER, np.where(up_ok, NB_UPPER, NB_FREE)),
+            ),
+        )
+        bad = ((status[:n] == NB_LOWER) & ~lo_ok) | ((status[:n] == NB_UPPER) & ~up_ok)
+        if bad.any():
+            return None
+        status[n:] = IN_BASIS
+        return Basis(
+            basic=np.arange(n, n + m), status=status, generation=self.generation
+        )
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: Basis | None = None,
+        cutoff: float | None = None,
+    ) -> WarmLpResult:
+        """Reoptimize under new bounds, warm from ``basis`` when possible.
+
+        A stale-generation (or absent) basis falls back to the all-slack
+        start. ``cutoff`` is an objective value (including the constant
+        offset): the dual objective is a monotone lower bound, so the solve
+        stops with ``"cutoff"`` as soon as it crosses — the caller prunes
+        the node without finishing the LP.
+        """
+        n, m = self.n, self.m
+        if np.any(lb > ub):
+            return WarmLpResult("infeasible", None, None)
+        if m == 0:
+            return self._solve_unconstrained(lb, ub)
+        if basis is None or basis.generation != self.generation:
+            basis = self.initial_basis(lb, ub)
+            if basis is None:
+                return WarmLpResult("fallback", None, None)
+        bas = basis.basic.copy()
+        status = basis.status.copy()
+        status[bas] = IN_BASIS
+        big_l = np.concatenate([lb, self.slack_lb])
+        big_u = np.concatenate([ub, self.slack_ub])
+        try:
+            binv = np.linalg.inv(self.w[:, bas])
+        except np.linalg.LinAlgError:
+            return WarmLpResult("fallback", None, None)
+
+        # Repair dual feasibility by bound flips; unfixable columns bail.
+        d = self.c - (self.c[bas] @ binv) @ self.w
+        fixed = big_u - big_l <= _DTOL
+        bad_lo = (status == NB_LOWER) & ~fixed & (d < -_DTOL * 10)
+        flip = bad_lo & np.isfinite(big_u)
+        status[flip] = NB_UPPER
+        if np.any(bad_lo & ~flip):
+            return WarmLpResult("fallback", None, None)
+        bad_up = (status == NB_UPPER) & ~fixed & (d > _DTOL * 10)
+        flip = bad_up & np.isfinite(big_l)
+        status[flip] = NB_LOWER
+        if np.any(bad_up & ~flip):
+            return WarmLpResult("fallback", None, None)
+        if np.any((status == NB_FREE) & (np.abs(d) > _DTOL * 10)):
+            return WarmLpResult("fallback", None, None)
+
+        nb_value = np.where(status == NB_LOWER, big_l, np.where(status == NB_UPPER, big_u, 0.0))
+        nb_value[bas] = 0.0
+        if not np.all(np.isfinite(nb_value)):
+            return WarmLpResult("fallback", None, None)
+
+        iterations = 0
+        since_refactor = 0
+        while iterations < self.max_iter:
+            z = nb_value.copy()
+            z[bas] = 0.0
+            xb = binv @ (self.b - self.w @ z)
+            z[bas] = xb
+            objective = float(self.c @ z) + self.c0
+            if cutoff is not None and objective > cutoff + 1e-9:
+                return WarmLpResult("cutoff", None, objective, iterations)
+
+            below = big_l[bas] - xb
+            above = xb - big_u[bas]
+            viol = np.maximum(below, above)
+            r = int(np.argmax(viol))
+            if viol[r] <= _PTOL * (1.0 + abs(xb[r])):
+                d = self.c - (self.c[bas] @ binv) @ self.w
+                return WarmLpResult(
+                    "optimal",
+                    z[:n].copy(),
+                    objective,
+                    iterations,
+                    reduced_costs=d[:n].copy(),
+                    basis=Basis(basic=bas, status=status, generation=self.generation),
+                )
+
+            leaving_low = below[r] >= above[r]
+            sigma = 1.0 if leaving_low else -1.0
+            alpha = binv[r] @ self.w
+            atil = sigma * alpha
+            d = self.c - (self.c[bas] @ binv) @ self.w
+            eligible = (
+                ~fixed
+                & (
+                    ((status == NB_LOWER) & (atil < -_DTOL))
+                    | ((status == NB_UPPER) & (atil > _DTOL))
+                    | ((status == NB_FREE) & (np.abs(atil) > _DTOL))
+                )
+            )
+            eligible[bas] = False
+            if not eligible.any():
+                return WarmLpResult("infeasible", None, None, iterations)
+            cand = np.flatnonzero(eligible)
+            ratios = np.abs(d[cand]) / np.abs(atil[cand])
+            q = int(cand[int(np.argmin(ratios))])
+            pivot = alpha[q]
+            if abs(pivot) < 1e-11:
+                return WarmLpResult("fallback", None, None, iterations)
+
+            leaving = int(bas[r])
+            status[leaving] = NB_LOWER if leaving_low else NB_UPPER
+            nb_value[leaving] = big_l[leaving] if leaving_low else big_u[leaving]
+            status[q] = IN_BASIS
+            nb_value[q] = 0.0
+            bas[r] = q
+            col = binv @ self.w[:, q]
+            binv[r] /= pivot
+            rows = np.arange(m) != r
+            binv[rows] -= np.outer(col[rows], binv[r])
+            iterations += 1
+            since_refactor += 1
+            if since_refactor >= self.refactor_every:
+                try:
+                    binv = np.linalg.inv(self.w[:, bas])
+                except np.linalg.LinAlgError:
+                    return WarmLpResult("fallback", None, None, iterations)
+                since_refactor = 0
+        return WarmLpResult("fallback", None, None, iterations)
+
+    def _solve_unconstrained(self, lb: np.ndarray, ub: np.ndarray) -> WarmLpResult:
+        """No rows: each column sits at whichever bound its cost prefers."""
+        c = self.c[: self.n]
+        x = np.where(c > 0.0, lb, np.where(c < 0.0, ub, np.where(np.isfinite(lb), lb, 0.0)))
+        if not np.all(np.isfinite(x)):
+            return WarmLpResult("unbounded" if np.any(c != 0.0) else "fallback", None, None)
+        status = np.where(x == lb, NB_LOWER, NB_UPPER).astype(np.int8)
+        return WarmLpResult(
+            "optimal",
+            x.astype(float),
+            float(c @ x) + self.c0,
+            0,
+            reduced_costs=c.copy(),
+            basis=Basis(basic=np.zeros(0, dtype=int), status=status, generation=self.generation),
+        )

@@ -45,6 +45,17 @@ class SolveStats:
     and ``cover_cuts`` by family; ``cut_rounds`` counts separation
     rounds that changed the LP, and ``cuts_dropped`` the cuts the pool
     aged out for staying slack. :meth:`cut_summary` bundles them.
+
+    The root-presolve counters describe the model reductions applied once
+    before the search (see :class:`~repro.obs.policy.PresolvePolicy`):
+    ``root_presolve_rounds`` passes ran, removing
+    ``root_cols_removed`` columns and ``root_rows_removed`` rows and
+    tightening ``root_coeffs_tightened`` coefficients. The warm-start
+    counters split ``lp_solves`` by engine: ``warm_lp_solves`` node LPs
+    were answered by the dual simplex reoptimizing from a parent basis
+    (including proven ``cutoff`` prunes), and ``warm_lp_fallbacks`` bailed
+    to the cold engine on numerical trouble. :meth:`presolve_summary`
+    bundles all of them.
     """
 
     nodes: int = 0
@@ -65,6 +76,12 @@ class SolveStats:
     presolve_fixings: int = 0
     presolve_pruned: int = 0
     pseudocost_branches: int = 0
+    root_presolve_rounds: int = 0
+    root_cols_removed: int = 0
+    root_rows_removed: int = 0
+    root_coeffs_tightened: int = 0
+    warm_lp_solves: int = 0
+    warm_lp_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready view (used by ``repro design --json`` and telemetry)."""
@@ -80,6 +97,17 @@ class SolveStats:
             "clique_cuts": self.clique_cuts,
             "cover_cuts": self.cover_cuts,
             "cuts_dropped": self.cuts_dropped,
+        }
+
+    def presolve_summary(self) -> dict:
+        """Root-presolve + warm-start counters as one mapping (stable order)."""
+        return {
+            "root_presolve_rounds": self.root_presolve_rounds,
+            "root_cols_removed": self.root_cols_removed,
+            "root_rows_removed": self.root_rows_removed,
+            "root_coeffs_tightened": self.root_coeffs_tightened,
+            "warm_lp_solves": self.warm_lp_solves,
+            "warm_lp_fallbacks": self.warm_lp_fallbacks,
         }
 
 

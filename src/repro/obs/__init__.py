@@ -12,8 +12,9 @@ Everything time- and effort-related flows through this package:
   counters / gauges / histograms the solver stack writes into;
 - :mod:`repro.obs.policy` — :class:`SolvePolicy` (deadline, node budget,
   retry/backoff, degradation ladder, incumbent checkpointing), its
-  structured :class:`SolverOptions` / :class:`CutPolicy` solver block,
-  and the :class:`FallbackReport` provenance record.
+  structured :class:`SolverOptions` / :class:`CutPolicy` /
+  :class:`PresolvePolicy` solver block, and the :class:`FallbackReport`
+  provenance record.
 
 The blessed public names (re-exported by :mod:`repro.api`): ``SolvePolicy``,
 ``FallbackReport``, ``MetricsRegistry``, ``trace_solve``, ``get_metrics``.
@@ -33,10 +34,12 @@ from repro.obs.policy import (
     BRANCHING_RULES,
     DEFAULT_CUT_POLICY,
     DEFAULT_FALLBACK,
+    DEFAULT_PRESOLVE_POLICY,
     FALLBACK_RUNGS,
     CheckpointStore,
     CutPolicy,
     FallbackReport,
+    PresolvePolicy,
     SolvePolicy,
     SolverOptions,
 )
@@ -58,11 +61,13 @@ __all__ = [
     "CutPolicy",
     "DEFAULT_CUT_POLICY",
     "DEFAULT_FALLBACK",
+    "DEFAULT_PRESOLVE_POLICY",
     "FALLBACK_RUNGS",
     "FallbackReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PresolvePolicy",
     "SolvePolicy",
     "SolverOptions",
     "Span",

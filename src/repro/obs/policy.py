@@ -169,6 +169,101 @@ DEFAULT_CUT_POLICY = CutPolicy()
 
 
 @dataclass(frozen=True)
+class PresolvePolicy:
+    """How (and whether) the root presolve engine reduces a model.
+
+    Before the branch-and-bound search starts, the root presolve engine
+    (:mod:`repro.ilp.presolve_root`) applies model reductions in up to
+    ``rounds`` passes: global bound tightening, dual fixing, singleton
+    column elimination, coefficient tightening on integer columns, and
+    empty/duplicate/redundant row cleanup. Every reduction preserves the
+    set of optimal solutions of the *integer* program; a
+    :class:`~repro.ilp.presolve_root.Postsolve` step maps reduced-space
+    solutions back to the original variable space, so caches, checkpoints,
+    and fingerprints stay presolve-independent.
+
+    Presolve settings change what a solve returns (which optimal vertex,
+    node counts, stats), so every field contributes to
+    :meth:`cache_token` and therefore to the solve-cache fingerprint
+    (flow rule D001 audits this).
+    """
+
+    rounds: int = 4
+    bound_tighten: bool = True
+    dual_fix: bool = True
+    singleton_cols: bool = True
+    coeff_tighten: bool = True
+    row_cleanup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError(f"rounds cannot be negative, got {self.rounds}")
+
+    # ------------------------------------------------------------ derivations
+    @property
+    def enabled(self) -> bool:
+        """True when any reduction at all may run."""
+        return self.rounds > 0 and (
+            self.bound_tighten
+            or self.dual_fix
+            or self.singleton_cols
+            or self.coeff_tighten
+            or self.row_cleanup
+        )
+
+    @classmethod
+    def disabled(cls) -> "PresolvePolicy":
+        """An explicit presolve-off policy (distinct from *unset*, which
+        lets the solver apply its default)."""
+        return cls(rounds=0)
+
+    def backend_options(self) -> dict[str, Any]:
+        """The solver kwargs this presolve policy implies (bnb only)."""
+        return {"root_presolve": self}
+
+    def cache_token(self) -> str:
+        """Canonical text of every field — all of them shape the result."""
+        return (
+            f"presolve(rounds={self.rounds!r},bound_tighten={self.bound_tighten!r},"
+            f"dual_fix={self.dual_fix!r},singleton_cols={self.singleton_cols!r},"
+            f"coeff_tighten={self.coeff_tighten!r},row_cleanup={self.row_cleanup!r})"
+        )
+
+    def with_overrides(self, **changes) -> "PresolvePolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "bound_tighten": self.bound_tighten,
+            "dual_fix": self.dual_fix,
+            "singleton_cols": self.singleton_cols,
+            "coeff_tighten": self.coeff_tighten,
+            "row_cleanup": self.row_cleanup,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "Mapping[str, Any]") -> "PresolvePolicy":
+        known = {
+            "rounds",
+            "bound_tighten",
+            "dual_fix",
+            "singleton_cols",
+            "coeff_tighten",
+            "row_cleanup",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown PresolvePolicy field(s): {', '.join(unknown)}")
+        return cls(**dict(payload))
+
+
+#: The root presolve policy the B&B solver applies when nothing chose one.
+DEFAULT_PRESOLVE_POLICY = PresolvePolicy()
+
+
+@dataclass(frozen=True)
 class SolverOptions:
     """Structured B&B solver knobs, riding on :class:`SolvePolicy`.
 
@@ -181,6 +276,8 @@ class SolverOptions:
     presolve: bool | None = None
     branching: str | None = None
     cuts: CutPolicy | None = None
+    root_presolve: PresolvePolicy | None = None
+    warm_start: bool | None = None
     checkpoint_interval: float | None = None
 
     def __post_init__(self) -> None:
@@ -192,6 +289,17 @@ class SolverOptions:
         if self.cuts is not None and not isinstance(self.cuts, CutPolicy):
             raise TypeError(
                 f"cuts must be a CutPolicy or None, got {type(self.cuts).__name__}"
+            )
+        if self.root_presolve is not None and not isinstance(
+            self.root_presolve, PresolvePolicy
+        ):
+            raise TypeError(
+                "root_presolve must be a PresolvePolicy or None, "
+                f"got {type(self.root_presolve).__name__}"
+            )
+        if self.warm_start is not None and not isinstance(self.warm_start, bool):
+            raise TypeError(
+                f"warm_start must be a bool or None, got {type(self.warm_start).__name__}"
             )
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ValueError(
@@ -215,14 +323,34 @@ class SolverOptions:
             # rule D001 audits exactly that pairing.
             for key, value in self.cuts.backend_options().items():
                 options[key] = value
+        if self.root_presolve is not None:
+            # Forwarded as a block like cuts: the kwarg names its own cache
+            # token, so `root_presolve` must be read by cache_token() below
+            # under the same D001 pairing.
+            for key, value in self.root_presolve.backend_options().items():
+                options[key] = value
+        if self.warm_start is not None:
+            # The solver's own `warm_start` kwarg carries an incumbent
+            # *value* hint; the LP-basis toggle travels as lp_warm_start.
+            # Request-level fingerprints see only cache_token(), never these
+            # kwargs, so the toggle must be read there too — routing the
+            # rename through a local lets flow rule D001 enforce exactly
+            # that pairing.
+            lp_warm_start = self.warm_start
+            options["lp_warm_start"] = lp_warm_start
         return options
 
     def cache_token(self) -> str:
         """Canonical text of every field — all of them shape the result."""
         cuts = "-" if self.cuts is None else self.cuts.cache_token()
+        root_presolve = (
+            "-" if self.root_presolve is None else self.root_presolve.cache_token()
+        )
         return (
             f"solver(presolve={self.presolve!r},branching={self.branching!r},"
-            f"cuts={cuts},checkpoint_interval={self.checkpoint_interval!r})"
+            f"cuts={cuts},root_presolve={root_presolve},"
+            f"warm_start={self.warm_start!r},"
+            f"checkpoint_interval={self.checkpoint_interval!r})"
         )
 
     def with_overrides(self, **changes) -> "SolverOptions":
@@ -234,12 +362,23 @@ class SolverOptions:
             "presolve": self.presolve,
             "branching": self.branching,
             "cuts": None if self.cuts is None else self.cuts.as_dict(),
+            "root_presolve": (
+                None if self.root_presolve is None else self.root_presolve.as_dict()
+            ),
+            "warm_start": self.warm_start,
             "checkpoint_interval": self.checkpoint_interval,
         }
 
     @classmethod
     def from_dict(cls, payload: "Mapping[str, Any]") -> "SolverOptions":
-        known = {"presolve", "branching", "cuts", "checkpoint_interval"}
+        known = {
+            "presolve",
+            "branching",
+            "cuts",
+            "root_presolve",
+            "warm_start",
+            "checkpoint_interval",
+        }
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ValueError(f"unknown SolverOptions field(s): {', '.join(unknown)}")
@@ -247,6 +386,9 @@ class SolverOptions:
         cuts = data.get("cuts")
         if isinstance(cuts, Mapping):
             data["cuts"] = CutPolicy.from_dict(cuts)
+        root_presolve = data.get("root_presolve")
+        if isinstance(root_presolve, Mapping):
+            data["root_presolve"] = PresolvePolicy.from_dict(root_presolve)
         return cls(**data)
 
 

@@ -62,8 +62,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: tie-broken assignments and the persisted work counters may differ, so
 #: records written by the v1 solver are not replayed. v3: branch-and-cut —
 #: new persisted cut counters (cut_rounds/clique_cuts/cover_cuts/
-#: cuts_dropped) and cut-dependent tie-broken assignments.
-_FORMAT_VERSION = 3
+#: cuts_dropped) and cut-dependent tie-broken assignments. v4: root
+# presolve + warm-started node LPs — new persisted presolve/warm counters
+# and reduction-dependent tie-broken assignments.
+_FORMAT_VERSION = 4
 
 #: SolveStats fields persisted with a record (work counters of the original
 #: solve, kept so a cached solution still reports its provenance).
@@ -85,6 +87,12 @@ _STATS_FIELDS = (
     "presolve_fixings",
     "presolve_pruned",
     "pseudocost_branches",
+    "root_presolve_rounds",
+    "root_cols_removed",
+    "root_rows_removed",
+    "root_coeffs_tightened",
+    "warm_lp_solves",
+    "warm_lp_fallbacks",
 )
 
 

@@ -35,6 +35,10 @@ class RunTelemetry:
     presolve_fixings: int = 0
     presolve_pruned: int = 0
     cuts: int = 0
+    root_cols_removed: int = 0
+    root_rows_removed: int = 0
+    warm_lp_solves: int = 0
+    warm_lp_fallbacks: int = 0
     wall_time: float = 0.0
     jobs: int = 1
     retries: int = 0
@@ -54,6 +58,10 @@ class RunTelemetry:
         self.presolve_fixings += stats.presolve_fixings
         self.presolve_pruned += stats.presolve_pruned
         self.cuts += stats.cuts
+        self.root_cols_removed += stats.root_cols_removed
+        self.root_rows_removed += stats.root_rows_removed
+        self.warm_lp_solves += stats.warm_lp_solves
+        self.warm_lp_fallbacks += stats.warm_lp_fallbacks
         self.wall_time += stats.wall_time
         self.retries += stats.retries
 
@@ -80,6 +88,10 @@ class RunTelemetry:
         self.presolve_fixings += other.presolve_fixings
         self.presolve_pruned += other.presolve_pruned
         self.cuts += other.cuts
+        self.root_cols_removed += other.root_cols_removed
+        self.root_rows_removed += other.root_rows_removed
+        self.warm_lp_solves += other.warm_lp_solves
+        self.warm_lp_fallbacks += other.warm_lp_fallbacks
         self.wall_time += other.wall_time
         self.retries += other.retries
         self.fallbacks += other.fallbacks

@@ -254,6 +254,35 @@ class TestD001SeededMutations:
         assert offenders, "cut policy dropped from the solver token undetected"
         assert any("cuts" in d.message for d in offenders)
 
+    def test_deleting_root_presolve_token_contribution_fires(self, mutable_tree):
+        # PR-9 regression guard: SolverOptions.cache_token must keep reading
+        # the PresolvePolicy field; dropping it would alias presolve-on and
+        # presolve-off solves (different vertices, stats) to one cache entry.
+        policy = mutable_tree / "obs" / "policy.py"
+        text = policy.read_text()
+        needle = (
+            '"-" if self.root_presolve is None else self.root_presolve.cache_token()'
+        )
+        assert needle in text, "expected the root_presolve token read to delete"
+        policy.write_text(text.replace(needle, '"-"'))
+        report = self.run_rules(mutable_tree)
+        offenders = [d for d in report.diagnostics if d.rule == "D001"]
+        assert offenders, "presolve policy dropped from the solver token undetected"
+        assert any("root_presolve" in d.message for d in offenders)
+
+    def test_deleting_warm_start_token_contribution_fires(self, mutable_tree):
+        # Same guard for the node-LP warm-start toggle: warm and cold solves
+        # may return different optimal vertices and always differ in stats.
+        policy = mutable_tree / "obs" / "policy.py"
+        text = policy.read_text()
+        needle = "warm_start={self.warm_start!r},"
+        assert needle in text, "expected the warm_start token read to delete"
+        policy.write_text(text.replace(needle, ""))
+        report = self.run_rules(mutable_tree)
+        offenders = [d for d in report.diagnostics if d.rule == "D001"]
+        assert offenders, "warm_start dropped from the solver token undetected"
+        assert any("warm_start" in d.message for d in offenders)
+
     def test_policy_field_outside_token_and_options_fires(self, tmp_path):
         project = project_from(
             tmp_path,

@@ -86,7 +86,7 @@ class TestFacadeManifest:
 
     def test_since_values_are_sane(self):
         for row in api.facade_table():
-            assert 1 <= int(str(row["since"])) <= 8, row
+            assert 1 <= int(str(row["since"])) <= 9, row
 
     def test_pr8_solver_options_surface(self):
         rows = {row["name"]: row for row in api.facade_table()}
@@ -96,6 +96,15 @@ class TestFacadeManifest:
             assert rows[name]["module"] == "repro.obs.policy"
         assert isinstance(api.DEFAULT_CUT_POLICY, api.CutPolicy)
         assert api.DEFAULT_CUT_POLICY.enabled
+
+    def test_pr9_presolve_surface(self):
+        rows = {row["name"]: row for row in api.facade_table()}
+        for name in ("PresolvePolicy", "DEFAULT_PRESOLVE_POLICY"):
+            assert name in api.__all__
+            assert rows[name]["since"] == 9
+            assert rows[name]["module"] == "repro.obs.policy"
+        assert isinstance(api.DEFAULT_PRESOLVE_POLICY, api.PresolvePolicy)
+        assert api.DEFAULT_PRESOLVE_POLICY.enabled
 
     def test_checked_in_manifest_matches_live_facade(self):
         manifest = REPO_ROOT / "API.md"

@@ -182,6 +182,48 @@ class TestCliConstructsRequests:
         request = _request_from_args("design", args)
         assert request.policy.solver.cuts.rounds == 5
 
+    def test_presolve_and_warm_flags_reach_the_policy_solver_block(self):
+        from repro.obs import PresolvePolicy
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--no-root-presolve", "--no-warm-lps"]
+        )
+        request = _request_from_args("design", args)
+        assert request.policy.solver.root_presolve == PresolvePolicy.disabled()
+        assert not request.policy.solver.root_presolve.enabled
+        assert request.policy.solver.warm_start is False
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--root-presolve", "--warm-lps"]
+        )
+        request = _request_from_args("design", args)
+        assert request.policy.solver.root_presolve == PresolvePolicy()
+        assert request.policy.solver.warm_start is True
+
+    def test_presolve_and_warm_flags_are_fingerprint_stable_on_the_wire(self):
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--no-root-presolve", "--no-warm-lps"]
+        )
+        request = _request_from_args("design", args)
+        rebuilt = SolveRequest.from_payload(request.as_payload())
+        assert rebuilt == request
+        assert rebuilt.fingerprint() == request.fingerprint()
+        plain = _request_from_args(
+            "design",
+            build_parser().parse_args(["design", "S1", "--widths", "16,16"]),
+        )
+        assert rebuilt.fingerprint() != plain.fingerprint()
+
+    def test_presolve_and_warm_flags_rejected_for_non_bnb_backend(self):
+        from repro.util.errors import ValidationError
+
+        args = build_parser().parse_args(
+            ["design", "S1", "--widths", "16,16", "--backend", "scipy",
+             "--no-root-presolve"]
+        )
+        with pytest.raises(ValidationError, match="bnb"):
+            _request_from_args("design", args)
+
     def test_contradictory_cut_flags_rejected(self):
         from repro.util.errors import ValidationError
 

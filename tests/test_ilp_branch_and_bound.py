@@ -50,7 +50,9 @@ class TestExactness:
         m.maximize(x)
         sol = m.solve()
         assert sol.objective == pytest.approx(4.0)
-        assert sol.stats.nodes == 1
+        # Root presolve dual-fixes the single column, so no node is ever
+        # expanded; without it the root relaxation is integral in one node.
+        assert sol.stats.nodes <= 1
 
     def test_continuous_only_model(self):
         m = Model()

@@ -17,9 +17,11 @@ from repro.ilp.model import register_backend, unregister_backend
 from repro.ilp.solution import Status
 from repro.obs import (
     DEFAULT_CUT_POLICY,
+    DEFAULT_PRESOLVE_POLICY,
     CheckpointStore,
     CutPolicy,
     FallbackReport,
+    PresolvePolicy,
     SolvePolicy,
     SolverOptions,
     trace_solve,
@@ -140,14 +142,88 @@ class TestCutPolicyObject:
         assert len(tokens) == 9
 
 
+class TestPresolvePolicyObject:
+    def test_validation_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            PresolvePolicy(rounds=-1)
+
+    def test_enabled_flag(self):
+        assert DEFAULT_PRESOLVE_POLICY.enabled
+        assert not PresolvePolicy.disabled().enabled
+        assert not PresolvePolicy(
+            bound_tighten=False,
+            dual_fix=False,
+            singleton_cols=False,
+            coeff_tighten=False,
+            row_cleanup=False,
+        ).enabled
+        assert PresolvePolicy(rounds=1, bound_tighten=False).enabled
+
+    def test_dict_round_trip_and_unknown_keys(self):
+        policy = PresolvePolicy(rounds=2, singleton_cols=False)
+        assert PresolvePolicy.from_dict(policy.as_dict()) == policy
+        with pytest.raises(ValueError, match="probing"):
+            PresolvePolicy.from_dict({"probing": True})
+
+    def test_cache_token_distinguishes_every_field(self):
+        base = PresolvePolicy()
+        tokens = {base.cache_token()}
+        for change in (
+            {"rounds": 9},
+            {"bound_tighten": False},
+            {"dual_fix": False},
+            {"singleton_cols": False},
+            {"coeff_tighten": False},
+            {"row_cleanup": False},
+        ):
+            tokens.add(base.with_overrides(**change).cache_token())
+        assert len(tokens) == 7
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        policy = PresolvePolicy(rounds=1, dual_fix=False)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
 class TestSolverOptionsBlock:
     def test_validation(self):
         with pytest.raises(ValueError):
             SolverOptions(branching="steepest")
         with pytest.raises(TypeError):
             SolverOptions(cuts={"rounds": 3})
+        with pytest.raises(TypeError):
+            SolverOptions(root_presolve={"rounds": 2})
+        with pytest.raises(TypeError):
+            SolverOptions(warm_start="yes")
         with pytest.raises(ValueError):
             SolverOptions(checkpoint_interval=0)
+
+    def test_presolve_and_warm_start_forwarding(self):
+        block = SolverOptions(
+            root_presolve=PresolvePolicy.disabled(), warm_start=False
+        )
+        options = block.backend_options("bnb")
+        assert options["root_presolve"] == PresolvePolicy.disabled()
+        # The solver's own `warm_start` kwarg is an incumbent-values hint;
+        # the LP-basis toggle travels under a distinct name.
+        assert options["lp_warm_start"] is False
+        assert "warm_start" not in options
+        assert block.backend_options("scipy") == {}
+
+    def test_presolve_and_warm_start_shape_cache_token(self):
+        bare = SolverOptions()
+        presolve_off = SolverOptions(root_presolve=PresolvePolicy.disabled())
+        warm_off = SolverOptions(warm_start=False)
+        tokens = {b.cache_token() for b in (bare, presolve_off, warm_off)}
+        assert len(tokens) == 3
+
+    def test_nested_presolve_dict_round_trip(self):
+        block = SolverOptions(
+            root_presolve=PresolvePolicy(rounds=2, coeff_tighten=False),
+            warm_start=True,
+        )
+        assert SolverOptions.from_dict(block.as_dict()) == block
 
     def test_backend_options_forwarding(self):
         block = SolverOptions(presolve=False, cuts=CutPolicy(rounds=2))
