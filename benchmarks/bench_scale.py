@@ -1,0 +1,335 @@
+"""Scale trajectory: the stress corpus under bnb / heuristic / portfolio.
+
+Runs every corpus instance in the grid under three solver legs and writes
+cores vs wall time vs optimality gap to ``BENCH_scale.json``:
+
+- ``bnb`` — exact branch & bound alone under the budget (the incumbent
+  is returned on exhaustion);
+- ``heuristic`` — the lpt→sa rung ladder alone (a heuristic-only
+  portfolio, gap certified against the combinatorial lower bound);
+- ``portfolio`` — the full race (:func:`repro.api.run_portfolio`): both
+  heuristics, best incumbent cross-fed to B&B as its starting cutoff,
+  one shared budget.
+
+The grid mixes the ITC'02-class analogues (d695, p93791, t512505) with
+generated ``scale<n>`` systems up to 256 cores (``mode="itc02"``, seeded
+by core count). The two constrained instances are where the racing path
+is the headline win:
+
+- ``d695-pw`` — power-constrained d695: the cross-fed incumbent prunes
+  the exact tree roughly in half, nodes-to-proof, deterministically;
+- ``p93791-pw`` — power-constrained p93791: exact search alone exhausts
+  its budget on a poor incumbent, while the portfolio's cross-fed cutoff
+  lets B&B *prove* the heuristic-quality answer well inside the budget —
+  better objective at a fraction of the wall.
+
+``--quick`` swaps the wall deadline for per-instance node budgets, making
+every leg deterministic for CI; ``--check`` then gates on machine-
+independent facts: the portfolio is never worse than the best single
+entrant beyond tolerance, the cross-fed tree on ``d695-pw`` is strictly
+smaller than the cold tree, and the portfolio strictly beats truncated
+exact search on ``p93791-pw``. In quick mode ``--check`` additionally
+validates the *checked-in* full trajectory (read before this run
+overwrites it): it must reach >= 200 cores on all three legs and contain
+at least one instance where the portfolio beat bnb-only wall time at an
+equal-or-better makespan.
+
+Run with::
+
+    python benchmarks/bench_scale.py [--quick] [--check] [--jobs N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import (  # noqa: E402
+    DesignProblem,
+    PortfolioPolicy,
+    SolvePolicy,
+    SolverOptions,
+    TamArchitecture,
+    design,
+    resolve_soc,
+)
+from repro.obs import now  # noqa: E402
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_OUT = _REPO_ROOT / "BENCH_scale.json"
+
+#: Shared wall budget per solve in the full run (seconds).
+_FULL_DEADLINE = 15.0
+
+#: Tolerance for the never-worse gate: the portfolio may trail the best
+#: single entrant by at most this relative margin.
+_PORTFOLIO_TOLERANCE = 0.05
+
+#: Wall-win factor the recorded trajectory must contain on >= 1 instance:
+#: portfolio wall < factor * bnb wall at equal-or-better makespan.
+_WALL_WIN_FACTOR = 0.9
+
+#: The instance grid: (name, soc spec, widths, power budget knob,
+#: quick-mode node budget, in_quick). ``power="top2"`` resolves to the sum
+#: of the two largest core powers — the tightest budget that cannot be
+#: infeasible on pairwise-concurrency grounds, and tight enough to bind.
+_INSTANCES = (
+    ("d695-pw", "d695", (32, 16, 16, 8), "top2", 3000, True),
+    ("p93791-pw", "p93791", (32, 16, 16, 8), "top2", 3000, True),
+    ("t512505", "t512505", (32, 16, 16, 8), None, 1000, False),
+    ("scale64", "scale64", (32, 16, 16, 8), None, 500, True),
+    ("scale128", "scale128", (32, 16, 16, 8), None, 300, False),
+    ("scale200", "scale200", (32, 16, 16, 8), None, 200, False),
+    ("scale256", "scale256", (32, 16, 16, 8), None, 150, False),
+)
+
+
+def _top2_power(soc) -> float:
+    powers = sorted(core.test_power for core in soc.cores)
+    return round(powers[-1] + powers[-2], 1)
+
+
+def _budget_policy(quick: bool, node_budget: int, solver=None) -> SolvePolicy:
+    if quick:
+        return SolvePolicy(node_budget=node_budget, solver=solver)
+    return SolvePolicy(deadline=_FULL_DEADLINE, solver=solver)
+
+
+def _gap_of(result) -> float | None:
+    if result.portfolio is not None:
+        return result.portfolio.gap
+    if result.status.value == "optimal":
+        return 0.0
+    bound = result.stats.best_bound
+    if bound is None or not result.makespan:
+        return None
+    return max(0.0, (result.makespan - bound) / result.makespan)
+
+
+def _leg_payload(result, wall: float) -> dict:
+    payload = {
+        "status": result.status.value,
+        "makespan": result.makespan,
+        "wall": round(wall, 3),
+        "nodes": result.stats.nodes,
+        "gap": _gap_of(result),
+        "best_bound": result.stats.best_bound,
+    }
+    if result.portfolio is not None:
+        report = result.portfolio
+        bnb = report.entrant("bnb")
+        payload["winner"] = report.winner
+        payload["cross_fed"] = report.cross_fed
+        payload["bnb_nodes"] = bnb.nodes if bnb is not None else 0
+        payload["entrants"] = [record.as_dict() for record in report.entrants]
+    return payload
+
+
+def _run_instance(name, spec, widths, power, node_budget, quick, jobs) -> dict:
+    soc = resolve_soc(spec)
+    budget = _top2_power(soc) if power == "top2" else power
+    problem = DesignProblem(
+        soc, TamArchitecture(widths), timing="serial", power_budget=budget
+    )
+    legs: dict[str, dict] = {}
+
+    t0 = now()
+    bnb = design(problem, policy=_budget_policy(quick, node_budget), cache=False)
+    legs["bnb"] = _leg_payload(bnb, now() - t0)
+
+    heur_policy = _budget_policy(
+        quick,
+        node_budget,
+        solver=SolverOptions(
+            portfolio=PortfolioPolicy(entrants=("lpt", "sa"), jobs=jobs)
+        ),
+    )
+    t0 = now()
+    heur = design(problem, policy=heur_policy, cache=False)
+    legs["heuristic"] = _leg_payload(heur, now() - t0)
+
+    race_policy = _budget_policy(
+        quick, node_budget, solver=SolverOptions(portfolio=PortfolioPolicy(jobs=jobs))
+    )
+    t0 = now()
+    race = design(problem, policy=race_policy, cache=False)
+    legs["portfolio"] = _leg_payload(race, now() - t0)
+
+    print(
+        f"{name:12s} ({len(soc.cores):3d} cores): "
+        f"bnb T={legs['bnb']['makespan']:.0f}/{legs['bnb']['wall']:.2f}s "
+        f"heur T={legs['heuristic']['makespan']:.0f}/{legs['heuristic']['wall']:.2f}s "
+        f"race T={legs['portfolio']['makespan']:.0f}/{legs['portfolio']['wall']:.2f}s "
+        f"-> {legs['portfolio']['winner']}"
+    )
+    return {
+        "name": name,
+        "soc": spec,
+        "num_cores": len(soc.cores),
+        "widths": list(widths),
+        "power_budget": budget,
+        "node_budget": node_budget if quick else None,
+        "legs": legs,
+    }
+
+
+def run_bench(quick: bool, jobs: int) -> dict:
+    instances = [
+        _run_instance(name, spec, widths, power, node_budget, quick, jobs)
+        for name, spec, widths, power, node_budget, in_quick in _INSTANCES
+        if in_quick or not quick
+    ]
+    return {
+        "benchmark": "scale trajectory: stress corpus x {bnb, heuristic, portfolio}",
+        "quick": quick,
+        "budget": (
+            {"node_budget": "per-instance"} if quick
+            else {"deadline": _FULL_DEADLINE}
+        ),
+        "jobs": jobs,
+        "instances": instances,
+    }
+
+
+def _check_fresh(payload: dict) -> int:
+    """Machine-independent gates on the run that just happened."""
+    rc = 0
+    by_name = {inst["name"]: inst for inst in payload["instances"]}
+    for inst in payload["instances"]:
+        legs = inst["legs"]
+        best_single = min(legs["bnb"]["makespan"], legs["heuristic"]["makespan"])
+        limit = best_single * (1.0 + _PORTFOLIO_TOLERANCE)
+        ok = legs["portfolio"]["makespan"] <= limit
+        print(
+            f"never-worse check [{inst['name']}]: portfolio "
+            f"{legs['portfolio']['makespan']:.0f} vs best single "
+            f"{best_single:.0f} (limit {limit:.0f}) -> {'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            print(
+                f"REGRESSION: portfolio makespan on {inst['name']} is worse than "
+                f"the best single entrant by more than "
+                f"{_PORTFOLIO_TOLERANCE:.0%}",
+                file=sys.stderr,
+            )
+            rc = 1
+    d695 = by_name.get("d695-pw")
+    if d695 is not None:
+        cold = d695["legs"]["bnb"]["nodes"]
+        fed = d695["legs"]["portfolio"]["bnb_nodes"]
+        print(f"cross-feed pruning check [d695-pw]: {cold} cold nodes vs "
+              f"{fed} cross-fed (must be strictly fewer)")
+        if not (0 <= fed < cold):
+            print(
+                "REGRESSION: the cross-fed incumbent no longer prunes the "
+                "d695-pw exact tree (cold vs cross-fed node counts above)",
+                file=sys.stderr,
+            )
+            rc = 1
+    p93 = by_name.get("p93791-pw")
+    if p93 is not None and payload["quick"]:
+        bnb_t = p93["legs"]["bnb"]["makespan"]
+        race_t = p93["legs"]["portfolio"]["makespan"]
+        print(f"truncated-exact check [p93791-pw]: portfolio {race_t:.0f} vs "
+              f"node-limited bnb {bnb_t:.0f} (must be strictly better)")
+        if not race_t < bnb_t:
+            print(
+                "REGRESSION: on p93791-pw the portfolio no longer beats "
+                "node-limited exact search — the cross-feed/budget sharing "
+                "path has lost its headline win",
+                file=sys.stderr,
+            )
+            rc = 1
+    return rc
+
+
+def _check_trajectory(payload: dict, source: str) -> int:
+    """The acceptance gates on a recorded *full* trajectory."""
+    rc = 0
+    insts = payload.get("instances", [])
+    big = [i for i in insts if i["num_cores"] >= 200
+           and all(leg in i["legs"] for leg in ("bnb", "heuristic", "portfolio"))]
+    print(f"trajectory check ({source}): "
+          f"{max((i['num_cores'] for i in insts), default=0)} max cores, "
+          f"{len(big)} instance(s) >= 200 cores with all three legs")
+    if not big:
+        print(
+            f"REGRESSION: {source} has no >=200-core instance with bnb/"
+            "heuristic/portfolio legs",
+            file=sys.stderr,
+        )
+        rc = 1
+    wins = [
+        i["name"] for i in insts
+        if i["legs"]["portfolio"]["wall"]
+        < _WALL_WIN_FACTOR * i["legs"]["bnb"]["wall"]
+        and i["legs"]["portfolio"]["makespan"] <= i["legs"]["bnb"]["makespan"] + 1e-9
+    ]
+    print(f"wall-win check ({source}): portfolio beats bnb-only wall at "
+          f"equal-or-better makespan on {wins or 'NO instances'}")
+    if not wins:
+        print(
+            f"REGRESSION: {source} records no instance where the portfolio "
+            f"beat bnb-only wall time (factor {_WALL_WIN_FACTOR}) at an "
+            "equal-or-better makespan",
+            file=sys.stderr,
+        )
+        rc = 1
+    return rc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="node-budget legs on the small instances "
+                             "(deterministic; for CI)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="fan the heuristic race across N workers "
+                             "(default 1: serial, deterministic wall)")
+    parser.add_argument("--out", default=str(_DEFAULT_OUT),
+                        help="output JSON path (default: repo-root BENCH_scale.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate on the portfolio invariants (and, in quick "
+                             "mode, validate the checked-in full trajectory)")
+    args = parser.parse_args(argv)
+
+    rc = 0
+    checked_in = None
+    if args.check and args.quick and _DEFAULT_OUT.exists():
+        # Read the recorded full trajectory before this run overwrites it.
+        checked_in = json.loads(_DEFAULT_OUT.read_text(encoding="utf-8"))
+
+    payload = run_bench(quick=args.quick, jobs=args.jobs)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        rc |= _check_fresh(payload)
+        if args.quick:
+            if checked_in is None:
+                print(
+                    "REGRESSION: no checked-in BENCH_scale.json full "
+                    "trajectory to validate",
+                    file=sys.stderr,
+                )
+                rc = 1
+            elif checked_in.get("quick"):
+                print(
+                    "REGRESSION: the checked-in BENCH_scale.json is a quick "
+                    "run, not the recorded full trajectory",
+                    file=sys.stderr,
+                )
+                rc = 1
+            else:
+                rc |= _check_trajectory(checked_in, "checked-in BENCH_scale.json")
+        else:
+            rc |= _check_trajectory(payload, "this run")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,14 @@ harness) under four solver configurations and writes the numbers to
   the same grid: root presolve and warm starts both off (the PR-8 solver),
   root presolve alone, then root presolve + warm-started node LPs (the
   defaults). ``presolve_off`` vs ``warm_start`` is the headline
-  cold-wall-time step.
+  cold-wall-time step;
+- ``presolve_active`` — S1 under ``timing="fixed"`` with mixed narrow
+  widths and a tight power budget. Serial timing never renders a
+  (core, bus) pair infeasible, so the default F1 grid gives the root
+  reducer nothing to propagate and ``root_cols_removed`` /
+  ``root_rows_removed`` stay 0 on every leg above; fixed timing forbids
+  narrow buses to wide cores, the forced/zero-fix rows interact, and the
+  reductions demonstrably fire. ``--check`` asserts they stay nonzero.
 
 Besides wall time the script records the search-effort counters (B&B
 nodes, LP solves, presolve fixings/prunes, warm LP solves/fallbacks) per
@@ -50,13 +57,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import (  # noqa: E402
     CutPolicy,
+    DesignProblem,
     MetricsRegistry,
     PresolvePolicy,
     RunTelemetry,
     SolutionCache,
     SolvePolicy,
     SolverOptions,
+    TamArchitecture,
     build_s1,
+    design,
     design_best_architecture,
     grid_place,
     use_cache,
@@ -88,6 +98,16 @@ _WARM_MIN_LP_SHARE = 0.9
 #: the S1 grid floorplan above 2.67 is excluded), so clique separation has
 #: something to cut.
 _CUTS_MAX_PAIR_DISTANCE = 3.0
+
+
+#: Architectures for the ``presolve_active`` leg: mixed widths under fixed
+#: timing, so several (core, bus) pairs are width-infeasible and the root
+#: reducer has zero-fix rows to propagate.
+_PRESOLVE_ARCHS = ((16, 8, 4), (32, 16, 8), (32, 16, 4))
+
+#: Power budget for the ``presolve_active`` leg — tight enough to force
+#: pairwise exclusion/forcing structure into the root model.
+_PRESOLVE_POWER_BUDGET = 100.0
 
 
 def _grid(quick: bool) -> dict:
@@ -163,6 +183,32 @@ def _run_layout_sweep(soc, grid: dict, cuts: CutPolicy) -> dict:
     }
 
 
+def _run_presolve_leg(soc) -> dict:
+    """Fixed-timing instances where root presolve reductions actually fire."""
+    telemetry = RunTelemetry()
+    start = now()
+    for widths in _PRESOLVE_ARCHS:
+        problem = DesignProblem(
+            soc,
+            TamArchitecture(widths),
+            timing="fixed",
+            power_budget=_PRESOLVE_POWER_BUDGET,
+        )
+        result = design(problem, cache=False)
+        telemetry.record(result.stats)
+    elapsed = now() - start
+    return {
+        "seconds": round(elapsed, 3),
+        "jobs": 1,
+        "archs": [list(w) for w in _PRESOLVE_ARCHS],
+        "power_budget": _PRESOLVE_POWER_BUDGET,
+        "nodes": telemetry.nodes,
+        "lp_solves": telemetry.lp_solves,
+        "root_cols_removed": telemetry.root_cols_removed,
+        "root_rows_removed": telemetry.root_rows_removed,
+    }
+
+
 def run_bench(quick: bool, jobs: int) -> dict:
     soc = build_s1()
     grid = _grid(quick)
@@ -204,6 +250,7 @@ def run_bench(quick: bool, jobs: int) -> dict:
     results["cuts_off"] = _run_layout_sweep(soc, cuts_grid, CutPolicy.disabled())
     results["cuts_on"] = _run_layout_sweep(soc, cuts_grid, CutPolicy())
     assert results["cuts_off"]["cuts"] == 0
+    results["presolve_active"] = _run_presolve_leg(soc)
 
     fast, base = results["fast_cold"], results["baseline_cold"]
     return {
@@ -286,6 +333,18 @@ def check_baseline(payload: dict) -> int:
             f"REGRESSION: only {share:.1%} of node LPs on the warm_start leg "
             f"were answered by the warm dual simplex (floor "
             f"{_WARM_MIN_LP_SHARE:.0%}); the rest re-solved cold",
+            file=sys.stderr,
+        )
+        return 1
+    active = payload["results"]["presolve_active"]
+    removed = active["root_cols_removed"] + active["root_rows_removed"]
+    print(f"presolve-activity check ({key}): {active['root_cols_removed']} cols + "
+          f"{active['root_rows_removed']} rows removed (must be > 0)")
+    if removed <= 0:
+        print(
+            "REGRESSION: the presolve_active leg (fixed timing, tight power "
+            "budget) removed no root rows or columns — the root reducer is "
+            "dead on the one grid built to exercise it",
             file=sys.stderr,
         )
         return 1

@@ -16,7 +16,9 @@ The surface groups into:
   :func:`distance_budget_sweep`), the duals (:func:`min_width`,
   :func:`bus_count_curve`), baselines and schedules;
 - **runtime** — :func:`solve_cached`, :class:`SolutionCache`,
-  :func:`use_cache`, :func:`run_parallel`, :class:`RunTelemetry`;
+  :func:`use_cache`, :func:`run_parallel`, :class:`RunTelemetry`, and the
+  racing portfolio :func:`run_portfolio` (:class:`PortfolioPolicy`,
+  :class:`PortfolioReport`);
 - **observability & resilience** — :func:`trace_solve` (span tracing with
   a text flame summary), :class:`MetricsRegistry` with :func:`get_metrics`
   / :func:`use_metrics`, and the anytime-solve controls
@@ -89,11 +91,13 @@ from repro.ilp.solution import Solution, SolveStats, Status
 from repro.layout import Floorplan, anneal_place, bus_wirelength, grid_place, tam_wirelength
 from repro.obs import (
     DEFAULT_CUT_POLICY,
+    DEFAULT_PORTFOLIO_POLICY,
     DEFAULT_PRESOLVE_POLICY,
     CheckpointStore,
     CutPolicy,
     FallbackReport,
     MetricsRegistry,
+    PortfolioPolicy,
     PresolvePolicy,
     SolvePolicy,
     SolverOptions,
@@ -106,9 +110,12 @@ from repro.obs import (
 from repro.power import budget_sweep_points, max_clique_power, power_groups
 from repro.runtime import (
     DEFAULT_CACHE_DIR,
+    EntrantRecord,
+    PortfolioReport,
     RunTelemetry,
     SolutionCache,
     run_parallel,
+    run_portfolio,
     solve_cached,
     use_cache,
 )
@@ -116,10 +123,14 @@ from repro.soc import (
     Core,
     Soc,
     build_d695,
+    build_p93791,
     build_s1,
     build_s2,
     build_s3,
     build_soc,
+    build_t512505,
+    corpus_names,
+    corpus_soc,
     generate_synthetic_soc,
     load_soc,
     save_soc,
@@ -172,7 +183,11 @@ __all__ = [
     "build_s2",
     "build_s3",
     "build_d695",
+    "build_p93791",
+    "build_t512505",
     "build_soc",
+    "corpus_names",
+    "corpus_soc",
     "generate_synthetic_soc",
     "load_soc",
     "save_soc",
@@ -240,6 +255,12 @@ __all__ = [
     "run_parallel",
     "RunTelemetry",
     "DEFAULT_CACHE_DIR",
+    # racing portfolio
+    "run_portfolio",
+    "PortfolioPolicy",
+    "DEFAULT_PORTFOLIO_POLICY",
+    "PortfolioReport",
+    "EntrantRecord",
     # observability & resilience
     "trace_solve",
     "Tracer",
@@ -318,12 +339,23 @@ _SINCE_PR: dict[str, int] = {
     # PR 9: root presolve + warm-started node LPs
     "PresolvePolicy": 9,
     "DEFAULT_PRESOLVE_POLICY": 9,
+    # PR 10: scale corpus + racing portfolio
+    "PortfolioPolicy": 10,
+    "DEFAULT_PORTFOLIO_POLICY": 10,
+    "PortfolioReport": 10,
+    "EntrantRecord": 10,
+    "run_portfolio": 10,
+    "build_p93791": 10,
+    "build_t512505": 10,
+    "corpus_names": 10,
+    "corpus_soc": 10,
 }
 
 #: Defining module for exports that are plain values (no ``__module__``).
 _CONSTANT_MODULES: dict[str, str] = {
     "DEFAULT_CACHE_DIR": "repro.runtime.cache",
     "DEFAULT_CUT_POLICY": "repro.obs.policy",
+    "DEFAULT_PORTFOLIO_POLICY": "repro.obs.policy",
     "DEFAULT_PRESOLVE_POLICY": "repro.obs.policy",
     "EXPERIMENTS": "repro.experiments",
     "REQUEST_KINDS": "repro.core.request",

@@ -52,6 +52,7 @@ from repro.api import (
     DEFAULT_CACHE_DIR,
     CutPolicy,
     DesignProblem,
+    PortfolioPolicy,
     ReproError,
     Soc,
     SolutionCache,
@@ -112,6 +113,18 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
                         help="warm-start node LPs from the parent basis via the "
                              "revised dual simplex (default: on; --no-warm-lps "
                              "cold-solves every node; bnb backend only)")
+    parser.add_argument("--portfolio", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="race exact B&B against the lpt/sa heuristic rungs "
+                             "under the shared budget, cross-feeding the best "
+                             "heuristic incumbent as the B&B starting cutoff "
+                             "(bnb backend only)")
+    parser.add_argument("--portfolio-entrants", default=None, metavar="A,B,...",
+                        help="portfolio entrants, comma-separated out of "
+                             "lpt/sa/bnb (implies --portfolio; default lpt,sa,bnb)")
+    parser.add_argument("--portfolio-seed", type=int, default=None, metavar="N",
+                        help="seed for the stochastic portfolio entrants "
+                             "(implies --portfolio)")
 
 
 def _solver_block_from_args(args) -> SolverOptions | None:
@@ -137,6 +150,24 @@ def _solver_block_from_args(args) -> SolverOptions | None:
         root_presolve = PresolvePolicy.disabled()
     elif getattr(args, "root_presolve", None) is True:
         root_presolve = PresolvePolicy()
+    portfolio = None
+    entrants = getattr(args, "portfolio_entrants", None)
+    seed = getattr(args, "portfolio_seed", None)
+    if getattr(args, "portfolio", None) is False:
+        if entrants is not None or seed is not None:
+            raise ValidationError(
+                "--no-portfolio contradicts --portfolio-entrants/--portfolio-seed"
+            )
+        portfolio = PortfolioPolicy.disabled()
+    elif getattr(args, "portfolio", None) or entrants is not None or seed is not None:
+        overrides = {"jobs": max(1, getattr(args, "jobs", 1) or 1)}
+        if entrants is not None:
+            overrides["entrants"] = tuple(
+                name.strip() for name in entrants.split(",") if name.strip()
+            )
+        if seed is not None:
+            overrides["seed"] = seed
+        portfolio = PortfolioPolicy(**overrides)
     block = {}
     if getattr(args, "branching", None) is not None:
         block["branching"] = args.branching
@@ -148,13 +179,16 @@ def _solver_block_from_args(args) -> SolverOptions | None:
         block["root_presolve"] = root_presolve
     if getattr(args, "warm_lps", None) is not None:
         block["warm_start"] = args.warm_lps
+    if portfolio is not None:
+        block["portfolio"] = portfolio
     if not block:
         return None
     if args.backend != "bnb":
         flags = {"branching": "--branching", "presolve": "--presolve",
                  "cuts": "--cuts/--no-cuts/--cut-rounds",
                  "root_presolve": "--root-presolve/--no-root-presolve",
-                 "warm_start": "--warm-lps/--no-warm-lps"}
+                 "warm_start": "--warm-lps/--no-warm-lps",
+                 "portfolio": "--portfolio/--portfolio-entrants/--portfolio-seed"}
         listed = "/".join(flags[key] for key in block)
         raise ValidationError(
             f"{listed} only apply to the bnb backend, not {args.backend!r}"

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.tam.assignment import Assignment
 from repro.tam.timing import TimingModel
 from repro.util.errors import InfeasibleError, SolverError
 
+if TYPE_CHECKING:  # pragma: no cover - runtime.portfolio imports back into core
+    from repro.runtime.portfolio import PortfolioReport
+
 
 @dataclass
 class TamDesign:
@@ -42,7 +46,9 @@ class TamDesign:
     (:class:`~repro.obs.FallbackReport`): ``None``/``"exact"`` for a proven
     optimum, ``"incumbent"`` for a budget-truncated best-so-far, and
     ``"lpt"``/``"sa"`` when the exact search found nothing and a heuristic
-    stood in.
+    stood in. ``portfolio`` is the race provenance
+    (:class:`~repro.runtime.portfolio.PortfolioReport`) when the design
+    came out of the racing portfolio, ``None`` otherwise.
     """
 
     problem: DesignProblem
@@ -54,6 +60,7 @@ class TamDesign:
     backend: str
     wirelength: float | None = None
     fallback: FallbackReport | None = None
+    portfolio: "PortfolioReport | None" = None
 
     @property
     def arch(self) -> TamArchitecture:
@@ -83,6 +90,8 @@ class TamDesign:
         )
         if self.fallback is not None and (self.fallback.degraded or self.fallback.retries):
             lines.append(f"  resilience: {self.fallback.render()}")
+        if self.portfolio is not None:
+            lines.append(f"  {self.portfolio.render()}")
         return "\n".join(lines)
 
 
@@ -95,6 +104,7 @@ def design(
     policy: SolvePolicy | None = None,
     presolve: bool | None = None,
     branching: str | None = None,
+    incumbent: Assignment | None = None,
     **solver_options,
 ) -> TamDesign:
     """Solve ``problem`` — to proven optimality, or as far as a policy allows.
@@ -128,7 +138,17 @@ def design(
 
     ``warm_start_heuristic`` feeds the LPT greedy solution to the branch &
     bound as its initial incumbent (bnb backend only): the optimum is
-    unchanged, pruning just starts earlier.
+    unchanged, pruning just starts earlier. ``incumbent`` injects an
+    arbitrary known-good :class:`~repro.tam.assignment.Assignment` the same
+    way — the channel the racing portfolio cross-feeds heuristic winners
+    through.
+
+    When ``policy.solver.portfolio`` is an enabled
+    :class:`~repro.obs.PortfolioPolicy` (and the backend is ``bnb``), the
+    solve is dispatched to :func:`repro.runtime.portfolio.run_portfolio`:
+    the heuristic rungs race on the process pool, their best incumbent is
+    cross-fed to the exact search, and the returned design carries a
+    :class:`~repro.runtime.portfolio.PortfolioReport` in ``.portfolio``.
 
     ``cache`` is forwarded to :meth:`Model.solve`: a
     :class:`~repro.runtime.cache.SolutionCache` memoizes this solve, ``None``
@@ -160,6 +180,30 @@ def design(
             DeprecationWarning,
             stacklevel=2,
         )
+    portfolio = (
+        policy.solver.portfolio
+        if policy is not None and policy.solver is not None
+        else None
+    )
+    if portfolio is not None and portfolio.enabled:
+        if backend != "bnb":
+            raise ValueError(
+                f"portfolio racing only applies to the bnb backend, got {backend!r}"
+            )
+        if incumbent is not None:
+            raise ValueError(
+                "incumbent= cannot be combined with an enabled portfolio "
+                "(the race supplies its own cross-fed incumbent)"
+            )
+        from repro.runtime.portfolio import run_portfolio
+
+        return run_portfolio(
+            problem,
+            policy,
+            cache=cache,
+            wirelength_method=wirelength_method,
+            **solver_options,
+        )
     contradictions = problem.contradictions()
     if contradictions:
         names = problem.soc.core_names
@@ -187,7 +231,20 @@ def design(
         # relaxation (never the optimum) and no-ops on instances without
         # conflict/knapsack structure. CutPolicy.disabled() opts out.
         solver_options["cut_policy"] = DEFAULT_CUT_POLICY
-    if warm_start_heuristic and backend == "bnb" and "warm_start" not in solver_options:
+    if incumbent is not None and backend == "bnb" and "warm_start" not in solver_options:
+        violations = problem.validate(incumbent)
+        if violations:
+            raise ValueError(
+                "incumbent= must be feasible for the problem; violations: "
+                + "; ".join(violations)
+            )
+        values = {
+            var: 1.0 if incumbent.bus_of[i] == j else 0.0
+            for (i, j), var in formulation.x.items()
+        }
+        values[formulation.makespan_var] = incumbent.makespan(problem.timing)
+        solver_options["warm_start"] = values
+    elif warm_start_heuristic and backend == "bnb" and "warm_start" not in solver_options:
         from repro.core.baselines import lpt_assignment
 
         try:
@@ -410,6 +467,7 @@ def design_best_architecture(
             continue
         result.telemetry.record(candidate.stats)
         result.telemetry.record_fallback(candidate.fallback)
+        result.telemetry.record_portfolio(candidate.portfolio)
         result.per_architecture.append((arch, candidate.makespan))
         if result.best is None or candidate.makespan < result.best.makespan:
             result.best = candidate

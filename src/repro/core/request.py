@@ -40,6 +40,7 @@ from repro.layout.placers import grid_place
 from repro.obs import SolvePolicy
 from repro.runtime.fingerprint import cache_token_of, token_digest
 from repro.soc.builders import build_s1, build_s2, build_s3
+from repro.soc.catalog import corpus_names, corpus_soc
 from repro.soc.generator import generate_synthetic_soc
 from repro.soc.itc02 import build_d695
 from repro.soc.io import load_soc
@@ -64,20 +65,27 @@ _TIMINGS = ("fixed", "serial", "flexible")
 def resolve_soc(spec: str) -> Soc:
     """Turn an SOC spec string into a system (builtin / synthetic / file).
 
-    Accepts the builtin names ``S1``/``S2``/``S3``/``D695``,
-    ``SYN<n>[:seed]`` for a seeded synthetic system, or a path to a
-    ``.soc`` file. This is the one resolver the CLI, the service, and
-    request payloads share — a spec string is the portable, fingerprintable
-    name of a system.
+    Accepts the builtin names ``S1``/``S2``/``S3``/``D695``, any registered
+    stress-corpus name (``p93791``, ``t512505``, ``scale200``, … — see
+    :func:`repro.soc.catalog.corpus_names`), ``SYN<n>[:seed]`` for a seeded
+    synthetic system, ``ITC<n>[:seed]`` for the heavy-tailed ITC'02-class
+    generator mode, or a path to a ``.soc`` file. This is the one resolver
+    the CLI, the service, and request payloads share — a spec string is the
+    portable, fingerprintable name of a system.
     """
     builtin = {"S1": build_s1, "S2": build_s2, "S3": build_s3, "D695": build_d695}
     if spec.upper() in builtin:
         return builtin[spec.upper()]()
-    if spec.upper().startswith("SYN"):
+    if spec.lower() in corpus_names():
+        return corpus_soc(spec)
+    if spec.upper().startswith("SYN") or spec.upper().startswith("ITC"):
+        mode = "catalog" if spec.upper().startswith("SYN") else "itc02"
         body = spec[3:]
         count, _, seed = body.partition(":")
         try:
-            return generate_synthetic_soc(int(count), seed=int(seed) if seed else 0)
+            return generate_synthetic_soc(
+                int(count), seed=int(seed) if seed else 0, mode=mode
+            )
         except ValueError as exc:
             raise ValidationError(f"bad synthetic SOC spec {spec!r}: {exc}") from exc
     return load_soc(spec)
@@ -339,6 +347,8 @@ class SolveRequest:
         }
         if result.fallback is not None:
             payload["fallback"] = result.fallback.as_dict()
+        if result.portfolio is not None:
+            payload["portfolio"] = result.portfolio.as_dict()
         return payload
 
     # ------------------------------------------------------------- transport

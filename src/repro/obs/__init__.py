@@ -34,11 +34,14 @@ from repro.obs.policy import (
     BRANCHING_RULES,
     DEFAULT_CUT_POLICY,
     DEFAULT_FALLBACK,
+    DEFAULT_PORTFOLIO_POLICY,
     DEFAULT_PRESOLVE_POLICY,
     FALLBACK_RUNGS,
+    PORTFOLIO_ENTRANTS,
     CheckpointStore,
     CutPolicy,
     FallbackReport,
+    PortfolioPolicy,
     PresolvePolicy,
     SolvePolicy,
     SolverOptions,
@@ -61,12 +64,15 @@ __all__ = [
     "CutPolicy",
     "DEFAULT_CUT_POLICY",
     "DEFAULT_FALLBACK",
+    "DEFAULT_PORTFOLIO_POLICY",
     "DEFAULT_PRESOLVE_POLICY",
     "FALLBACK_RUNGS",
     "FallbackReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PORTFOLIO_ENTRANTS",
+    "PortfolioPolicy",
     "PresolvePolicy",
     "SolvePolicy",
     "SolverOptions",

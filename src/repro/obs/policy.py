@@ -263,6 +263,110 @@ class PresolvePolicy:
 DEFAULT_PRESOLVE_POLICY = PresolvePolicy()
 
 
+#: Entrant names the portfolio racer knows how to run. Heuristic rungs
+#: come first (they are the cheap incumbents); ``"bnb"`` is the exact
+#: search they cross-feed.
+PORTFOLIO_ENTRANTS = ("lpt", "sa", "bnb")
+
+
+@dataclass(frozen=True)
+class PortfolioPolicy:
+    """How (and whether) the racing portfolio runs a design solve.
+
+    The portfolio (:func:`repro.runtime.portfolio.run_portfolio`) races the
+    entrants under one shared :class:`SolvePolicy` budget: the heuristic
+    rungs (``"lpt"``, ``"sa"``) run first — concurrently on the persistent
+    process pool when ``jobs > 1`` — and their best incumbent is cross-fed
+    to the exact ``"bnb"`` entrant as its starting cutoff, with the wall
+    time the heuristics spent subtracted from the shared deadline. The best
+    solution wins, with per-entrant provenance recorded in a
+    :class:`~repro.runtime.portfolio.PortfolioReport`.
+
+    ``seed`` seeds the stochastic entrants and ``sa_iterations`` sets the
+    annealing length, so both shape the combined result and contribute to
+    :meth:`cache_token`. ``jobs`` only fans the heuristic race out across
+    workers — every entrant always runs to completion, so fan-out changes
+    wall time but never the answer, and ``jobs`` stays out of the token
+    (the same rule :class:`~repro.core.request.SolveRequest` applies).
+    """
+
+    entrants: tuple[str, ...] = PORTFOLIO_ENTRANTS
+    seed: int = 0
+    sa_iterations: int = 5000
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        ladder = tuple(self.entrants or ())
+        object.__setattr__(self, "entrants", ladder)
+        unknown = [name for name in ladder if name not in PORTFOLIO_ENTRANTS]
+        if unknown:
+            raise ValueError(
+                f"unknown portfolio entrant(s) {unknown}; known: {list(PORTFOLIO_ENTRANTS)}"
+            )
+        if len(set(ladder)) != len(ladder):
+            raise ValueError(f"duplicate portfolio entrant(s) in {ladder}")
+        if self.sa_iterations < 0:
+            raise ValueError(
+                f"sa_iterations cannot be negative, got {self.sa_iterations}"
+            )
+
+    # ------------------------------------------------------------ derivations
+    @property
+    def enabled(self) -> bool:
+        """True when any entrant at all may run."""
+        return bool(self.entrants)
+
+    @property
+    def exact(self) -> bool:
+        """True when the exact B&B entrant is in the race."""
+        return "bnb" in self.entrants
+
+    @property
+    def heuristics(self) -> tuple[str, ...]:
+        """The heuristic entrants, in rung order."""
+        return tuple(name for name in self.entrants if name != "bnb")
+
+    @classmethod
+    def disabled(cls) -> "PortfolioPolicy":
+        """An explicit portfolio-off policy (distinct from *unset*)."""
+        return cls(entrants=())
+
+    def cache_token(self) -> str:
+        """Canonical text of the result-shaping fields (``jobs`` excluded:
+        fan-out changes wall time, never the combined answer)."""
+        return (
+            f"portfolio(entrants={list(self.entrants)!r},seed={self.seed!r},"
+            f"sa_iterations={self.sa_iterations!r})"
+        )
+
+    def with_overrides(self, **changes) -> "PortfolioPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "entrants": list(self.entrants),
+            "seed": self.seed,
+            "sa_iterations": self.sa_iterations,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "Mapping[str, Any]") -> "PortfolioPolicy":
+        known = {"entrants", "seed", "sa_iterations", "jobs"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown PortfolioPolicy field(s): {', '.join(unknown)}")
+        data = dict(payload)
+        if "entrants" in data and data["entrants"] is not None:
+            data["entrants"] = tuple(data["entrants"])
+        return cls(**data)
+
+
+#: The portfolio the racer runs when asked for one without details.
+DEFAULT_PORTFOLIO_POLICY = PortfolioPolicy()
+
+
 @dataclass(frozen=True)
 class SolverOptions:
     """Structured B&B solver knobs, riding on :class:`SolvePolicy`.
@@ -279,6 +383,7 @@ class SolverOptions:
     root_presolve: PresolvePolicy | None = None
     warm_start: bool | None = None
     checkpoint_interval: float | None = None
+    portfolio: PortfolioPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.branching is not None and self.branching not in BRANCHING_RULES:
@@ -300,6 +405,13 @@ class SolverOptions:
         if self.warm_start is not None and not isinstance(self.warm_start, bool):
             raise TypeError(
                 f"warm_start must be a bool or None, got {type(self.warm_start).__name__}"
+            )
+        if self.portfolio is not None and not isinstance(
+            self.portfolio, PortfolioPolicy
+        ):
+            raise TypeError(
+                "portfolio must be a PortfolioPolicy or None, "
+                f"got {type(self.portfolio).__name__}"
             )
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ValueError(
@@ -338,6 +450,10 @@ class SolverOptions:
             # that pairing.
             lp_warm_start = self.warm_start
             options["lp_warm_start"] = lp_warm_start
+        # `portfolio` is deliberately NOT a backend kwarg: the racer is a
+        # designer-level dispatch (repro.runtime.portfolio), not a solver
+        # knob — the B&B backend never sees it. It still shapes the result,
+        # so cache_token() below reads it.
         return options
 
     def cache_token(self) -> str:
@@ -346,11 +462,13 @@ class SolverOptions:
         root_presolve = (
             "-" if self.root_presolve is None else self.root_presolve.cache_token()
         )
+        portfolio = "-" if self.portfolio is None else self.portfolio.cache_token()
         return (
             f"solver(presolve={self.presolve!r},branching={self.branching!r},"
             f"cuts={cuts},root_presolve={root_presolve},"
             f"warm_start={self.warm_start!r},"
-            f"checkpoint_interval={self.checkpoint_interval!r})"
+            f"checkpoint_interval={self.checkpoint_interval!r},"
+            f"portfolio={portfolio})"
         )
 
     def with_overrides(self, **changes) -> "SolverOptions":
@@ -367,6 +485,7 @@ class SolverOptions:
             ),
             "warm_start": self.warm_start,
             "checkpoint_interval": self.checkpoint_interval,
+            "portfolio": None if self.portfolio is None else self.portfolio.as_dict(),
         }
 
     @classmethod
@@ -378,6 +497,7 @@ class SolverOptions:
             "root_presolve",
             "warm_start",
             "checkpoint_interval",
+            "portfolio",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -389,6 +509,9 @@ class SolverOptions:
         root_presolve = data.get("root_presolve")
         if isinstance(root_presolve, Mapping):
             data["root_presolve"] = PresolvePolicy.from_dict(root_presolve)
+        portfolio = data.get("portfolio")
+        if isinstance(portfolio, Mapping):
+            data["portfolio"] = PortfolioPolicy.from_dict(portfolio)
         return cls(**data)
 
 

@@ -43,6 +43,9 @@ class RunTelemetry:
     jobs: int = 1
     retries: int = 0
     fallbacks: int = 0
+    portfolio_runs: int = 0
+    portfolio_heuristic_wins: int = 0
+    portfolio_cross_fed: int = 0
 
     def record(self, stats: SolveStats) -> None:
         """Fold one solve's stats into the run counters."""
@@ -74,6 +77,19 @@ class RunTelemetry:
         if report is not None and getattr(report, "degraded", False):
             self.fallbacks += 1
 
+    def record_portfolio(self, report) -> None:
+        """Count one portfolio race (see
+        :class:`repro.runtime.portfolio.PortfolioReport`): the race itself,
+        whether a heuristic entrant won the attribution, and whether an
+        incumbent was cross-fed to the exact search."""
+        if report is None:
+            return
+        self.portfolio_runs += 1
+        if getattr(report, "winner", "bnb") != "bnb":
+            self.portfolio_heuristic_wins += 1
+        if getattr(report, "cross_fed", False):
+            self.portfolio_cross_fed += 1
+
     def merge(self, other: "RunTelemetry | None") -> None:
         """Fold another run's counters into this one (``jobs`` keeps ours)."""
         if other is None:
@@ -95,6 +111,9 @@ class RunTelemetry:
         self.wall_time += other.wall_time
         self.retries += other.retries
         self.fallbacks += other.fallbacks
+        self.portfolio_runs += other.portfolio_runs
+        self.portfolio_heuristic_wins += other.portfolio_heuristic_wins
+        self.portfolio_cross_fed += other.portfolio_cross_fed
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -121,4 +140,6 @@ class RunTelemetry:
             line += f", {self.retries} retries"
         if self.fallbacks:
             line += f", {self.fallbacks} fallbacks"
+        if self.portfolio_runs:
+            line += f", {self.portfolio_runs} portfolio races"
         return line

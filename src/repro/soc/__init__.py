@@ -16,11 +16,26 @@ provides:
 
 from repro.soc.core import Core
 from repro.soc.system import Soc
-from repro.soc.catalog import CATALOG, catalog_core, catalog_names
+from repro.soc.catalog import (
+    CATALOG,
+    catalog_core,
+    catalog_names,
+    corpus_names,
+    corpus_soc,
+    register_corpus,
+)
 from repro.soc.builders import build_s1, build_s2, build_s3, build_soc
-from repro.soc.generator import generate_synthetic_soc
+from repro.soc.generator import SCALE_POINTS, generate_synthetic_soc
 from repro.soc.io import load_soc, save_soc, parse_soc, dump_soc
-from repro.soc.itc02 import build_d695, d695_core, D695_MODULES
+from repro.soc.itc02 import (
+    build_d695,
+    build_p93791,
+    build_t512505,
+    d695_core,
+    D695_MODULES,
+    P93791_MODULES,
+    T512505_MODULES,
+)
 
 __all__ = [
     "Core",
@@ -28,16 +43,24 @@ __all__ = [
     "CATALOG",
     "catalog_core",
     "catalog_names",
+    "corpus_names",
+    "corpus_soc",
+    "register_corpus",
     "build_s1",
     "build_s2",
     "build_s3",
     "build_soc",
     "generate_synthetic_soc",
+    "SCALE_POINTS",
     "load_soc",
     "save_soc",
     "parse_soc",
     "dump_soc",
     "build_d695",
+    "build_p93791",
+    "build_t512505",
     "d695_core",
     "D695_MODULES",
+    "P93791_MODULES",
+    "T512505_MODULES",
 ]

@@ -22,9 +22,13 @@ sweeps pick budgets that make the constraints bind, as in the paper.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Callable
 
 from repro.soc.core import Core
 from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.soc.system import Soc
 
 #: mW per (gate x activity) at the nominal scan-shift frequency.
 POWER_SCALE = 0.05
@@ -103,3 +107,43 @@ def catalog_core(name: str, rename: str | None = None) -> Core:
             f"unknown benchmark core {name!r}; known: {', '.join(catalog_names())}"
         ) from None
     return core.renamed(rename) if rename else core
+
+
+# --------------------------------------------------------------------------
+# Stress-corpus registry
+#
+# The scale experiments (benchmarks/bench_scale.py, ROADMAP item 2) need
+# named, reproducible systems well beyond the ten-core academic SOCs.
+# Builders register themselves here — :mod:`repro.soc.itc02` contributes
+# the ITC'02-class analogues (d695, p93791, t512505) and
+# :mod:`repro.soc.generator` the seeded synthetic scale points — and
+# :func:`repro.core.request.resolve_soc` resolves corpus names so a spec
+# string like ``"p93791"`` works everywhere an SOC is accepted.
+
+_CORPUS: dict[str, Callable[[], "Soc"]] = {}
+
+
+def register_corpus(name: str, builder: Callable[[], "Soc"]) -> None:
+    """Register a named corpus system (lower-case name -> zero-arg builder).
+
+    Re-registering a name replaces the builder — the corpus modules run
+    their registrations at import time, which may happen more than once
+    under test re-imports.
+    """
+    _CORPUS[name.lower()] = builder
+
+
+def corpus_names() -> list[str]:
+    """All registered stress-corpus system names, sorted."""
+    return sorted(_CORPUS)
+
+
+def corpus_soc(name: str) -> "Soc":
+    """Build a corpus system by name (case-insensitive)."""
+    try:
+        builder = _CORPUS[name.lower()]
+    except KeyError:
+        raise ValidationError(
+            f"unknown corpus system {name!r}; known: {', '.join(corpus_names())}"
+        ) from None
+    return builder()

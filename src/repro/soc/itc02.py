@@ -1,4 +1,4 @@
-"""The d695 benchmark SOC (ITC'02 SOC Test Benchmarks style).
+"""ITC'02-class benchmark SOCs: d695 plus p93791/t512505 analogues.
 
 ``d695`` is the academic system the post-2000 TAM literature standardized
 on: ten ISCAS cores (two combinational, eight full-scan sequential) with
@@ -8,16 +8,32 @@ pattern counts — with chain lengths balanced over the published chain count
 (the benchmark's own chains are balanced to within one bit) and test power
 derived through the same gates x activity proxy as the rest of the catalog.
 
-Use :func:`build_d695` anywhere a :class:`~repro.soc.system.Soc` is
-accepted; the explicit ``scan_chains`` make the wrapper substrate honor the
-delivered chain structure instead of re-balancing flip-flops.
+:func:`build_p93791` and :func:`build_t512505` extend the family to the
+industrial scale the ITC'02 SOC Test Benchmarks (Marinissen, Iyengar &
+Chakrabarty, ITC 2002) made standard. Their module tables here are
+*analogues*, not transcriptions: they reproduce the published scale
+signatures — p93791's 32 modules with heavy-tailed scan volume and several
+~100k-gate blocks, t512505's 31 modules with one giant module dominating
+total test time — with core structure derived exactly like the d695
+reconstruction. Makespans on these systems are comparable in *shape* to
+published ITC'02 results, not in absolute cycles.
+
+Use the builders anywhere a :class:`~repro.soc.system.Soc` is accepted; the
+explicit ``scan_chains`` make the wrapper substrate honor the delivered
+chain structure instead of re-balancing flip-flops. All three systems are
+registered in the stress-corpus registry
+(:func:`repro.soc.catalog.corpus_soc`), so ``resolve_soc("p93791")`` works
+everywhere a spec string does.
 """
 
 from __future__ import annotations
 
-from repro.soc.catalog import CATALOG, POWER_SCALE
+import math
+
+from repro.soc.catalog import CATALOG, POWER_SCALE, register_corpus
 from repro.soc.core import Core
 from repro.soc.system import Soc
+from repro.util.errors import ValidationError
 
 #: name -> (inputs, outputs, scan chain count, patterns). I/O and chain
 #: counts follow the published d695 module table; pattern counts are the
@@ -42,8 +58,29 @@ _EXTRA_STRUCTURE = {
 
 
 def _balanced_chains(total: int, count: int) -> tuple[int, ...] | None:
-    if count == 0 or total == 0:
+    """Split ``total`` flip-flops into ``count`` balanced scan chains.
+
+    ``None`` is the documented "no scan structure" sentinel, returned only
+    for ``count == 0`` (a combinational module — :class:`Core` then
+    balances nothing). Every other degenerate input is a module-table
+    error, not a sentinel case, and raises
+    :class:`~repro.util.errors.ValidationError`: negative sizes, a chain
+    count with no flip-flops to fill it, and fewer flip-flops than chains
+    (every chain must hold at least one bit — the old behavior silently
+    emitted zero-length chains that :class:`Core` rejected much later with
+    a misleading message).
+    """
+    if total < 0 or count < 0:
+        raise ValidationError(
+            f"scan split needs non-negative sizes, got total={total}, count={count}"
+        )
+    if count == 0:
         return None
+    if total < count:
+        raise ValidationError(
+            f"cannot balance {total} flip-flop(s) over {count} scan chain(s): "
+            "every chain needs at least one bit"
+        )
     base, extra = divmod(total, count)
     return tuple([base + 1] * extra + [base] * (count - extra))
 
@@ -84,3 +121,127 @@ def build_d695() -> Soc:
     """The ten-core d695 benchmark SOC."""
     cores = [d695_core(name) for name in D695_MODULES]
     return Soc("d695", cores, die_width=14.0, die_height=14.0)
+
+
+#: p93791-analogue module table:
+#: name -> (inputs, outputs, flipflops, scan chains, gates, patterns, activity).
+#: 32 modules with the heavy-tailed scan-volume signature the ITC'02
+#: p93791 system is known for: a handful of very large scan-dominated
+#: blocks (m6, m11, m17, m20, m27), a mid-size body, and a combinational
+#: tail. Values are analogues (see the module docstring).
+P93791_MODULES: dict[str, tuple[int, int, int, int, int, int, float]] = {
+    "m1": (109, 32, 0, 0, 5402, 409, 0.58),
+    "m2": (89, 31, 2313, 10, 28654, 602, 0.55),
+    "m3": (176, 115, 1922, 9, 21124, 272, 0.56),
+    "m4": (36, 44, 605, 4, 6101, 311, 0.60),
+    "m5": (66, 33, 665, 4, 8084, 422, 0.58),
+    "m6": (417, 324, 23789, 46, 161237, 218, 0.50),
+    "m7": (160, 69, 5768, 24, 39621, 177, 0.53),
+    "m8": (74, 40, 2343, 12, 17594, 156, 0.56),
+    "m9": (115, 76, 4773, 22, 33254, 182, 0.54),
+    "m10": (84, 12, 1211, 8, 9741, 755, 0.57),
+    "m11": (74, 40, 11316, 29, 65453, 187, 0.52),
+    "m12": (26, 16, 7412, 24, 42134, 649, 0.51),
+    "m13": (52, 11, 5405, 16, 31925, 776, 0.52),
+    "m14": (34, 41, 244, 2, 4028, 72, 0.62),
+    "m15": (72, 87, 290, 2, 5263, 74, 0.61),
+    "m16": (36, 44, 614, 4, 6441, 312, 0.59),
+    "m17": (54, 51, 10426, 43, 58923, 216, 0.52),
+    "m18": (28, 32, 745, 4, 7125, 58, 0.60),
+    "m19": (34, 44, 4381, 16, 28653, 119, 0.54),
+    "m20": (110, 81, 7552, 44, 44832, 210, 0.52),
+    "m21": (36, 28, 0, 0, 2412, 113, 0.62),
+    "m22": (44, 31, 806, 5, 7024, 82, 0.59),
+    "m23": (93, 32, 1233, 8, 11627, 944, 0.55),
+    "m24": (214, 138, 0, 0, 13042, 241, 0.54),
+    "m25": (54, 46, 3024, 14, 20983, 336, 0.55),
+    "m26": (80, 64, 1891, 10, 15312, 108, 0.56),
+    "m27": (92, 28, 12034, 46, 68023, 916, 0.50),
+    "m28": (48, 40, 2801, 12, 19872, 132, 0.55),
+    "m29": (102, 84, 6124, 24, 38112, 395, 0.53),
+    "m30": (38, 20, 0, 0, 3256, 68, 0.63),
+    "m31": (66, 58, 4225, 18, 27412, 154, 0.54),
+    "m32": (28, 16, 1522, 8, 12211, 84, 0.57),
+}
+
+#: t512505-analogue module table (same column layout). The signature here
+#: is the opposite of p93791's: 31 modules where one giant block (t31)
+#: holds the bulk of the test data, so its test time dominates any
+#: schedule — the singleton lower bound is nearly tight, which is exactly
+#: the regime where heuristics close the gap fast and exact search spends
+#: its time proving it.
+T512505_MODULES: dict[str, tuple[int, int, int, int, int, int, float]] = {
+    "t1": (32, 24, 0, 0, 2210, 84, 0.62),
+    "t2": (45, 31, 422, 2, 4812, 112, 0.59),
+    "t3": (28, 16, 318, 2, 3926, 96, 0.60),
+    "t4": (64, 49, 1204, 6, 10231, 134, 0.56),
+    "t5": (39, 27, 616, 4, 6423, 88, 0.58),
+    "t6": (81, 60, 1822, 8, 14214, 156, 0.55),
+    "t7": (26, 18, 0, 0, 1804, 64, 0.63),
+    "t8": (52, 40, 924, 4, 8122, 102, 0.57),
+    "t9": (70, 55, 1410, 6, 11834, 122, 0.56),
+    "t10": (35, 22, 512, 3, 5214, 76, 0.59),
+    "t11": (92, 71, 2218, 10, 16425, 168, 0.54),
+    "t12": (41, 30, 704, 4, 6912, 94, 0.58),
+    "t13": (58, 44, 1108, 5, 9623, 118, 0.56),
+    "t14": (30, 21, 386, 2, 4218, 72, 0.60),
+    "t15": (76, 58, 1624, 7, 13122, 144, 0.55),
+    "t16": (47, 35, 812, 4, 7524, 98, 0.57),
+    "t17": (66, 50, 1315, 6, 11023, 128, 0.56),
+    "t18": (33, 24, 448, 2, 4624, 80, 0.59),
+    "t19": (85, 66, 1918, 9, 15212, 158, 0.54),
+    "t20": (43, 32, 664, 3, 6321, 90, 0.58),
+    "t21": (61, 47, 1212, 6, 10412, 124, 0.56),
+    "t22": (29, 20, 352, 2, 4012, 70, 0.60),
+    "t23": (72, 56, 1520, 7, 12423, 138, 0.55),
+    "t24": (38, 28, 576, 3, 5823, 84, 0.58),
+    "t25": (55, 42, 1024, 5, 9121, 114, 0.56),
+    "t26": (31, 23, 412, 2, 4415, 74, 0.59),
+    "t27": (79, 62, 1726, 8, 13824, 150, 0.54),
+    "t28": (44, 33, 728, 4, 7123, 92, 0.57),
+    "t29": (63, 48, 1268, 6, 10823, 126, 0.55),
+    "t30": (36, 26, 524, 3, 5412, 78, 0.58),
+    "t31": (54, 31, 76005, 32, 418124, 3370, 0.48),
+}
+
+
+def _analogue_core(name: str, spec: tuple[int, int, int, int, int, int, float]) -> Core:
+    """Build one analogue module with the d695 derivation rules."""
+    inputs, outputs, flipflops, chain_count, gates, patterns, activity = spec
+    chains = _balanced_chains(flipflops, chain_count)
+    io_wires = max(1, max(inputs, outputs) // 64)
+    width = max(4, min(32, max(chain_count, io_wires)))
+    return Core(
+        name=name,
+        num_inputs=inputs,
+        num_outputs=outputs,
+        num_flipflops=flipflops,
+        num_gates=gates,
+        num_patterns=patterns,
+        test_width=width,
+        test_power=round(gates * activity * POWER_SCALE, 1),
+        activity=activity,
+        scan_chains=chains,
+    )
+
+
+def _analogue_soc(name: str, modules: dict[str, tuple]) -> Soc:
+    cores = [_analogue_core(module, spec) for module, spec in modules.items()]
+    total_area = sum(core.area_mm2 for core in cores)
+    side = max(4.0, round(math.sqrt(total_area * 2.0) + 2.0, 1))
+    return Soc(name, cores, die_width=side, die_height=side)
+
+
+def build_p93791() -> Soc:
+    """The 32-module p93791-analogue SOC (heavy-tailed scan volume)."""
+    return _analogue_soc("p93791", P93791_MODULES)
+
+
+def build_t512505() -> Soc:
+    """The 31-module t512505-analogue SOC (one dominating giant module)."""
+    return _analogue_soc("t512505", T512505_MODULES)
+
+
+register_corpus("d695", build_d695)
+register_corpus("p93791", build_p93791)
+register_corpus("t512505", build_t512505)

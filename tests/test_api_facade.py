@@ -86,7 +86,7 @@ class TestFacadeManifest:
 
     def test_since_values_are_sane(self):
         for row in api.facade_table():
-            assert 1 <= int(str(row["since"])) <= 9, row
+            assert 1 <= int(str(row["since"])) <= 10, row
 
     def test_pr8_solver_options_surface(self):
         rows = {row["name"]: row for row in api.facade_table()}
@@ -105,6 +105,25 @@ class TestFacadeManifest:
             assert rows[name]["module"] == "repro.obs.policy"
         assert isinstance(api.DEFAULT_PRESOLVE_POLICY, api.PresolvePolicy)
         assert api.DEFAULT_PRESOLVE_POLICY.enabled
+
+    def test_pr10_scale_surface(self):
+        rows = {row["name"]: row for row in api.facade_table()}
+        for name in (
+            "PortfolioPolicy",
+            "DEFAULT_PORTFOLIO_POLICY",
+            "PortfolioReport",
+            "EntrantRecord",
+            "run_portfolio",
+            "build_p93791",
+            "build_t512505",
+            "corpus_names",
+            "corpus_soc",
+        ):
+            assert name in api.__all__
+            assert rows[name]["since"] == 10
+        assert isinstance(api.DEFAULT_PORTFOLIO_POLICY, api.PortfolioPolicy)
+        assert api.DEFAULT_PORTFOLIO_POLICY.enabled
+        assert api.DEFAULT_PORTFOLIO_POLICY.exact
 
     def test_checked_in_manifest_matches_live_facade(self):
         manifest = REPO_ROOT / "API.md"

@@ -1,8 +1,23 @@
-"""Tests for the d695 (ITC'02-style) benchmark and explicit scan chains."""
+"""Tests for the ITC'02-class benchmarks, corpus registry, and scan chains."""
 
 import pytest
 
-from repro.soc import Core, D695_MODULES, build_d695, d695_core, dump_soc, parse_soc
+from repro.soc import (
+    Core,
+    D695_MODULES,
+    P93791_MODULES,
+    T512505_MODULES,
+    build_d695,
+    build_p93791,
+    build_t512505,
+    corpus_names,
+    corpus_soc,
+    d695_core,
+    dump_soc,
+    parse_soc,
+    register_corpus,
+)
+from repro.soc.itc02 import _balanced_chains
 from repro.util.errors import ValidationError
 from repro.wrapper import application_time, design_wrapper, internal_scan_chains
 
@@ -51,6 +66,81 @@ class TestD695:
         result = design(problem)
         oracle = exhaustive_optimal(soc, problem.arch, problem.timing)
         assert result.makespan == pytest.approx(oracle.makespan)
+
+
+class TestBalancedChains:
+    def test_balanced_split(self):
+        assert _balanced_chains(10, 3) == (4, 3, 3)
+        chains = _balanced_chains(100, 7)
+        assert sum(chains) == 100 and max(chains) - min(chains) <= 1
+
+    def test_zero_count_is_the_combinational_sentinel(self):
+        # Documented sentinel: no chains at all (Core.scan_chains=None),
+        # not an empty tuple.
+        assert _balanced_chains(0, 0) is None
+        assert _balanced_chains(500, 0) is None
+
+    def test_more_chains_than_bits_rejected(self):
+        with pytest.raises(ValidationError, match="at least one bit"):
+            _balanced_chains(2, 3)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            _balanced_chains(-1, 2)
+        with pytest.raises(ValidationError):
+            _balanced_chains(10, -2)
+
+
+class TestStressAnalogues:
+    def test_p93791_shape(self):
+        soc = build_p93791()
+        assert len(soc) == 32
+        assert soc.name == "p93791"
+        assert set(soc.core_names) == set(P93791_MODULES)
+        # The published heavy tail: the largest module dwarfs the median.
+        ff = sorted(core.num_flipflops for core in soc)
+        assert ff[-1] > 20_000 and ff[len(ff) // 2] < ff[-1] / 10
+
+    def test_t512505_has_the_dominating_giant(self):
+        soc = build_t512505()
+        assert len(soc) == 31
+        giant = max(soc, key=lambda core: core.num_gates)
+        rest = sum(c.num_gates for c in soc if c is not giant)
+        assert giant.num_gates > rest / 2  # one module dominates the system
+
+    @pytest.mark.parametrize("builder", [build_p93791, build_t512505])
+    def test_chains_consistent_and_roundtrippable(self, builder):
+        soc = builder()
+        for core in soc:
+            if core.scan_chains is not None:
+                assert sum(core.scan_chains) == core.num_flipflops
+                assert max(core.scan_chains) - min(core.scan_chains) <= 1
+        assert dump_soc(parse_soc(dump_soc(soc))) == dump_soc(soc)
+
+
+class TestCorpusRegistry:
+    def test_builtin_analogues_registered(self):
+        names = corpus_names()
+        for name in ("d695", "p93791", "t512505"):
+            assert name in names
+        assert names == sorted(names)
+
+    def test_lookup_is_case_insensitive(self):
+        assert dump_soc(corpus_soc("P93791")) == dump_soc(build_p93791())
+
+    def test_unknown_name_lists_the_corpus(self):
+        with pytest.raises(ValidationError, match="d695"):
+            corpus_soc("p22810")
+
+    def test_register_replaces_and_lowercases(self):
+        try:
+            register_corpus("TempSoc", build_d695)
+            assert "tempsoc" in corpus_names()
+            assert corpus_soc("tempsoc").name == "d695"
+        finally:
+            from repro.soc.catalog import _CORPUS
+
+            _CORPUS.pop("tempsoc", None)
 
 
 class TestExplicitChains:
